@@ -1,0 +1,93 @@
+// Regenerates paper Figure 3: per-layer parameter size, latency and energy
+// for three representative ResNet-50 layers (an early, a middle and a late
+// layer), with and without the epitome.
+//
+// The paper labels them Layer 9 / 41 / 67 in its own (BN-inclusive) layer
+// numbering; we pick the convs at matching depths: an early stage-1 3x3, a
+// middle stage-3 3x3 and a late stage-4 3x3. The expected shape: the late
+// layer gives a large parameter saving for a modest latency/energy increase,
+// while the early layer saves little but pays a comparable overhead --
+// the motivation for layer-wise epitome design (Sec. 5.2).
+#include <cstdio>
+
+#include "common/table.hpp"
+#include "core/designer.hpp"
+#include "nn/resnet.hpp"
+#include "pim/estimator.hpp"
+
+namespace epim {
+namespace {
+
+const ConvLayerInfo* find_layer(const Network& net, const char* name) {
+  for (const auto& l : net.conv_layers()) {
+    if (l.name == name) return &l;
+  }
+  return nullptr;
+}
+
+}  // namespace
+}  // namespace epim
+
+int main() {
+  using namespace epim;
+  const Network net = resnet50();
+  PimEstimator est(CrossbarConfig{}, HardwareLut{});
+
+  // Early / middle / late 3x3 convs (paper's L9 / L41 / L67 depths).
+  const struct {
+    const char* paper_label;
+    const char* layer;
+  } picks[] = {{"L9 (early)", "layer1.2.conv2"},
+               {"L41 (middle)", "layer3.2.conv2"},
+               {"L67 (late)", "layer4.1.conv2"}};
+
+  // Figure 3 uses an aggressive uniform epitome so every layer, even early
+  // ones, is compressed (the point is the per-layer sensitivity contrast).
+  UniformDesign policy;
+  policy.target_rows = 512;
+  policy.target_cout = 128;
+  policy.skip_small_layers = false;
+
+  TextTable table({"layer", "params k (conv)", "params k (epitome)",
+                   "d-params k", "lat ms (conv)", "lat ms (epitome)",
+                   "d-lat ms", "mJ (conv)", "mJ (epitome)", "d-mJ"});
+  std::printf("=== Figure 3: per-layer cost of epitomes, ResNet-50 ===\n");
+  for (const auto& pick : picks) {
+    const ConvLayerInfo* layer = find_layer(net, pick.layer);
+    if (layer == nullptr) {
+      std::printf("layer %s not found\n", pick.layer);
+      return 1;
+    }
+    const auto spec = design_uniform(layer->conv, policy);
+    if (!spec.has_value()) {
+      std::printf("layer %s not compressible under the Fig.3 policy\n",
+                  pick.layer);
+      return 1;
+    }
+    const LayerCost conv = est.eval_conv_layer(*layer, 32, 32);
+    const LayerCost epi = est.eval_epitome_layer(*layer, *spec, 32, 32);
+    // Per-layer energy: dynamic + this layer's own crossbars leaking for its
+    // own runtime (chip-level leakage attribution is a network quantity).
+    const HardwareLut lut;
+    auto layer_energy = [&](const LayerCost& c) {
+      return c.dynamic_energy_mj + lut.leakage_mw_per_xbar *
+                                       static_cast<double>(
+                                           c.mapping.num_crossbars) *
+                                       c.latency_ms * 1e-3;
+    };
+    table.add_row({std::string(pick.paper_label) + " " + pick.layer,
+                   fmt(static_cast<double>(conv.params) / 1e3, 1),
+                   fmt(static_cast<double>(epi.params) / 1e3, 1),
+                   fmt(static_cast<double>(conv.params - epi.params) / 1e3, 1),
+                   fmt(conv.latency_ms, 2), fmt(epi.latency_ms, 2),
+                   fmt(epi.latency_ms - conv.latency_ms, 2),
+                   fmt(layer_energy(conv), 2), fmt(layer_energy(epi), 2),
+                   fmt(layer_energy(epi) - layer_energy(conv), 2)});
+  }
+  std::printf("%s\n", table.to_string().c_str());
+  std::printf(
+      "expected shape (paper): the late layer trades a much larger parameter\n"
+      "saving for a similar latency/energy increase than the early layer --\n"
+      "uniform epitomes are a bad deal early, a good deal late.\n");
+  return 0;
+}

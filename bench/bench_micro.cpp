@@ -1,0 +1,103 @@
+// Kernel-level microbenchmarks (google-benchmark): the hot paths of the
+// library -- epitome reconstruction, quantization, functional crossbar MVM,
+// the datapath executor and whole-network estimation.
+#include <benchmark/benchmark.h>
+
+#include "common/rng.hpp"
+#include "core/epitome.hpp"
+#include "datapath/datapath_sim.hpp"
+#include "nn/resnet.hpp"
+#include "pim/crossbar.hpp"
+#include "quant/epitome_quant.hpp"
+#include "sim/simulator.hpp"
+
+namespace epim {
+namespace {
+
+void BM_EpitomeReconstruct(benchmark::State& state) {
+  Rng rng(1);
+  const ConvSpec conv{512, 512, 3, 3, 1, 1};
+  const Epitome e =
+      Epitome::random(EpitomeSpec{4, 4, 64, 256}, conv, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(e.reconstruct());
+  }
+  state.SetItemsProcessed(state.iterations() * conv.weight_count());
+}
+BENCHMARK(BM_EpitomeReconstruct);
+
+void BM_RepetitionMap(benchmark::State& state) {
+  Rng rng(2);
+  const ConvSpec conv{512, 512, 3, 3, 1, 1};
+  const Epitome e =
+      Epitome::random(EpitomeSpec{4, 4, 64, 256}, conv, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(e.repetition_map());
+  }
+}
+BENCHMARK(BM_RepetitionMap);
+
+void BM_EpitomeQuantize(benchmark::State& state) {
+  Rng rng(3);
+  const ConvSpec conv{512, 512, 3, 3, 1, 1};
+  const Epitome e =
+      Epitome::random(EpitomeSpec{4, 4, 64, 256}, conv, rng);
+  QuantConfig cfg;
+  cfg.bits = static_cast<int>(state.range(0));
+  const EpitomeQuantizer quantizer(cfg);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(quantizer.quantize(e));
+  }
+}
+BENCHMARK(BM_EpitomeQuantize)->Arg(3)->Arg(9);
+
+void BM_CrossbarMvm(benchmark::State& state) {
+  Rng rng(4);
+  const std::int64_t rows = 128, cols = 16;
+  std::vector<std::vector<int>> w(
+      static_cast<std::size_t>(rows),
+      std::vector<int>(static_cast<std::size_t>(cols)));
+  for (auto& r : w) {
+    for (auto& v : r) v = rng.uniform_int(-128, 127);
+  }
+  CrossbarConfig cfg;
+  cfg.adc_bits = 12;
+  CrossbarArray xbar(cfg, 9, w);
+  std::vector<std::uint32_t> x(static_cast<std::size_t>(rows));
+  for (auto& v : x) v = static_cast<std::uint32_t>(rng.uniform_int(0, 511));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(xbar.mvm(x, 9));
+  }
+  state.SetItemsProcessed(state.iterations() * rows * cols);
+}
+BENCHMARK(BM_CrossbarMvm);
+
+void BM_DatapathLayer(benchmark::State& state) {
+  Rng rng(5);
+  const ConvSpec conv{32, 32, 3, 3, 1, 1};
+  const ConvLayerInfo layer{"probe", conv, 8, 8};
+  Epitome e = Epitome::random(EpitomeSpec{4, 4, 16, 16}, conv, rng);
+  DatapathSimulator sim(layer, e);
+  Tensor x({32, 8, 8});
+  rng.fill_normal(x.data(), static_cast<std::size_t>(x.numel()), 0.0f, 1.0f);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim.run(x));
+  }
+}
+BENCHMARK(BM_DatapathLayer);
+
+void BM_EstimateResNet50(benchmark::State& state) {
+  const Network net = resnet50();
+  const auto uni = NetworkAssignment::uniform(net, UniformDesign{});
+  PimEstimator est(CrossbarConfig{}, HardwareLut{});
+  const auto precision = PrecisionConfig::uniform(9, 9);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(est.eval_network(uni, precision));
+  }
+}
+BENCHMARK(BM_EstimateResNet50);
+
+}  // namespace
+}  // namespace epim
+
+BENCHMARK_MAIN();

@@ -1,0 +1,117 @@
+// Regenerates paper Table 3: epitome vs epitome + 50% element pruning vs
+// PIM-Prune at 50% / 75%, comparing top-1 accuracy and *parameter*
+// compression rate (crossbar CR is ill-defined for unstructured pruning,
+// exactly as the paper notes).
+#include <cstdio>
+
+#include "common/rng.hpp"
+#include "common/table.hpp"
+#include "nn/resnet.hpp"
+#include "prune/pim_prune.hpp"
+#include "sim/simulator.hpp"
+
+namespace epim {
+namespace {
+
+/// Element-prune the epitome assignment's weights and report the removed
+/// weight-energy fraction plus achieved compression.
+struct EpitomePruneOutcome {
+  double param_compression = 0.0;
+  double removed_energy = 0.0;
+};
+
+EpitomePruneOutcome prune_epitomes(const NetworkAssignment& assignment,
+                                   double ratio, std::uint64_t seed) {
+  Rng rng(seed);
+  PruneConfig cfg;
+  cfg.ratio = ratio;
+  cfg.granularity = PruneGranularity::kElement;
+  std::int64_t base_params = 0, kept_params = 0;
+  double removed_energy = 0.0, total_energy = 0.0;
+  for (std::int64_t i = 0; i < assignment.num_layers(); ++i) {
+    const ConvLayerInfo& layer =
+        assignment.layers()[static_cast<std::size_t>(i)];
+    base_params += layer.conv.weight_count();
+    const auto& choice = assignment.choice(i);
+    const std::int64_t rows =
+        choice.has_value() ? choice->rows() : layer.conv.unrolled_rows();
+    const std::int64_t cols =
+        choice.has_value() ? choice->cout_e : layer.conv.unrolled_cols();
+    Tensor w({rows, cols});
+    rng.fill_normal(w.data(), static_cast<std::size_t>(w.numel()), 0.0f,
+                    0.05f);
+    const PruneResult r = prune_matrix(w, cfg);
+    kept_params += w.numel() -
+                   static_cast<std::int64_t>(
+                       r.achieved_ratio * static_cast<double>(w.numel()) +
+                       0.5);
+    removed_energy +=
+        r.removed_energy_fraction * static_cast<double>(w.numel());
+    total_energy += static_cast<double>(w.numel());
+  }
+  EpitomePruneOutcome out;
+  out.param_compression = static_cast<double>(base_params) /
+                          static_cast<double>(kept_params);
+  out.removed_energy = removed_energy / total_energy;
+  return out;
+}
+
+void run_model(const char* name, const Network& net,
+               const AccuracyAnchors& anchors, double paper_epitome_acc,
+               double paper_epitome_cr, double paper_combo_acc,
+               double paper_combo_cr, double paper_p50_acc,
+               double paper_p50_cr, double paper_p75_acc,
+               double paper_p75_cr) {
+  const AccuracyProjector proj(anchors);
+  const auto uni = NetworkAssignment::uniform(net, UniformDesign{});
+
+  TextTable table({"method", "acc%*", "acc%(paper)", "param CR",
+                   "CR(paper)"});
+  // Row 1: plain epitome (FP32 anchors).
+  table.add_row({"Epitome", fmt(anchors.epitome_fp32),
+                 fmt(paper_epitome_acc), fmt(uni.parameter_compression()),
+                 fmt(paper_epitome_cr)});
+  // Row 2: epitome + 50% element pruning.
+  const auto combo = prune_epitomes(uni, 0.5, 0xC0'B0u);
+  table.add_row(
+      {"Epitome + 50% pruning",
+       fmt(proj.project_pruned(anchors.epitome_fp32, combo.removed_energy)),
+       fmt(paper_combo_acc),
+       fmt(uni.parameter_compression() /
+           (1.0 - 0.5)),  // surviving params halve again
+       fmt(paper_combo_cr)});
+  (void)combo.param_compression;
+  // Rows 3-4: PIM-Prune baseline at crossbar-row granularity.
+  struct PruneRow {
+    double ratio, paper_acc, paper_cr;
+  };
+  const PruneRow prune_rows[] = {{0.5, paper_p50_acc, paper_p50_cr},
+                                 {0.75, paper_p75_acc, paper_p75_cr}};
+  for (const auto& [ratio, paper_acc, paper_cr] : prune_rows) {
+    PruneConfig cfg;
+    cfg.ratio = ratio;
+    cfg.granularity = PruneGranularity::kCrossbarRow;
+    const auto report =
+        pim_prune_network(net, cfg, CrossbarConfig{}, 16, 0xB00Fu);
+    table.add_row(
+        {"PIM-Prune " + fmt(100 * ratio, 0) + "%",
+         fmt(proj.project_pruned(anchors.conv_fp32,
+                                 report.removed_energy_fraction)),
+         fmt(paper_acc), fmt(report.parameter_compression), fmt(paper_cr)});
+  }
+  std::printf("=== Table 3: %s (measured vs paper) ===\n%s\n", name,
+              table.to_string().c_str());
+}
+
+}  // namespace
+}  // namespace epim
+
+int main() {
+  using namespace epim;
+  std::printf("acc%%* = projected accuracy (see EXPERIMENTS.md)\n\n");
+  run_model("ResNet-50", resnet50(), AccuracyAnchors::resnet50(),
+            74.00, 2.25, 73.18, 3.49, 72.77, 1.80, 72.19, 3.38);
+  run_model("ResNet-101", resnet101(), AccuracyAnchors::resnet101(),
+            76.56, 2.08, 75.76, 3.64, 75.82, 1.90, 74.80, 3.24);
+  return 0;
+}

@@ -1,0 +1,86 @@
+// Design-space exploration scenario: a hardware architect has a fixed
+// crossbar budget and wants the fastest layer-wise epitome design for
+// ResNet-50 (paper Sec. 5.2, Algorithm 1). Runs the evolutionary search
+// with both objectives and prints the convergence curve plus the per-stage
+// structure of the winning design.
+//
+// Build & run:   ./build/examples/design_space_exploration
+#include <cstdio>
+#include <map>
+
+#include "common/table.hpp"
+#include "nn/resnet.hpp"
+#include "search/evolution.hpp"
+#include "sim/simulator.hpp"
+
+int main() {
+  using namespace epim;
+  const Network net = resnet50();
+  EpimSimulator sim;
+  const auto precision = PrecisionConfig::uniform(9, 9);
+
+  // The budget: 60% of what the uniform 1024x256 design would use.
+  const auto uniform = NetworkAssignment::uniform(net, UniformDesign{});
+  const auto uniform_cost = sim.estimator().eval_network(uniform, precision);
+  const std::int64_t budget = uniform_cost.num_crossbars * 6 / 10;
+  std::printf("uniform 1024x256 design: %lld crossbars, %.1f ms, %.1f mJ\n",
+              static_cast<long long>(uniform_cost.num_crossbars),
+              uniform_cost.latency_ms, uniform_cost.energy_mj());
+  std::printf("crossbar budget for the search: %lld\n\n",
+              static_cast<long long>(budget));
+
+  EvoSearchConfig cfg;
+  cfg.population = 40;
+  cfg.iterations = 25;
+  cfg.parents = 10;
+  cfg.crossbar_budget = budget;
+  cfg.precision = precision;
+  cfg.candidates.wrap_output = true;  // EPIM-Opt style
+  cfg.objective = SearchObjective::kLatency;
+
+  EvolutionSearch search(net, sim.estimator(), cfg);
+  const auto result = search.run();
+
+  std::printf("search space: %.3g layer-wise combinations (paper: 2.07e7 "
+              "for its candidate family)\n",
+              result.search_space_size);
+  std::printf("evaluated %lld candidates; best latency %.1f ms with %lld "
+              "crossbars (uniform: %.1f ms)\n\n",
+              static_cast<long long>(result.evaluations),
+              result.best_cost.latency_ms,
+              static_cast<long long>(result.best_cost.num_crossbars),
+              uniform_cost.latency_ms);
+
+  std::printf("convergence (best latency by iteration):\n  ");
+  for (std::size_t i = 0; i < result.reward_history.size(); i += 4) {
+    std::printf("it%02zu %.1fms  ", i, 1.0 / result.reward_history[i]);
+  }
+  std::printf("\n\n");
+
+  // Summarize the winning design per ResNet stage: how many layers keep
+  // their convolution, and the epitome row-size histogram.
+  std::map<std::string, std::map<std::string, int>> stage_summary;
+  for (std::int64_t i = 0; i < result.best.num_layers(); ++i) {
+    const std::string& name =
+        result.best.layers()[static_cast<std::size_t>(i)].name;
+    const std::string stage = name.substr(0, name.find('.'));
+    const auto& choice = result.best.choice(i);
+    stage_summary[stage][choice.has_value()
+                             ? std::to_string(choice->rows()) + "x" +
+                                   std::to_string(choice->cout_e)
+                             : "conv"]++;
+  }
+  TextTable table({"stage", "designs chosen by the search"});
+  for (const auto& [stage, counts] : stage_summary) {
+    std::string designs;
+    for (const auto& [design, count] : counts) {
+      designs += design + " x" + std::to_string(count) + "  ";
+    }
+    table.add_row({stage, designs});
+  }
+  std::printf("%s", table.to_string().c_str());
+  std::printf("\nreading the table: the search keeps cheap early layers as "
+              "plain convolutions\nand compresses the parameter-heavy late "
+              "stages hardest -- the paper's layer-wise insight.\n");
+  return 0;
+}

@@ -1,0 +1,74 @@
+// Software-stack scenario: train an epitome CNN from scratch (training
+// *through* the epitome reconstruction, gradients folded back onto the
+// shared cells), then post-training-quantize it with the paper's
+// epitome-aware schemes and compare real measured accuracy.
+//
+// Build & run:   ./build/examples/train_and_quantize
+#include <cstdio>
+
+#include "common/table.hpp"
+#include "train/trainer.hpp"
+
+int main() {
+  using namespace epim;
+
+  // Synthetic 8-class dataset (the repo's ImageNet proxy; see DESIGN.md).
+  SyntheticSpec dspec;
+  dspec.num_classes = 8;
+  dspec.train_per_class = 32;
+  dspec.test_per_class = 16;
+  dspec.noise = 0.5f;
+  const SyntheticData data = make_synthetic_data(dspec);
+  std::printf("dataset: %lld train / %lld test samples, %d classes\n",
+              static_cast<long long>(data.train.size()),
+              static_cast<long long>(data.test.size()), data.num_classes);
+
+  // Two models: epitome-compressed and plain convolution.
+  SmallNetConfig epim_cfg;
+  epim_cfg.num_classes = 8;
+  epim_cfg.use_epitome = true;
+  SmallNetConfig conv_cfg = epim_cfg;
+  conv_cfg.use_epitome = false;
+  SmallEpitomeNet epim_net(epim_cfg);
+  SmallEpitomeNet conv_net(conv_cfg);
+  std::printf("epitome model: %lld weights; conv model: %lld weights "
+              "(%.2fx compression)\n\n",
+              static_cast<long long>(epim_net.weight_parameters()),
+              static_cast<long long>(conv_net.weight_parameters()),
+              static_cast<double>(conv_net.weight_parameters()) /
+                  static_cast<double>(epim_net.weight_parameters()));
+
+  TrainConfig tcfg;
+  tcfg.epochs = 10;
+  std::printf("training the epitome model...\n");
+  const TrainResult epim_result = train_model(epim_net, data, tcfg);
+  std::printf("training the conv model...\n");
+  const TrainResult conv_result = train_model(conv_net, data, tcfg);
+  std::printf("fp32 test accuracy: epitome %.3f vs conv %.3f (loss from "
+              "compression: %.3f)\n\n",
+              epim_result.test_accuracy, conv_result.test_accuracy,
+              conv_result.test_accuracy - epim_result.test_accuracy);
+
+  // Post-training quantization of the epitome model.
+  TextTable table({"bits", "scheme", "test acc", "weighted MSE"});
+  for (const int bits : {2, 3, 4, 6}) {
+    for (const auto scheme :
+         {RangeScheme::kMinMax, RangeScheme::kPerCrossbar,
+          RangeScheme::kOverlapWeighted}) {
+      QuantConfig cfg;
+      cfg.bits = bits;
+      cfg.scheme = scheme;
+      cfg.xbar_rows = 64;
+      cfg.xbar_cols = 16;
+      const auto r = evaluate_quantized(epim_net, data.test, cfg);
+      table.add_row({std::to_string(bits), range_scheme_name(scheme),
+                     fmt(r.accuracy, 3), fmt(r.weighted_mse, 6)});
+    }
+  }
+  std::printf("post-training quantization of the epitome model:\n%s",
+              table.to_string().c_str());
+  std::printf("\nexpected trend (paper Table 2): per-crossbar scaling and "
+              "overlap-weighted ranges\nreduce the repetition-weighted "
+              "quantization error at every bitwidth.\n");
+  return 0;
+}

@@ -1,0 +1,57 @@
+// Error handling primitives for the EPIM library.
+//
+// Library code validates preconditions with EPIM_CHECK (always on) and
+// internal invariants with EPIM_ASSERT (also always on; the simulator is not
+// performance-critical enough to justify compiling assertions out).
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace epim {
+
+/// Base class for all errors thrown by the EPIM library.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Thrown when a caller violates an API precondition (bad shapes, out-of-range
+/// arguments, inconsistent configuration).
+class InvalidArgument : public Error {
+ public:
+  explicit InvalidArgument(const std::string& what) : Error(what) {}
+};
+
+/// Thrown when an internal invariant fails; indicates a bug in the library.
+class InternalError : public Error {
+ public:
+  explicit InternalError(const std::string& what) : Error(what) {}
+};
+
+namespace detail {
+[[noreturn]] void throw_invalid_argument(const char* expr, const char* file,
+                                         int line, const std::string& msg);
+[[noreturn]] void throw_internal_error(const char* expr, const char* file,
+                                       int line, const std::string& msg);
+}  // namespace detail
+
+}  // namespace epim
+
+/// Validate a caller-supplied precondition; throws epim::InvalidArgument.
+#define EPIM_CHECK(cond, msg)                                               \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      ::epim::detail::throw_invalid_argument(#cond, __FILE__, __LINE__,     \
+                                             (msg));                        \
+    }                                                                       \
+  } while (0)
+
+/// Validate an internal invariant; throws epim::InternalError.
+#define EPIM_ASSERT(cond, msg)                                              \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      ::epim::detail::throw_internal_error(#cond, __FILE__, __LINE__,       \
+                                           (msg));                          \
+    }                                                                       \
+  } while (0)

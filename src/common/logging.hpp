@@ -1,0 +1,39 @@
+// Minimal leveled logging used by long-running components (training loops,
+// evolutionary search) to report progress without a hard dependency on a
+// logging framework.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace epim {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Global log threshold; messages below it are dropped. Defaults to kInfo.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+namespace detail {
+void log_message(LogLevel level, const std::string& msg);
+}
+
+/// Stream-style log statement: EPIM_LOG(kInfo) << "generation " << g;
+class LogStream {
+ public:
+  explicit LogStream(LogLevel level) : level_(level) {}
+  ~LogStream();
+  template <typename T>
+  LogStream& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace epim
+
+#define EPIM_LOG(level) ::epim::LogStream(::epim::LogLevel::level)

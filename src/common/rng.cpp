@@ -1,0 +1,55 @@
+#include "common/rng.hpp"
+
+#include "common/error.hpp"
+
+namespace epim {
+
+int Rng::uniform_int(int lo, int hi) {
+  EPIM_CHECK(lo <= hi, "uniform_int requires lo <= hi");
+  std::uniform_int_distribution<int> dist(lo, hi);
+  return dist(engine_);
+}
+
+int Rng::index(int n) {
+  EPIM_CHECK(n > 0, "index requires n > 0");
+  return uniform_int(0, n - 1);
+}
+
+double Rng::uniform(double lo, double hi) {
+  std::uniform_real_distribution<double> dist(lo, hi);
+  return dist(engine_);
+}
+
+double Rng::normal(double mean, double stddev) {
+  std::normal_distribution<double> dist(mean, stddev);
+  return dist(engine_);
+}
+
+bool Rng::flip(double p) {
+  std::bernoulli_distribution dist(p);
+  return dist(engine_);
+}
+
+std::vector<int> Rng::permutation(int n) {
+  EPIM_CHECK(n >= 0, "permutation requires n >= 0");
+  std::vector<int> perm(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) perm[static_cast<std::size_t>(i)] = i;
+  for (int i = n - 1; i > 0; --i) {
+    const int j = uniform_int(0, i);
+    std::swap(perm[static_cast<std::size_t>(i)],
+              perm[static_cast<std::size_t>(j)]);
+  }
+  return perm;
+}
+
+void Rng::fill_normal(float* data, std::size_t n, float mean, float stddev) {
+  std::normal_distribution<float> dist(mean, stddev);
+  for (std::size_t i = 0; i < n; ++i) data[i] = dist(engine_);
+}
+
+void Rng::fill_uniform(float* data, std::size_t n, float lo, float hi) {
+  std::uniform_real_distribution<float> dist(lo, hi);
+  for (std::size_t i = 0; i < n; ++i) data[i] = dist(engine_);
+}
+
+}  // namespace epim

@@ -1,0 +1,34 @@
+// Plain-text table rendering used by the benchmark harness to print
+// paper-style result tables (Table 1/2/3) and figure series.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace epim {
+
+/// Accumulates rows of string cells and renders an aligned ASCII table.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  /// Append one row; must have the same arity as the header.
+  void add_row(std::vector<std::string> row);
+
+  /// Render with column alignment and a header separator.
+  std::string to_string() const;
+
+  /// Render as comma-separated values (machine-readable output for plots).
+  std::string to_csv() const;
+
+  std::size_t num_rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Format a double with fixed precision (helper for table cells).
+std::string fmt(double value, int precision = 2);
+
+}  // namespace epim

@@ -1,0 +1,86 @@
+#include "core/designer.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "common/math_util.hpp"
+
+namespace epim {
+
+namespace {
+
+/// Choose epitome dimensions hitting ~target_rows word lines for a kernel of
+/// (kh, kw), preferring crossbar-aligned row counts (Sec. 4.1: cin_e*p*q and
+/// cout_e should be integral multiples of the crossbar size when possible).
+EpitomeSpec shape_for_target(const ConvSpec& conv, std::int64_t target_rows,
+                             std::int64_t target_cout,
+                             std::int64_t crossbar_size,
+                             std::int64_t spatial_slack, bool wrap) {
+  EpitomeSpec spec;
+  spec.wrap_output = wrap;
+  // Spatial extent: add slack above the kernel so patches overlap; pointwise
+  // kernels have no spatial structure to share, so p = q = 1.
+  spec.p = conv.kernel_h > 1 ? conv.kernel_h + spatial_slack : 1;
+  spec.q = conv.kernel_w > 1 ? conv.kernel_w + spatial_slack : 1;
+  const std::int64_t plane = spec.p * spec.q;
+  // Fill the row budget with input channels, clamped to the conv's channels.
+  spec.cin_e = std::clamp<std::int64_t>(target_rows / plane, 1,
+                                        conv.in_channels);
+  spec.cout_e = std::min<std::int64_t>(target_cout, conv.out_channels);
+  // Align the row count down to a crossbar multiple when doing so keeps at
+  // least one full crossbar row block; partial-row epitomes waste word lines.
+  const std::int64_t rows = spec.rows();
+  if (rows > crossbar_size && rows % crossbar_size != 0) {
+    const std::int64_t aligned_cin =
+        (rows / crossbar_size) * crossbar_size / plane;
+    if (aligned_cin >= 1 && aligned_cin * plane % crossbar_size == 0) {
+      spec.cin_e = std::min(aligned_cin, conv.in_channels);
+    }
+  }
+  return spec;
+}
+
+}  // namespace
+
+std::optional<EpitomeSpec> design_uniform(const ConvSpec& conv,
+                                          const UniformDesign& policy) {
+  EPIM_CHECK(policy.target_rows >= 1 && policy.target_cout >= 1,
+             "uniform design targets must be positive");
+  if (policy.skip_small_layers &&
+      conv.unrolled_rows() <= policy.target_rows &&
+      conv.out_channels <= policy.target_cout) {
+    return std::nullopt;
+  }
+  EpitomeSpec spec =
+      shape_for_target(conv, policy.target_rows, policy.target_cout,
+                       policy.crossbar_size, policy.spatial_slack,
+                       policy.wrap_output);
+  // Only use the epitome if it actually compresses the layer.
+  if (spec.weight_count() >= conv.weight_count()) return std::nullopt;
+  EPIM_ASSERT(spec.compatible_with(conv), "designed spec must be compatible");
+  return spec;
+}
+
+std::vector<std::optional<EpitomeSpec>> candidate_specs(
+    const ConvSpec& conv, const CandidateConfig& config) {
+  std::vector<std::optional<EpitomeSpec>> out;
+  if (config.include_identity) out.push_back(std::nullopt);
+  for (const std::int64_t rows : config.row_targets) {
+    for (const std::int64_t cout : config.cout_targets) {
+      EpitomeSpec spec = shape_for_target(conv, rows, cout,
+                                          config.crossbar_size,
+                                          config.spatial_slack,
+                                          config.wrap_output);
+      if (!spec.compatible_with(conv)) continue;
+      if (spec.weight_count() >= conv.weight_count()) continue;
+      if (std::find(out.begin(), out.end(),
+                    std::optional<EpitomeSpec>(spec)) != out.end()) {
+        continue;
+      }
+      out.push_back(spec);
+    }
+  }
+  return out;
+}
+
+}  // namespace epim

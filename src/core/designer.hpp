@@ -1,0 +1,62 @@
+// Epitome designer (paper Sec. 3, 4.1, 5.2).
+//
+// Maps convolutions to epitome shapes. Three entry points:
+//  * design_uniform     -- the paper's manual "1024 x 256" style policy,
+//                          aligned to crossbar boundaries (Sec. 4.1);
+//  * candidate_specs    -- the per-layer candidate set C explored by the
+//                          evolutionary search (Sec. 5.2);
+//  * design_network_*   -- apply a policy across a whole Network, producing
+//                          a NetworkAssignment.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "core/sample_plan.hpp"
+#include "nn/network.hpp"
+
+namespace epim {
+
+/// Policy parameters for uniform epitome design.
+struct UniformDesign {
+  /// Target word lines (cin_e * p * q), the "1024" of "1024 x 256".
+  std::int64_t target_rows = 1024;
+  /// Target epitome output channels, the "256" of "1024 x 256".
+  std::int64_t target_cout = 256;
+  /// Crossbar row/col count used for alignment (Sec. 4.1).
+  std::int64_t crossbar_size = 128;
+  /// Extra spatial extent added to each kernel dimension to create
+  /// overlapping-patch structure (p = kh + spatial_slack for kh > 1).
+  std::int64_t spatial_slack = 1;
+  /// Enable output channel wrapping in the produced specs.
+  bool wrap_output = false;
+  /// Layers whose conv already fits within target_rows x target_cout keep
+  /// their convolution (no epitome) when true.
+  bool skip_small_layers = true;
+};
+
+/// Design one epitome spec for a convolution under the uniform policy.
+/// Returns nullopt when the layer should keep its plain convolution (it is
+/// already no larger than the target and skip_small_layers is set).
+std::optional<EpitomeSpec> design_uniform(const ConvSpec& conv,
+                                          const UniformDesign& policy);
+
+/// Candidate generation parameters for evolutionary search.
+struct CandidateConfig {
+  std::vector<std::int64_t> row_targets = {256, 512, 1024, 2048};
+  std::vector<std::int64_t> cout_targets = {64, 128, 256, 512};
+  std::int64_t crossbar_size = 128;
+  std::int64_t spatial_slack = 1;
+  bool wrap_output = false;
+  /// Also include "keep the convolution" as a candidate.
+  bool include_identity = true;
+};
+
+/// Enumerate the candidate epitome shapes for one layer. Candidates that do
+/// not compress the layer are dropped (except the identity candidate).
+/// nullopt inside the result denotes "keep the convolution".
+std::vector<std::optional<EpitomeSpec>> candidate_specs(
+    const ConvSpec& conv, const CandidateConfig& config);
+
+}  // namespace epim

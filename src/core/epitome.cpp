@@ -1,0 +1,102 @@
+#include "core/epitome.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace epim {
+
+Epitome::Epitome(EpitomeSpec spec, ConvSpec conv)
+    : plan_(spec, conv),
+      weights_({spec.cout_e, spec.cin_e, spec.p, spec.q}) {}
+
+Epitome Epitome::random(EpitomeSpec spec, ConvSpec conv, Rng& rng) {
+  Epitome e(spec, conv);
+  const double fan_in =
+      static_cast<double>(conv.in_channels * conv.kernel_h * conv.kernel_w);
+  const float stddev = static_cast<float>(std::sqrt(2.0 / fan_in));
+  rng.fill_normal(e.weights_.data(),
+                  static_cast<std::size_t>(e.weights_.numel()), 0.0f, stddev);
+  return e;
+}
+
+Epitome Epitome::from_conv_weights(const ConvSpec& conv, Tensor weights) {
+  EPIM_CHECK(weights.rank() == 4 && weights.dim(0) == conv.out_channels &&
+                 weights.dim(1) == conv.in_channels &&
+                 weights.dim(2) == conv.kernel_h &&
+                 weights.dim(3) == conv.kernel_w,
+             "weights do not match conv spec");
+  EpitomeSpec spec;
+  spec.p = conv.kernel_h;
+  spec.q = conv.kernel_w;
+  spec.cin_e = conv.in_channels;
+  spec.cout_e = conv.out_channels;
+  Epitome e(spec, conv);
+  e.weights_ = std::move(weights);
+  return e;
+}
+
+double Epitome::compression_rate() const {
+  return static_cast<double>(conv().weight_count()) /
+         static_cast<double>(weight_count());
+}
+
+Tensor Epitome::reconstruct() const {
+  const ConvSpec& c = conv();
+  Tensor w({c.out_channels, c.in_channels, c.kernel_h, c.kernel_w});
+  for (const PatchSample& s : plan_.samples()) {
+    for (std::int64_t j = 0; j < s.co_len; ++j) {
+      for (std::int64_t i = 0; i < s.ci_len; ++i) {
+        for (std::int64_t y = 0; y < c.kernel_h; ++y) {
+          for (std::int64_t x = 0; x < c.kernel_w; ++x) {
+            w(s.co_begin + j, s.ci_begin + i, y, x) =
+                weights_(j, i, s.off_p + y, s.off_q + x);
+          }
+        }
+      }
+    }
+  }
+  return w;
+}
+
+Tensor Epitome::repetition_map() const {
+  const ConvSpec& c = conv();
+  Tensor rep(weights_.shape(), 0.0f);
+  for (const PatchSample& s : plan_.samples()) {
+    for (std::int64_t j = 0; j < s.co_len; ++j) {
+      for (std::int64_t i = 0; i < s.ci_len; ++i) {
+        for (std::int64_t y = 0; y < c.kernel_h; ++y) {
+          for (std::int64_t x = 0; x < c.kernel_w; ++x) {
+            rep(j, i, s.off_p + y, s.off_q + x) += 1.0f;
+          }
+        }
+      }
+    }
+  }
+  return rep;
+}
+
+Tensor Epitome::fold_gradient(const Tensor& conv_grad) const {
+  const ConvSpec& c = conv();
+  EPIM_CHECK(conv_grad.rank() == 4 && conv_grad.dim(0) == c.out_channels &&
+                 conv_grad.dim(1) == c.in_channels &&
+                 conv_grad.dim(2) == c.kernel_h &&
+                 conv_grad.dim(3) == c.kernel_w,
+             "gradient shape does not match reconstructed convolution");
+  Tensor grad(weights_.shape(), 0.0f);
+  for (const PatchSample& s : plan_.samples()) {
+    for (std::int64_t j = 0; j < s.co_len; ++j) {
+      for (std::int64_t i = 0; i < s.ci_len; ++i) {
+        for (std::int64_t y = 0; y < c.kernel_h; ++y) {
+          for (std::int64_t x = 0; x < c.kernel_w; ++x) {
+            grad(j, i, s.off_p + y, s.off_q + x) +=
+                conv_grad(s.co_begin + j, s.ci_begin + i, y, x);
+          }
+        }
+      }
+    }
+  }
+  return grad;
+}
+
+}  // namespace epim

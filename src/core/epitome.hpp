@@ -1,0 +1,62 @@
+// The epitome neural operator (paper Sec. 2.2, 4.1, 5.3).
+//
+// An Epitome owns a small learnable weight tensor of shape
+// (cout_e, cin_e, p, q) plus the sample plan that reconstructs a full
+// convolution weight tensor from it. Reconstruction, repetition counting
+// (for overlap-weighted quantization) and gradient folding (for training
+// through the reconstruction) are all driven by the same plan, so they are
+// consistent by construction.
+#pragma once
+
+#include <cstdint>
+
+#include "core/sample_plan.hpp"
+#include "common/rng.hpp"
+#include "tensor/tensor.hpp"
+
+namespace epim {
+
+class Epitome {
+ public:
+  /// Creates an epitome with zero weights for the given convolution.
+  Epitome(EpitomeSpec spec, ConvSpec conv);
+
+  /// Creates an epitome with He-style random init (fan-in of the conv).
+  static Epitome random(EpitomeSpec spec, ConvSpec conv, Rng& rng);
+
+  /// Wraps an existing conv weight tensor as the degenerate epitome whose
+  /// spec equals the convolution itself (single patch, no compression).
+  static Epitome from_conv_weights(const ConvSpec& conv, Tensor weights);
+
+  const EpitomeSpec& spec() const { return plan_.spec(); }
+  const ConvSpec& conv() const { return plan_.conv(); }
+  const SamplePlan& plan() const { return plan_; }
+
+  Tensor& weights() { return weights_; }
+  const Tensor& weights() const { return weights_; }
+
+  /// Number of learnable parameters.
+  std::int64_t weight_count() const { return weights_.numel(); }
+
+  /// Parameter compression rate vs the reconstructed convolution.
+  double compression_rate() const;
+
+  /// Reconstruct the full (cout, cin, kh, kw) convolution weights.
+  Tensor reconstruct() const;
+
+  /// Count, for every epitome element, how many times it appears in the
+  /// reconstructed convolution (shape = weights' shape). Centre elements of
+  /// the spatial plane have higher counts when patches overlap.
+  Tensor repetition_map() const;
+
+  /// Scatter-add a conv-weight-shaped gradient back onto epitome parameters.
+  /// This is the exact adjoint of reconstruct(): each conv element's gradient
+  /// accumulates into the epitome element it was sampled from.
+  Tensor fold_gradient(const Tensor& conv_grad) const;
+
+ private:
+  SamplePlan plan_;
+  Tensor weights_;  // (cout_e, cin_e, p, q)
+};
+
+}  // namespace epim

@@ -1,0 +1,77 @@
+#include "core/sample_plan.hpp"
+
+#include <sstream>
+
+#include "common/error.hpp"
+#include "common/math_util.hpp"
+
+namespace epim {
+
+bool EpitomeSpec::compatible_with(const ConvSpec& conv) const {
+  return p >= conv.kernel_h && q >= conv.kernel_w && cin_e >= 1 &&
+         cin_e <= conv.in_channels && cout_e >= 1 &&
+         cout_e <= conv.out_channels && offset_stride >= 1;
+}
+
+std::string EpitomeSpec::to_string() const {
+  std::ostringstream os;
+  os << rows() << 'x' << cout_e << " (cin_e=" << cin_e << ",p=" << p
+     << ",q=" << q << (wrap_output ? ",wrap" : "") << ')';
+  return os.str();
+}
+
+SamplePlan::SamplePlan(const EpitomeSpec& spec, const ConvSpec& conv)
+    : spec_(spec), conv_(conv) {
+  EPIM_CHECK(spec.compatible_with(conv),
+             "epitome " + spec.to_string() + " incompatible with conv");
+  n_in_ = ceil_div(conv.in_channels, spec.cin_e);
+  n_out_ = ceil_div(conv.out_channels, spec.cout_e);
+  wrap_factor_ = spec.wrap_output ? n_out_ : 1;
+
+  // Offsets available in the epitome's spatial plane. Patches walk this
+  // offset grid with the configured stride; because a (kh x kw) window at
+  // every offset covers the centre of the plane but only extreme offsets
+  // reach the borders, centre weights are sampled more often -- the
+  // repetition structure exploited by overlap-weighted quantization.
+  const std::int64_t n_off_p = spec.p - conv.kernel_h + 1;
+  const std::int64_t n_off_q = spec.q - conv.kernel_w + 1;
+  const std::int64_t n_offsets = n_off_p * n_off_q;
+
+  samples_.reserve(static_cast<std::size_t>(n_in_ * n_out_));
+  std::vector<std::int64_t> source_round(static_cast<std::size_t>(n_in_), -1);
+  std::int64_t round = 0;
+  for (std::int64_t io = 0; io < n_out_; ++io) {
+    for (std::int64_t ii = 0; ii < n_in_; ++ii) {
+      PatchSample s;
+      s.in_group = ii;
+      s.out_group = io;
+      s.ci_begin = ii * spec.cin_e;
+      s.ci_len = std::min(spec.cin_e, conv.in_channels - s.ci_begin);
+      s.co_begin = io * spec.cout_e;
+      s.co_len = std::min(spec.cout_e, conv.out_channels - s.co_begin);
+      // With wrapping, the offset depends only on the input group so every
+      // output group sees identical weights (Eq. 8); otherwise each
+      // (io, ii) pair gets its own offset, maximizing weight diversity.
+      const std::int64_t t = spec.wrap_output ? ii : io * n_in_ + ii;
+      const std::int64_t l = (t * spec.offset_stride) % n_offsets;
+      s.off_p = l % n_off_p;
+      s.off_q = l / n_off_p;
+      s.replicated = spec.wrap_output && io > 0;
+      if (s.replicated) {
+        // A wrapped replica reuses the result of the round that computed the
+        // same input group for output group 0.
+        s.round = source_round[static_cast<std::size_t>(ii)];
+        EPIM_ASSERT(s.round >= 0, "replica precedes its source round");
+      } else {
+        s.round = round++;
+        if (io == 0) source_round[static_cast<std::size_t>(ii)] = s.round;
+      }
+      samples_.push_back(s);
+    }
+  }
+  active_rounds_ = round;
+  EPIM_ASSERT(active_rounds_ == (spec.wrap_output ? n_in_ : n_in_ * n_out_),
+              "active round accounting mismatch");
+}
+
+}  // namespace epim

@@ -1,0 +1,103 @@
+// The sampler tau of the epitome operator (paper Eq. 1).
+//
+// An epitome reconstructs a convolution by repeatedly sampling patches:
+// each patch covers a (kh x kw) spatial window of the epitome at some offset
+// and a contiguous range of epitome input/output channels, and is placed at a
+// (input-channel-group, output-channel-group) position of the virtual
+// convolution tensor. The ordered list of patches is the *sample plan*; it
+// determines both the reconstruction and the crossbar activation schedule
+// (each non-replicated patch is one activation round of the PIM crossbars).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "nn/layer.hpp"
+
+namespace epim {
+
+/// Dimensions and sampling policy of an epitome tensor.
+///
+/// The epitome weight tensor has shape (cout_e, cin_e, p, q). The paper's
+/// product notation "1024 x 256" means rows() = cin_e*p*q = 1024 and
+/// cout_e = 256.
+struct EpitomeSpec {
+  std::int64_t p = 0;        ///< epitome spatial height (>= kernel_h)
+  std::int64_t q = 0;        ///< epitome spatial width  (>= kernel_w)
+  std::int64_t cin_e = 0;    ///< epitome input channels
+  std::int64_t cout_e = 0;   ///< epitome output channels
+  /// Stride through the spatial-offset space when assigning offsets to
+  /// successive patches. 1 walks every offset; larger values skip.
+  std::int64_t offset_stride = 1;
+  /// Output channel wrapping (paper Sec. 5.3): when true, all output-channel
+  /// groups reuse the same patch, so the reconstructed weights (and the OFM)
+  /// are translation-invariant along output channels with period cout_e, and
+  /// only one group's crossbar activations are actually performed.
+  bool wrap_output = false;
+
+  /// Word lines occupied when mapped (cin_e * p * q).
+  std::int64_t rows() const { return cin_e * p * q; }
+  /// Learnable parameter count.
+  std::int64_t weight_count() const { return rows() * cout_e; }
+
+  /// True if this spec can reconstruct the given convolution.
+  bool compatible_with(const ConvSpec& conv) const;
+
+  /// Readable form, e.g. "1024x256 (cin_e=64,p=4,q=4)".
+  std::string to_string() const;
+
+  bool operator==(const EpitomeSpec&) const = default;
+};
+
+/// One sampled patch: where it reads in the epitome and where it lands in the
+/// virtual convolution.
+struct PatchSample {
+  std::int64_t round = 0;      ///< activation round (order of execution)
+  std::int64_t in_group = 0;   ///< input-channel group index
+  std::int64_t out_group = 0;  ///< output-channel group index
+  std::int64_t ci_begin = 0;   ///< first conv input channel covered
+  std::int64_t ci_len = 0;     ///< input channels covered (<= cin_e)
+  std::int64_t co_begin = 0;   ///< first conv output channel covered
+  std::int64_t co_len = 0;     ///< output channels covered (<= cout_e)
+  std::int64_t off_p = 0;      ///< spatial offset into the epitome (rows)
+  std::int64_t off_q = 0;      ///< spatial offset into the epitome (cols)
+  /// True when this patch's result is obtained by channel-wrapping reuse of
+  /// an earlier round instead of a crossbar activation.
+  bool replicated = false;
+};
+
+/// The full sampling schedule for one (epitome, convolution) pair.
+class SamplePlan {
+ public:
+  SamplePlan(const EpitomeSpec& spec, const ConvSpec& conv);
+
+  const EpitomeSpec& spec() const { return spec_; }
+  const ConvSpec& conv() const { return conv_; }
+  const std::vector<PatchSample>& samples() const { return samples_; }
+
+  std::int64_t num_in_groups() const { return n_in_; }
+  std::int64_t num_out_groups() const { return n_out_; }
+
+  /// Patches that require a crossbar activation (excludes wrapped replicas).
+  std::int64_t active_rounds() const { return active_rounds_; }
+
+  /// All patches, including replicas resolved by the joint module.
+  std::int64_t total_patches() const {
+    return static_cast<std::int64_t>(samples_.size());
+  }
+
+  /// Channel-wrapping replication factor r (1 when wrapping is disabled).
+  std::int64_t wrap_factor() const { return wrap_factor_; }
+
+ private:
+  EpitomeSpec spec_;
+  ConvSpec conv_;
+  std::vector<PatchSample> samples_;
+  std::int64_t n_in_ = 0;
+  std::int64_t n_out_ = 0;
+  std::int64_t active_rounds_ = 0;
+  std::int64_t wrap_factor_ = 1;
+};
+
+}  // namespace epim

@@ -1,0 +1,58 @@
+// Functional simulator of the EPIM datapath (paper Sec. 4.3).
+//
+// Executes an epitome convolution layer exactly the way the modified
+// accelerator does: the address controller walks output positions, IFAT
+// selects the input segment for each activation round, IFRT steers segment
+// elements onto word lines (inactive lines held at zero), and the joint
+// module merges per-round partial outputs into the output feature map under
+// OFAT control, resolving channel-wrapping replicas as buffer copies.
+//
+// The core correctness contract of the whole repo:
+//     DatapathSimulator(layer, epitome).run(x)
+//  == conv2d(x, epitome.reconstruct())
+// which the integration tests assert for a sweep of shapes.
+#pragma once
+
+#include <cstdint>
+
+#include "core/epitome.hpp"
+#include "datapath/index_tables.hpp"
+#include "nn/layer.hpp"
+#include "tensor/tensor.hpp"
+
+namespace epim {
+
+/// Activity counters accumulated over a run (one full layer inference).
+/// These are the quantities the analytical estimator multiplies by LUT
+/// costs; the datapath tests cross-check the two.
+struct DatapathStats {
+  std::int64_t crossbar_rounds = 0;   ///< crossbar activations
+  std::int64_t replica_copies = 0;    ///< channel-wrapping buffer copies
+  std::int64_t table_lookups = 0;     ///< IFAT + IFRT + OFAT reads
+  std::int64_t joint_adds = 0;        ///< joint-module element merges
+  std::int64_t buffer_reads = 0;      ///< input-segment elements fetched
+  std::int64_t buffer_writes = 0;     ///< output elements written
+};
+
+class DatapathSimulator {
+ public:
+  /// The layer's conv spec must equal the epitome's target convolution.
+  DatapathSimulator(ConvLayerInfo layer, Epitome epitome);
+
+  const IndexTables& tables() const { return tables_; }
+  const Epitome& epitome() const { return epitome_; }
+
+  /// Run the layer on a (Cin, H, W) input; returns (Cout, Oh, Ow).
+  Tensor run(const Tensor& input);
+
+  /// Counters from the most recent run().
+  const DatapathStats& stats() const { return stats_; }
+
+ private:
+  ConvLayerInfo layer_;
+  Epitome epitome_;
+  IndexTables tables_;
+  DatapathStats stats_;
+};
+
+}  // namespace epim

@@ -1,0 +1,77 @@
+// Crossbar-backed execution of an epitome layer.
+//
+// Where DatapathSimulator models the datapath with float arithmetic, this
+// engine runs the same schedule on the functional CrossbarArray model:
+// quantized integer epitome weights are programmed (once) into a grid of
+// bit-sliced crossbars; each activation round drives the IFRT-selected word
+// lines bit-serially and digitizes column currents through the shared ADCs.
+// With adequate ADC resolution the result is bit-exact with the integer
+// reference convolution -- the end-to-end hardware-correctness test of the
+// repo -- and with a starved ADC it exhibits realistic clipping error.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/sample_plan.hpp"
+#include "datapath/index_tables.hpp"
+#include "nn/layer.hpp"
+#include "pim/crossbar.hpp"
+
+namespace epim {
+
+/// Integer image, NCHW single sample: data[(c*h + y)*w + x].
+struct IntImage {
+  std::int64_t channels = 0, height = 0, width = 0;
+  std::vector<std::uint32_t> data;
+
+  std::int64_t numel() const { return channels * height * width; }
+};
+
+/// Integer output accumulators, same layout as IntImage but signed 64-bit.
+struct IntOutput {
+  std::int64_t channels = 0, height = 0, width = 0;
+  std::vector<std::int64_t> data;
+};
+
+class PimLayerEngine {
+ public:
+  /// `weights` is the logical epitome weight matrix: weights[row][col] with
+  /// row = word line (e_ci * p + py) * q + qx and col = epitome output
+  /// channel, as signed weight_bits-bit integers. Non-idealities, if any,
+  /// perturb every programmed crossbar (write variation / hard faults).
+  PimLayerEngine(ConvLayerInfo layer, EpitomeSpec spec,
+                 const std::vector<std::vector<int>>& weights, int weight_bits,
+                 const CrossbarConfig& config,
+                 const NonIdealityConfig& non_ideal = {});
+
+  /// Number of crossbar tiles programmed.
+  std::int64_t num_crossbars() const {
+    return static_cast<std::int64_t>(tiles_.size());
+  }
+
+  const EpitomeSpec& spec() const { return plan_.spec(); }
+  const ConvLayerInfo& layer() const { return layer_; }
+
+  /// Run the layer; activations must each fit in act_bits (unsigned).
+  IntOutput run(const IntImage& input, int act_bits) const;
+
+  /// ADC clip events observed during the last run (0 means bit-exact).
+  std::int64_t last_clip_count() const { return clip_count_; }
+
+ private:
+  struct Tile {
+    CrossbarArray array;
+    std::int64_t row_begin, row_count;
+    std::int64_t col_begin, col_count;
+  };
+
+  ConvLayerInfo layer_;
+  SamplePlan plan_;
+  IndexTables tables_;
+  CrossbarConfig config_;
+  std::vector<Tile> tiles_;
+  mutable std::int64_t clip_count_ = 0;
+};
+
+}  // namespace epim

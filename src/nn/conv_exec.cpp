@@ -1,0 +1,97 @@
+#include "nn/conv_exec.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "tensor/ops.hpp"
+
+namespace epim {
+
+Tensor conv2d(const Tensor& input, const Tensor& weight, std::int64_t stride,
+              std::int64_t pad) {
+  EPIM_CHECK(input.rank() == 3, "conv2d expects (C, H, W) input");
+  EPIM_CHECK(weight.rank() == 4, "conv2d expects (Cout, Cin, Kh, Kw) weight");
+  EPIM_CHECK(weight.dim(1) == input.dim(0),
+             "conv2d input channels must match weight");
+  const std::int64_t cout = weight.dim(0);
+  const std::int64_t kh = weight.dim(2), kw = weight.dim(3);
+  const std::int64_t oh = conv_out_dim(input.dim(1), kh, stride, pad);
+  const std::int64_t ow = conv_out_dim(input.dim(2), kw, stride, pad);
+  // cols: (oh*ow, cin*kh*kw); weight matrix: (cout, cin*kh*kw).
+  const Tensor cols = im2col(input, kh, kw, stride, pad);
+  const Tensor wmat = weight.reshaped({cout, weight.numel() / cout});
+  const Tensor out = matmul_nt(cols, wmat);  // (oh*ow, cout)
+  // Transpose to (cout, oh, ow).
+  Tensor result({cout, oh, ow});
+  for (std::int64_t p = 0; p < oh * ow; ++p) {
+    for (std::int64_t c = 0; c < cout; ++c) {
+      result.at(c * oh * ow + p) = out.at(p * cout + c);
+    }
+  }
+  return result;
+}
+
+Tensor run_conv_layer(const ConvLayerInfo& layer, const Tensor& input,
+                      const Tensor& weight) {
+  EPIM_CHECK(input.rank() == 3 && input.dim(0) == layer.conv.in_channels &&
+                 input.dim(1) == layer.ifm_h && input.dim(2) == layer.ifm_w,
+             "input does not match layer spec " + layer.to_string());
+  EPIM_CHECK(weight.rank() == 4 && weight.dim(0) == layer.conv.out_channels &&
+                 weight.dim(1) == layer.conv.in_channels &&
+                 weight.dim(2) == layer.conv.kernel_h &&
+                 weight.dim(3) == layer.conv.kernel_w,
+             "weight does not match layer spec " + layer.to_string());
+  return conv2d(input, weight, layer.conv.stride, layer.conv.pad);
+}
+
+Tensor max_pool2d(const Tensor& input, std::int64_t k, std::int64_t stride,
+                  std::int64_t pad) {
+  EPIM_CHECK(input.rank() == 3, "max_pool2d expects (C, H, W) input");
+  const std::int64_t c = input.dim(0), h = input.dim(1), w = input.dim(2);
+  const std::int64_t oh = conv_out_dim(h, k, stride, pad);
+  const std::int64_t ow = conv_out_dim(w, k, stride, pad);
+  Tensor out({c, oh, ow});
+  for (std::int64_t ci = 0; ci < c; ++ci) {
+    for (std::int64_t oy = 0; oy < oh; ++oy) {
+      for (std::int64_t ox = 0; ox < ow; ++ox) {
+        float best = -std::numeric_limits<float>::infinity();
+        bool any = false;
+        for (std::int64_t ky = 0; ky < k; ++ky) {
+          const std::int64_t iy = oy * stride + ky - pad;
+          if (iy < 0 || iy >= h) continue;
+          for (std::int64_t kx = 0; kx < k; ++kx) {
+            const std::int64_t ix = ox * stride + kx - pad;
+            if (ix < 0 || ix >= w) continue;
+            best = std::max(best, input(ci, iy, ix));
+            any = true;
+          }
+        }
+        out(ci, oy, ox) = any ? best : 0.0f;
+      }
+    }
+  }
+  return out;
+}
+
+Tensor global_avg_pool(const Tensor& input) {
+  EPIM_CHECK(input.rank() == 3, "global_avg_pool expects (C, H, W) input");
+  const std::int64_t c = input.dim(0);
+  const std::int64_t hw = input.dim(1) * input.dim(2);
+  Tensor out({c});
+  for (std::int64_t ci = 0; ci < c; ++ci) {
+    double acc = 0.0;
+    for (std::int64_t p = 0; p < hw; ++p) acc += input.at(ci * hw + p);
+    out(ci) = static_cast<float>(acc / static_cast<double>(hw));
+  }
+  return out;
+}
+
+Tensor relu(const Tensor& input) {
+  Tensor out(input.shape());
+  for (std::int64_t i = 0; i < input.numel(); ++i) {
+    out.at(i) = std::max(0.0f, input.at(i));
+  }
+  return out;
+}
+
+}  // namespace epim

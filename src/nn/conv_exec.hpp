@@ -1,0 +1,32 @@
+// Reference (bit-exact float) executor for convolution layers.
+//
+// The datapath simulator's output is validated against this executor: an
+// epitome layer run through the IFAT/IFRT/OFAT pipeline must equal the
+// convolution with the epitome's reconstructed weights.
+#pragma once
+
+#include "nn/layer.hpp"
+#include "tensor/tensor.hpp"
+
+namespace epim {
+
+/// 2-D convolution of a (C, H, W) input with (Cout, Cin, Kh, Kw) weights;
+/// returns (Cout, Oh, Ow). Implemented via im2col + matmul.
+Tensor conv2d(const Tensor& input, const Tensor& weight, std::int64_t stride,
+              std::int64_t pad);
+
+/// Convenience: run a ConvLayerInfo spec (shape-checked against the spec).
+Tensor run_conv_layer(const ConvLayerInfo& layer, const Tensor& input,
+                      const Tensor& weight);
+
+/// 2x2-style max pooling with arbitrary window/stride/pad; (C,H,W) input.
+Tensor max_pool2d(const Tensor& input, std::int64_t k, std::int64_t stride,
+                  std::int64_t pad);
+
+/// Global average pooling: (C, H, W) -> (C).
+Tensor global_avg_pool(const Tensor& input);
+
+/// Elementwise ReLU.
+Tensor relu(const Tensor& input);
+
+}  // namespace epim

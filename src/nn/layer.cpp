@@ -1,0 +1,34 @@
+#include "nn/layer.hpp"
+
+#include <sstream>
+
+#include "tensor/ops.hpp"
+
+namespace epim {
+
+std::int64_t ConvLayerInfo::ofm_h() const {
+  return conv_out_dim(ifm_h, conv.kernel_h, conv.stride, conv.pad);
+}
+
+std::int64_t ConvLayerInfo::ofm_w() const {
+  return conv_out_dim(ifm_w, conv.kernel_w, conv.stride, conv.pad);
+}
+
+std::string ConvLayerInfo::to_string() const {
+  std::ostringstream os;
+  os << name << ": " << conv.in_channels << "x" << conv.kernel_h << "x"
+     << conv.kernel_w << " -> " << conv.out_channels << " s" << conv.stride
+     << " p" << conv.pad << " @ " << ifm_h << "x" << ifm_w;
+  return os.str();
+}
+
+ConvLayerInfo FcLayerInfo::as_conv() const {
+  ConvLayerInfo info;
+  info.name = name;
+  info.conv = ConvSpec{in_features, out_features, 1, 1, 1, 0};
+  info.ifm_h = 1;
+  info.ifm_w = 1;
+  return info;
+}
+
+}  // namespace epim

@@ -1,0 +1,74 @@
+// Layer descriptions for convolutional networks.
+//
+// The hardware model needs, for every weighted layer, the kernel geometry and
+// the feature-map geometry at which it executes; both are captured here. The
+// reference executor (conv_exec.hpp) runs these specs on real tensors.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace epim {
+
+/// Geometry of a convolution kernel (square strides/padding only, which
+/// covers ResNet-family networks).
+struct ConvSpec {
+  std::int64_t in_channels = 0;
+  std::int64_t out_channels = 0;
+  std::int64_t kernel_h = 0;
+  std::int64_t kernel_w = 0;
+  std::int64_t stride = 1;
+  std::int64_t pad = 0;
+
+  /// Weight element count (bias excluded; ResNet convs are bias-free).
+  std::int64_t weight_count() const {
+    return in_channels * out_channels * kernel_h * kernel_w;
+  }
+
+  /// Rows of the unrolled (im2col) weight matrix: cin * kh * kw.
+  std::int64_t unrolled_rows() const {
+    return in_channels * kernel_h * kernel_w;
+  }
+
+  /// Columns of the unrolled weight matrix: cout.
+  std::int64_t unrolled_cols() const { return out_channels; }
+
+  bool operator==(const ConvSpec&) const = default;
+};
+
+/// A convolution layer placed in a network: kernel spec plus the input
+/// feature-map size it sees at inference time.
+struct ConvLayerInfo {
+  std::string name;
+  ConvSpec conv;
+  std::int64_t ifm_h = 0;
+  std::int64_t ifm_w = 0;
+
+  std::int64_t ofm_h() const;
+  std::int64_t ofm_w() const;
+
+  /// Number of sliding-window positions = MVMs per inference for this layer.
+  std::int64_t output_positions() const { return ofm_h() * ofm_w(); }
+
+  /// Multiply-accumulates for one inference of this layer.
+  std::int64_t macs() const {
+    return output_positions() * conv.weight_count();
+  }
+
+  std::string to_string() const;
+};
+
+/// A fully-connected layer (treated as a 1x1 convolution over a 1x1 map for
+/// hardware purposes).
+struct FcLayerInfo {
+  std::string name;
+  std::int64_t in_features = 0;
+  std::int64_t out_features = 0;
+
+  std::int64_t weight_count() const { return in_features * out_features; }
+
+  /// View as a conv layer on a 1x1 feature map.
+  ConvLayerInfo as_conv() const;
+};
+
+}  // namespace epim

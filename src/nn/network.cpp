@@ -1,0 +1,52 @@
+#include "nn/network.hpp"
+
+#include "common/error.hpp"
+
+namespace epim {
+
+void Network::add_conv(ConvLayerInfo layer) {
+  EPIM_CHECK(layer.conv.in_channels > 0 && layer.conv.out_channels > 0,
+             "conv layer channels must be positive");
+  EPIM_CHECK(layer.ifm_h > 0 && layer.ifm_w > 0,
+             "conv layer feature map must be positive");
+  convs_.push_back(std::move(layer));
+}
+
+void Network::set_fc(FcLayerInfo fc) {
+  EPIM_CHECK(fc.in_features > 0 && fc.out_features > 0,
+             "fc layer features must be positive");
+  fc_ = std::move(fc);
+  has_fc_ = true;
+}
+
+const ConvLayerInfo& Network::conv(std::int64_t i) const {
+  EPIM_CHECK(i >= 0 && i < num_conv_layers(), "conv layer index out of range");
+  return convs_[static_cast<std::size_t>(i)];
+}
+
+const FcLayerInfo& Network::fc() const {
+  EPIM_CHECK(has_fc_, "network has no fc layer");
+  return fc_;
+}
+
+std::vector<ConvLayerInfo> Network::weighted_layers() const {
+  std::vector<ConvLayerInfo> layers = convs_;
+  if (has_fc_) layers.push_back(fc_.as_conv());
+  return layers;
+}
+
+std::int64_t Network::total_weights() const {
+  std::int64_t total = 0;
+  for (const auto& l : convs_) total += l.conv.weight_count();
+  if (has_fc_) total += fc_.weight_count();
+  return total;
+}
+
+std::int64_t Network::total_macs() const {
+  std::int64_t total = 0;
+  for (const auto& l : convs_) total += l.macs();
+  if (has_fc_) total += fc_.weight_count();
+  return total;
+}
+
+}  // namespace epim

@@ -1,0 +1,53 @@
+// A network, for the purposes of the PIM hardware model, is the ordered list
+// of its weighted layers together with the feature-map geometry each layer
+// executes at. Topology details that do not affect crossbar mapping or
+// per-layer activation counts (skip-connection adds, pooling) are not
+// modelled as weighted layers but do inform the feature-map sizes recorded
+// in each ConvLayerInfo.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "nn/layer.hpp"
+
+namespace epim {
+
+class Network {
+ public:
+  Network() = default;
+  explicit Network(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+
+  void add_conv(ConvLayerInfo layer);
+  void set_fc(FcLayerInfo fc);
+
+  const std::vector<ConvLayerInfo>& conv_layers() const { return convs_; }
+  std::int64_t num_conv_layers() const {
+    return static_cast<std::int64_t>(convs_.size());
+  }
+  const ConvLayerInfo& conv(std::int64_t i) const;
+
+  bool has_fc() const { return has_fc_; }
+  const FcLayerInfo& fc() const;
+
+  /// All weighted layers (convs followed by fc-as-conv), the unit the
+  /// hardware mapper iterates over.
+  std::vector<ConvLayerInfo> weighted_layers() const;
+
+  /// Total weight parameters across convs (+ fc if present).
+  std::int64_t total_weights() const;
+
+  /// Total MACs for one inference.
+  std::int64_t total_macs() const;
+
+ private:
+  std::string name_;
+  std::vector<ConvLayerInfo> convs_;
+  FcLayerInfo fc_;
+  bool has_fc_ = false;
+};
+
+}  // namespace epim

@@ -1,0 +1,99 @@
+#include "nn/resnet.hpp"
+
+#include "common/error.hpp"
+#include "tensor/ops.hpp"
+
+namespace epim {
+
+namespace {
+
+/// Append one bottleneck block (1x1 reduce, 3x3, 1x1 expand, optional 1x1
+/// projection on the skip path) and return the block's output channel count.
+std::int64_t add_bottleneck(Network& net, const std::string& prefix,
+                            std::int64_t in_c, std::int64_t width,
+                            std::int64_t stride, bool project,
+                            std::int64_t fm) {
+  const std::int64_t out_c = width * 4;
+  // 1x1 reduce (carries the stride in torchvision-style ResNet v1.5 the 3x3
+  // carries it; we follow torchvision: stride on the 3x3).
+  net.add_conv({prefix + ".conv1", ConvSpec{in_c, width, 1, 1, 1, 0}, fm, fm});
+  const std::int64_t fm2 = conv_out_dim(fm, 3, stride, 1);
+  net.add_conv({prefix + ".conv2", ConvSpec{width, width, 3, 3, stride, 1},
+                fm, fm});
+  net.add_conv({prefix + ".conv3", ConvSpec{width, out_c, 1, 1, 1, 0}, fm2,
+                fm2});
+  if (project) {
+    net.add_conv({prefix + ".downsample",
+                  ConvSpec{in_c, out_c, 1, 1, stride, 0}, fm, fm});
+  }
+  return out_c;
+}
+
+}  // namespace
+
+Network build_resnet(const ResNetConfig& config) {
+  EPIM_CHECK(config.stage_blocks.size() == 4,
+             "bottleneck ResNet has four stages");
+  Network net(config.name);
+  const std::int64_t s = config.input_size;
+  // Stem: 7x7/2 conv then 3x3/2 max pool.
+  net.add_conv({"conv1", ConvSpec{3, 64, 7, 7, 2, 3}, s, s});
+  std::int64_t fm = conv_out_dim(s, 7, 2, 3);   // 112 at 224 input
+  fm = conv_out_dim(fm, 3, 2, 1);               // 56 after max pool
+  std::int64_t in_c = 64;
+  const std::int64_t widths[4] = {64, 128, 256, 512};
+  for (int stage = 0; stage < 4; ++stage) {
+    const std::int64_t width = widths[stage];
+    const int blocks = config.stage_blocks[static_cast<std::size_t>(stage)];
+    for (int b = 0; b < blocks; ++b) {
+      const std::int64_t stride = (stage > 0 && b == 0) ? 2 : 1;
+      const bool project = (b == 0);  // channel or spatial change
+      const std::string prefix =
+          "layer" + std::to_string(stage + 1) + "." + std::to_string(b);
+      in_c = add_bottleneck(net, prefix, in_c, width, stride, project, fm);
+      if (stride == 2) fm = conv_out_dim(fm, 3, 2, 1);
+    }
+  }
+  net.set_fc({"fc", in_c, config.num_classes});
+  return net;
+}
+
+Network resnet50(std::int64_t input_size) {
+  return build_resnet({"ResNet50", {3, 4, 6, 3}, input_size, 1000});
+}
+
+Network resnet101(std::int64_t input_size) {
+  return build_resnet({"ResNet101", {3, 4, 23, 3}, input_size, 1000});
+}
+
+Network mini_resnet(std::int64_t input_size, std::int64_t num_classes) {
+  Network net("MiniResNet");
+  const std::int64_t s = input_size;
+  net.add_conv({"conv1", ConvSpec{3, 16, 3, 3, 1, 1}, s, s});
+  std::int64_t fm = s;
+  std::int64_t in_c = 16;
+  const std::int64_t widths[3] = {16, 32, 64};
+  for (int stage = 0; stage < 3; ++stage) {
+    const std::int64_t width = widths[stage];
+    for (int b = 0; b < 2; ++b) {
+      const std::int64_t stride = (stage > 0 && b == 0) ? 2 : 1;
+      const std::string prefix =
+          "layer" + std::to_string(stage + 1) + "." + std::to_string(b);
+      net.add_conv({prefix + ".conv1",
+                    ConvSpec{in_c, width, 3, 3, stride, 1}, fm, fm});
+      const std::int64_t fm2 = conv_out_dim(fm, 3, stride, 1);
+      net.add_conv({prefix + ".conv2", ConvSpec{width, width, 3, 3, 1, 1},
+                    fm2, fm2});
+      if (stride == 2 || in_c != width) {
+        net.add_conv({prefix + ".downsample",
+                      ConvSpec{in_c, width, 1, 1, stride, 0}, fm, fm});
+      }
+      in_c = width;
+      fm = fm2;
+    }
+  }
+  net.set_fc({"fc", in_c, num_classes});
+  return net;
+}
+
+}  // namespace epim

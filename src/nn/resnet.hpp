@@ -1,0 +1,36 @@
+// Builders for the exact ResNet-50 / ResNet-101 layer inventories at a given
+// input resolution (default 224x224, as in the paper's ImageNet evaluation).
+//
+// These drive the hardware model: crossbar counts, latency and energy depend
+// only on the per-layer kernel and feature-map geometry captured here.
+#pragma once
+
+#include <cstdint>
+
+#include "nn/network.hpp"
+
+namespace epim {
+
+/// Configuration for bottleneck-style ResNets (ResNet-50/101/152).
+struct ResNetConfig {
+  std::string name;
+  /// Blocks per stage, e.g. {3, 4, 6, 3} for ResNet-50.
+  std::vector<int> stage_blocks;
+  std::int64_t input_size = 224;
+  std::int64_t num_classes = 1000;
+};
+
+/// Build a bottleneck ResNet from a config.
+Network build_resnet(const ResNetConfig& config);
+
+/// ResNet-50 at the paper's evaluation resolution.
+Network resnet50(std::int64_t input_size = 224);
+
+/// ResNet-101 at the paper's evaluation resolution.
+Network resnet101(std::int64_t input_size = 224);
+
+/// A reduced bottleneck ResNet (18-ish conv layers at 32x32 input) used by
+/// fast tests and the training-substrate experiments.
+Network mini_resnet(std::int64_t input_size = 32, std::int64_t num_classes = 10);
+
+}  // namespace epim

@@ -1,0 +1,74 @@
+#include "nn/vgg.hpp"
+
+#include "common/error.hpp"
+#include "tensor/ops.hpp"
+
+namespace epim {
+
+Network vgg16(std::int64_t input_size) {
+  Network net("VGG16");
+  const int plan[5][2] = {{64, 2}, {128, 2}, {256, 3}, {512, 3}, {512, 3}};
+  std::int64_t fm = input_size;
+  std::int64_t in_c = 3;
+  int idx = 0;
+  for (const auto& [width, reps] : plan) {
+    for (int r = 0; r < reps; ++r) {
+      net.add_conv({"conv" + std::to_string(++idx),
+                    ConvSpec{in_c, width, 3, 3, 1, 1}, fm, fm});
+      in_c = width;
+    }
+    fm = conv_out_dim(fm, 2, 2, 0);  // 2x2 max pool
+  }
+  // Classifier: fc6/fc7 modelled as pointwise convs on a 1x1 map (they map
+  // onto crossbars exactly like any other weight matrix), fc8 as the head.
+  net.add_conv({"fc6", ConvSpec{in_c * fm * fm, 4096, 1, 1, 1, 0}, 1, 1});
+  net.add_conv({"fc7", ConvSpec{4096, 4096, 1, 1, 1, 0}, 1, 1});
+  net.set_fc({"fc8", 4096, 1000});
+  return net;
+}
+
+namespace {
+
+Network basic_resnet(const std::string& name, const int (&blocks)[4],
+                     std::int64_t input_size) {
+  Network net(name);
+  const std::int64_t s = input_size;
+  net.add_conv({"conv1", ConvSpec{3, 64, 7, 7, 2, 3}, s, s});
+  std::int64_t fm = conv_out_dim(s, 7, 2, 3);
+  fm = conv_out_dim(fm, 3, 2, 1);
+  std::int64_t in_c = 64;
+  const std::int64_t widths[4] = {64, 128, 256, 512};
+  for (int stage = 0; stage < 4; ++stage) {
+    const std::int64_t width = widths[stage];
+    for (int b = 0; b < blocks[stage]; ++b) {
+      const std::int64_t stride = (stage > 0 && b == 0) ? 2 : 1;
+      const std::string prefix =
+          "layer" + std::to_string(stage + 1) + "." + std::to_string(b);
+      net.add_conv({prefix + ".conv1",
+                    ConvSpec{in_c, width, 3, 3, stride, 1}, fm, fm});
+      const std::int64_t fm2 = conv_out_dim(fm, 3, stride, 1);
+      net.add_conv({prefix + ".conv2", ConvSpec{width, width, 3, 3, 1, 1},
+                    fm2, fm2});
+      if (stride != 1 || in_c != width) {
+        net.add_conv({prefix + ".downsample",
+                      ConvSpec{in_c, width, 1, 1, stride, 0}, fm, fm});
+      }
+      in_c = width;
+      fm = fm2;
+    }
+  }
+  net.set_fc({"fc", in_c, 1000});
+  return net;
+}
+
+}  // namespace
+
+Network resnet18(std::int64_t input_size) {
+  return basic_resnet("ResNet18", {2, 2, 2, 2}, input_size);
+}
+
+Network resnet34(std::int64_t input_size) {
+  return basic_resnet("ResNet34", {3, 4, 6, 3}, input_size);
+}
+
+}  // namespace epim

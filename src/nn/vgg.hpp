@@ -1,0 +1,23 @@
+// Additional network builders for the model zoo: VGG-16 and the
+// basic-block ResNets (18/34). Not evaluated in the paper, but they widen
+// the workload coverage of the ablation benches and exercise the designer on
+// very different layer-shape distributions (VGG: huge FC layers; ResNet-18:
+// no bottleneck 1x1s).
+#pragma once
+
+#include <cstdint>
+
+#include "nn/network.hpp"
+
+namespace epim {
+
+/// VGG-16 (configuration D) at the given input resolution. The three
+/// classifier FCs are modelled as weighted layers (the first one dominates
+/// parameters, which is why epitomes shine on it).
+Network vgg16(std::int64_t input_size = 224);
+
+/// Basic-block ResNets.
+Network resnet18(std::int64_t input_size = 224);
+Network resnet34(std::int64_t input_size = 224);
+
+}  // namespace epim

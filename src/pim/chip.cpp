@@ -1,0 +1,68 @@
+#include "pim/chip.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/math_util.hpp"
+
+namespace epim {
+
+ChipCost ChipModel::eval(const NetworkAssignment& assignment,
+                         const PrecisionConfig& precision) const {
+  EPIM_CHECK(tiles_.crossbars_per_tile > 0,
+             "tiles must hold at least one crossbar");
+  ChipCost chip;
+  chip.compute = estimator_->eval_network(assignment, precision);
+
+  // Floorplan: layers occupy contiguous tile runs in layer order; the mesh
+  // is the smallest square holding all tiles.
+  std::vector<std::int64_t> tile_begin;  // first tile of each layer
+  std::int64_t next_tile = 0;
+  for (const LayerCost& layer : chip.compute.layers) {
+    tile_begin.push_back(next_tile);
+    next_tile += ceil_div(layer.mapping.num_crossbars,
+                          tiles_.crossbars_per_tile);
+  }
+  chip.num_tiles = std::max<std::int64_t>(1, next_tile);
+  chip.mesh_dim = static_cast<std::int64_t>(
+      std::ceil(std::sqrt(static_cast<double>(chip.num_tiles))));
+
+  // NoC transport of every layer's OFM to the next layer's tiles.
+  const double act_bytes =
+      static_cast<double>(ceil_div(precision.act_bits == 32 ? 16
+                                                            : precision.act_bits,
+                                   8));
+  auto tile_xy = [&](std::int64_t t) {
+    return std::pair<std::int64_t, std::int64_t>{t % chip.mesh_dim,
+                                                 t / chip.mesh_dim};
+  };
+  const auto& layers = assignment.layers();
+  for (std::size_t i = 0; i + 1 < layers.size(); ++i) {
+    const ConvLayerInfo& src = layers[i];
+    const double bytes = static_cast<double>(src.conv.out_channels *
+                                             src.output_positions()) *
+                         act_bytes;
+    const auto [ax, ay] = tile_xy(tile_begin[i]);
+    const auto [bx, by] = tile_xy(tile_begin[i + 1]);
+    const double hops = static_cast<double>(
+        std::max<std::int64_t>(1, std::abs(ax - bx) + std::abs(ay - by)));
+    const double flits =
+        std::ceil(bytes / static_cast<double>(tiles_.noc_flit_bytes));
+    // Wormhole-style: head flit pays the hop chain, the rest stream behind.
+    chip.noc_latency_ms +=
+        (hops * tiles_.noc_hop_ns + flits * tiles_.noc_hop_ns) * 1e-6;
+    chip.noc_energy_mj += bytes * hops * tiles_.noc_hop_pj_per_byte * 1e-9;
+  }
+
+  // Pipelined steady state: the slowest layer bounds per-image latency; the
+  // NoC overlaps with compute except for the final drain.
+  double slowest = 0.0;
+  for (const LayerCost& layer : chip.compute.layers) {
+    slowest = std::max(slowest, layer.latency_ms);
+  }
+  chip.pipelined_latency_ms = slowest;
+  return chip;
+}
+
+}  // namespace epim

@@ -1,0 +1,64 @@
+// Chip-level architecture model above the per-layer estimator.
+//
+// MNSIM-style hierarchy: crossbars are grouped into tiles laid out on a 2-D
+// mesh NoC; a layer occupies a contiguous run of tiles, and each layer's
+// output feature map travels over the mesh to the tiles of the next layer.
+// The model adds two effects the flat estimator cannot see:
+//  * NoC transport latency/energy between consecutive layers, growing with
+//    feature-map size and tile distance;
+//  * layer pipelining: in steady state (streaming inputs) throughput is
+//    bounded by the slowest layer, not the sum of all layers.
+#pragma once
+
+#include <cstdint>
+
+#include "core/assignment.hpp"
+#include "pim/estimator.hpp"
+
+namespace epim {
+
+struct TileConfig {
+  /// Crossbars per tile (a 4x4 PE array of crossbars by default).
+  std::int64_t crossbars_per_tile = 16;
+  /// Per-hop latency of one flit through a mesh router.
+  double noc_hop_ns = 2.0;
+  /// Per-hop transport energy per byte.
+  double noc_hop_pj_per_byte = 1.1;
+  /// Flit width.
+  std::int64_t noc_flit_bytes = 32;
+};
+
+struct ChipCost {
+  NetworkCost compute;             ///< flat estimator result
+  std::int64_t num_tiles = 0;
+  std::int64_t mesh_dim = 0;       ///< mesh is mesh_dim x mesh_dim
+  double noc_latency_ms = 0.0;
+  double noc_energy_mj = 0.0;
+  /// Single-image latency including NoC transport (sequential layers).
+  double total_latency_ms() const {
+    return compute.latency_ms + noc_latency_ms;
+  }
+  double total_energy_mj() const {
+    return compute.energy_mj() + noc_energy_mj;
+  }
+  /// Steady-state latency per image with layer pipelining: the slowest
+  /// layer bounds throughput, other layers overlap.
+  double pipelined_latency_ms = 0.0;
+};
+
+class ChipModel {
+ public:
+  ChipModel(const PimEstimator& estimator, TileConfig tiles)
+      : estimator_(&estimator), tiles_(tiles) {}
+
+  const TileConfig& tile_config() const { return tiles_; }
+
+  ChipCost eval(const NetworkAssignment& assignment,
+                const PrecisionConfig& precision) const;
+
+ private:
+  const PimEstimator* estimator_;
+  TileConfig tiles_;
+};
+
+}  // namespace epim

@@ -1,0 +1,64 @@
+// Hardware configuration of the behaviour-level PIM model.
+//
+// Follows the MNSIM 2.0 modelling approach: the accelerator is a grid of
+// memristor crossbars with per-component latency/energy characteristics kept
+// in a look-up table (HardwareLut); costs are LUT values multiplied by
+// activation counts derived from the workload. Default values are set in the
+// ISAAC/MNSIM regime and calibrated so the ResNet-50 FP32 baseline lands at
+// the paper's reported scale (~140 ms / ~214 mJ per inference); see
+// EXPERIMENTS.md for the calibration notes.
+#pragma once
+
+#include <cstdint>
+
+namespace epim {
+
+/// Geometry and precision of one memristor crossbar array.
+struct CrossbarConfig {
+  std::int64_t rows = 128;    ///< word lines
+  std::int64_t cols = 128;    ///< bit lines
+  int cell_bits = 2;          ///< conductance levels per cell = 2^cell_bits
+  int adc_bits = 9;           ///< ADC resolution
+  std::int64_t adc_share = 8; ///< bit-line columns multiplexed per ADC
+
+  /// Fixed-point equivalent used when a model is "FP32": weights are held as
+  /// 16-bit fixed-point across cell slices and activations streamed over 32
+  /// bit-serial cycles (floating point cannot be stored on memristor cells).
+  int fp32_weight_bits = 16;
+  int fp32_act_bits = 32;
+
+  /// Cells along the bit-line dimension for one k-bit weight.
+  std::int64_t weight_slices(int weight_bits) const;
+};
+
+/// Per-component latency (ns) and energy (pJ) look-up table.
+struct HardwareLut {
+  // --- latency, ns ---
+  double dac_ns = 5.0;         ///< input drive (per bit-serial cycle)
+  double xbar_ns = 30.0;       ///< crossbar analog settle (per cycle)
+  double sh_ns = 2.0;          ///< sample & hold (per cycle)
+  double adc_ns = 1.0;         ///< one ADC conversion
+  double shift_add_ns = 3.0;   ///< digital shift-add per weight slice/cycle
+  double index_table_ns = 1.0; ///< one IFAT/IFRT/OFAT lookup (per round)
+  double joint_add_ns = 1.0;   ///< joint-module merge of one round's outputs
+  double buffer_copy_ns = 0.5; ///< per wrapped-replica output copy burst
+
+  // --- energy, pJ ---
+  double dac_pj = 0.5;          ///< per driven row per cycle
+  double cell_pj = 0.005;       ///< per active cell per cycle
+  double sh_pj = 0.001;         ///< per active column per cycle
+  double adc_pj = 8.0;          ///< per conversion (ADCs dominate, as in ISAAC)
+  double shift_add_pj = 0.05;   ///< per active column per cycle
+  double buffer_rd_pj = 1.0;    ///< per byte read from a feature buffer
+  double buffer_wr_pj = 1.5;    ///< per byte written to a feature buffer
+  double index_table_pj = 0.5;  ///< per table lookup
+  double joint_add_pj = 0.1;    ///< per merged output element
+
+  // --- static ---
+  /// Leakage/peripheral standby power per crossbar (mW). All programmed
+  /// crossbars leak for the whole inference, so a model with fewer crossbars
+  /// saves static energy even when it runs longer.
+  double leakage_mw_per_xbar = 0.1;
+};
+
+}  // namespace epim

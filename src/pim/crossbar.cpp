@@ -1,0 +1,138 @@
+#include "pim/crossbar.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/math_util.hpp"
+#include "common/rng.hpp"
+
+namespace epim {
+
+CrossbarArray::CrossbarArray(const CrossbarConfig& config, int weight_bits,
+                             const std::vector<std::vector<int>>& weights,
+                             const NonIdealityConfig& non_ideal)
+    : config_(config), weight_bits_(weight_bits) {
+  rows_ = static_cast<std::int64_t>(weights.size());
+  EPIM_CHECK(rows_ > 0 && rows_ <= config.rows,
+             "crossbar row count out of range");
+  cols_ = static_cast<std::int64_t>(weights.front().size());
+  EPIM_CHECK(cols_ > 0, "crossbar must have at least one column");
+  slices_ = config.weight_slices(weight_bits);
+  EPIM_CHECK(cols_ * slices_ <= config.cols,
+             "weight matrix does not fit the crossbar's bit lines");
+  // Offset-binary encoding: a k-bit two's-complement weight w in
+  // [-2^(k-1), 2^(k-1)-1] is stored as the non-negative value w + 2^(k-1),
+  // which fits in k bits and therefore in `slices_` cell digits. The mvm()
+  // path subtracts offset * sum(inputs) digitally.
+  offset_ = std::int64_t{1} << (weight_bits - 1);
+  const std::int64_t lo = -offset_, hi = offset_ - 1;
+  const int radix_bits = config.cell_bits;
+  const int radix_mask = (1 << radix_bits) - 1;
+  const double level_max = static_cast<double>(radix_mask);
+  ideal_ = non_ideal.ideal();
+  Rng rng(non_ideal.seed);
+  cells_.assign(static_cast<std::size_t>(slices_),
+                std::vector<std::vector<double>>(
+                    static_cast<std::size_t>(rows_),
+                    std::vector<double>(static_cast<std::size_t>(cols_),
+                                        0.0)));
+  for (std::int64_t r = 0; r < rows_; ++r) {
+    EPIM_CHECK(static_cast<std::int64_t>(weights[static_cast<std::size_t>(r)]
+                                             .size()) == cols_,
+               "ragged weight matrix");
+    for (std::int64_t c = 0; c < cols_; ++c) {
+      const int w = weights[static_cast<std::size_t>(r)]
+                           [static_cast<std::size_t>(c)];
+      EPIM_CHECK(w >= lo && w <= hi,
+                 "weight out of range for " + std::to_string(weight_bits) +
+                     "-bit encoding");
+      std::int64_t stored = static_cast<std::int64_t>(w) + offset_;
+      for (std::int64_t s = 0; s < slices_; ++s) {
+        double level = static_cast<double>(stored & radix_mask);
+        if (!ideal_) {
+          // Write-time variation and hard faults, applied once per cell.
+          if (non_ideal.stuck_at_zero_prob > 0.0 &&
+              rng.flip(non_ideal.stuck_at_zero_prob)) {
+            level = 0.0;
+          } else if (non_ideal.stuck_at_max_prob > 0.0 &&
+                     rng.flip(non_ideal.stuck_at_max_prob)) {
+            level = level_max;
+          } else if (non_ideal.conductance_sigma > 0.0) {
+            level = std::clamp(
+                level + rng.normal(0.0, non_ideal.conductance_sigma), 0.0,
+                level_max);
+          }
+        }
+        cells_[static_cast<std::size_t>(s)][static_cast<std::size_t>(r)]
+              [static_cast<std::size_t>(c)] = level;
+        stored >>= radix_bits;
+      }
+    }
+  }
+}
+
+std::vector<std::int64_t> CrossbarArray::mvm(
+    const std::vector<std::uint32_t>& input,
+    const std::vector<bool>& row_enable, int act_bits) const {
+  EPIM_CHECK(static_cast<std::int64_t>(input.size()) == rows_,
+             "input length must equal logical rows");
+  EPIM_CHECK(static_cast<std::int64_t>(row_enable.size()) == rows_,
+             "row_enable length must equal logical rows");
+  EPIM_CHECK(act_bits >= 1 && act_bits <= 32, "act_bits out of range");
+  clip_count_ = 0;
+  const std::int64_t adc_max = (std::int64_t{1} << config_.adc_bits) - 1;
+  const int radix_bits = config_.cell_bits;
+  std::vector<std::int64_t> acc(static_cast<std::size_t>(cols_), 0);
+  std::int64_t input_sum = 0;  // for the offset-binary correction
+  // Bit-serial input streaming: cycle t drives input bit t on every enabled
+  // word line; each slice's column current is digitized and shift-added.
+  // (Row-major accumulation: word lines whose input bit is zero draw no
+  // current and are skipped outright.)
+  std::vector<double> current(static_cast<std::size_t>(cols_));
+  for (int t = 0; t < act_bits; ++t) {
+    for (std::int64_t s = 0; s < slices_; ++s) {
+      const auto& plane = cells_[static_cast<std::size_t>(s)];
+      std::fill(current.begin(), current.end(), 0.0);
+      for (std::int64_t r = 0; r < rows_; ++r) {
+        if (!row_enable[static_cast<std::size_t>(r)]) continue;
+        if (((input[static_cast<std::size_t>(r)] >> t) & 1u) == 0u) continue;
+        const auto& row = plane[static_cast<std::size_t>(r)];
+        for (std::int64_t c = 0; c < cols_; ++c) {
+          current[static_cast<std::size_t>(c)] +=
+              row[static_cast<std::size_t>(c)];
+        }
+      }
+      for (std::int64_t c = 0; c < cols_; ++c) {
+        // The ADC digitizes the analog column current to an integer code.
+        std::int64_t code = static_cast<std::int64_t>(
+            std::llround(current[static_cast<std::size_t>(c)]));
+        if (code > adc_max) {  // saturating ADC
+          code = adc_max;
+          ++clip_count_;
+        }
+        if (code < 0) code = 0;
+        acc[static_cast<std::size_t>(c)] +=
+            code << (t + static_cast<int>(s) * radix_bits);
+      }
+    }
+  }
+  for (std::int64_t r = 0; r < rows_; ++r) {
+    if (row_enable[static_cast<std::size_t>(r)]) {
+      input_sum += input[static_cast<std::size_t>(r)];
+    }
+  }
+  // Remove the offset-binary bias: stored = w + offset, so the analog result
+  // overcounts by offset * sum(enabled inputs).
+  for (std::int64_t c = 0; c < cols_; ++c) {
+    acc[static_cast<std::size_t>(c)] -= offset_ * input_sum;
+  }
+  return acc;
+}
+
+std::vector<std::int64_t> CrossbarArray::mvm(
+    const std::vector<std::uint32_t>& input, int act_bits) const {
+  return mvm(input, std::vector<bool>(input.size(), true), act_bits);
+}
+
+}  // namespace epim

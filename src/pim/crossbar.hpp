@@ -1,0 +1,88 @@
+// Functional (bit-accurate) memristor crossbar model.
+//
+// The estimator (estimator.hpp) predicts latency/energy analytically; this
+// class models the *values*: integer weights are programmed into 2^cell_bits-
+// level cells across bit slices (offset binary encoding so negative weights
+// fit on non-negative conductances), inputs are streamed bit-serially, column
+// currents are digitized by an ADC of finite resolution, and shift-add logic
+// recombines slices and input bits. With sufficient ADC resolution the result
+// is exactly the integer matrix-vector product -- a property the test suite
+// verifies -- and with a starved ADC it degrades, which the ablation bench
+// sweeps.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "pim/config.hpp"
+#include "tensor/tensor.hpp"
+
+namespace epim {
+
+/// Device non-idealities applied at programming time (write variation and
+/// hard faults). With all fields zero the array is ideal and bit-exact.
+struct NonIdealityConfig {
+  /// Std-dev of Gaussian conductance error per cell, in conductance-level
+  /// units (a 2-bit cell has levels 0..3; sigma 0.1 means ~10% of a level).
+  double conductance_sigma = 0.0;
+  /// Probability that a cell is stuck at zero conductance (open fault).
+  double stuck_at_zero_prob = 0.0;
+  /// Probability that a cell is stuck at maximum conductance (short fault).
+  double stuck_at_max_prob = 0.0;
+  std::uint64_t seed = 0x5711Cu;
+
+  bool ideal() const {
+    return conductance_sigma == 0.0 && stuck_at_zero_prob == 0.0 &&
+           stuck_at_max_prob == 0.0;
+  }
+};
+
+/// One physical crossbar programmed with an integer weight matrix.
+class CrossbarArray {
+ public:
+  /// Program a (rows x cols) *logical* integer weight matrix. Weights must
+  /// fit in weight_bits two's-complement. rows/cols must fit the crossbar
+  /// (cols * slices <= config.cols). Non-idealities, if any, perturb the
+  /// programmed conductances once (write-time variation model).
+  CrossbarArray(const CrossbarConfig& config, int weight_bits,
+                const std::vector<std::vector<int>>& weights,
+                const NonIdealityConfig& non_ideal = {});
+
+  std::int64_t logical_rows() const { return rows_; }
+  std::int64_t logical_cols() const { return cols_; }
+
+  /// Bit-serial MVM: `input` holds unsigned integer activations (each fitting
+  /// in act_bits) for every logical row; `row_enable` masks word lines (the
+  /// IFRT mechanism: disabled rows contribute nothing). Returns one signed
+  /// integer accumulator per logical column.
+  ///
+  /// The computation is exact iff every per-cycle column current fits in the
+  /// ADC range; otherwise currents clip (saturating ADC).
+  std::vector<std::int64_t> mvm(const std::vector<std::uint32_t>& input,
+                                const std::vector<bool>& row_enable,
+                                int act_bits) const;
+
+  /// Convenience: all rows enabled.
+  std::vector<std::int64_t> mvm(const std::vector<std::uint32_t>& input,
+                                int act_bits) const;
+
+  /// Number of ADC clippings observed in the last mvm() call (diagnostic for
+  /// the ADC-resolution ablation).
+  std::int64_t last_clip_count() const { return clip_count_; }
+
+ private:
+  CrossbarConfig config_;
+  int weight_bits_;
+  std::int64_t rows_ = 0;
+  std::int64_t cols_ = 0;
+  std::int64_t slices_ = 0;
+  std::int64_t offset_ = 0;  ///< offset-binary bias: stored = w + offset
+  /// cells_[slice][r][c]: programmed conductance in level units. Exactly the
+  /// digit of (w + offset) for an ideal array; perturbed by the non-ideality
+  /// model otherwise.
+  std::vector<std::vector<std::vector<double>>> cells_;
+  bool ideal_ = true;
+  mutable std::int64_t clip_count_ = 0;
+};
+
+}  // namespace epim

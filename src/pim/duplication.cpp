@@ -1,0 +1,52 @@
+#include "pim/duplication.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace epim {
+
+DuplicationPlan plan_duplication(const PimEstimator& estimator,
+                                 const NetworkAssignment& assignment,
+                                 const PrecisionConfig& precision,
+                                 std::int64_t extra_crossbar_budget) {
+  EPIM_CHECK(extra_crossbar_budget >= 0, "budget must be non-negative");
+  const NetworkCost base = estimator.eval_network(assignment, precision);
+  const std::size_t n = base.layers.size();
+
+  DuplicationPlan plan;
+  plan.copies.assign(n, 1);
+  plan.latency_before_ms = base.latency_ms;
+
+  // Greedy bottleneck relief: repeatedly duplicate the layer with the
+  // largest effective latency while its next copy fits the budget.
+  std::int64_t spent = 0;
+  auto effective = [&](std::size_t i) {
+    return base.layers[i].latency_ms /
+           static_cast<double>(plan.copies[i]);
+  };
+  while (true) {
+    std::size_t worst = 0;
+    double worst_lat = -1.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (effective(i) > worst_lat) {
+        worst_lat = effective(i);
+        worst = i;
+      }
+    }
+    const std::int64_t copy_cost = base.layers[worst].mapping.num_crossbars;
+    if (copy_cost <= 0 || spent + copy_cost > extra_crossbar_budget) break;
+    // Adding a copy must actually help; when one copy would take the layer
+    // below the runner-up it still helps, so the only stop is the budget.
+    plan.copies[worst] += 1;
+    spent += copy_cost;
+  }
+  plan.extra_crossbars = spent;
+  plan.latency_after_ms = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    plan.latency_after_ms += effective(i);
+  }
+  return plan;
+}
+
+}  // namespace epim

@@ -1,0 +1,38 @@
+// Weight-duplication throughput planner (the MNSIM "multi-copy" mapping).
+//
+// A convolution layer's crossbars process one output position per round; if
+// spare crossbars exist, programming K copies of a layer's weights lets K
+// positions proceed in parallel, dividing that layer's latency by K at the
+// cost of K-1 extra weight footprints. The planner spends a crossbar budget
+// greedily on whichever layer currently bounds network latency -- the
+// classic bottleneck-relief loop. Epitomes make this *cheaper*: a compressed
+// layer's copy costs a fraction of the convolution's, so the same budget
+// buys more parallelism (a synergy the paper leaves as future work; see the
+// ablation bench).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/assignment.hpp"
+#include "pim/estimator.hpp"
+
+namespace epim {
+
+struct DuplicationPlan {
+  /// Copies per weighted layer (>= 1 each).
+  std::vector<std::int64_t> copies;
+  std::int64_t extra_crossbars = 0;
+  double latency_before_ms = 0.0;
+  double latency_after_ms = 0.0;
+
+  double speedup() const { return latency_before_ms / latency_after_ms; }
+};
+
+/// Plan duplication under a total *extra* crossbar budget.
+DuplicationPlan plan_duplication(const PimEstimator& estimator,
+                                 const NetworkAssignment& assignment,
+                                 const PrecisionConfig& precision,
+                                 std::int64_t extra_crossbar_budget);
+
+}  // namespace epim

@@ -1,0 +1,33 @@
+#include "pim/mapping.hpp"
+
+#include "common/error.hpp"
+#include "common/math_util.hpp"
+
+namespace epim {
+
+std::int64_t CrossbarConfig::weight_slices(int weight_bits) const {
+  EPIM_CHECK(weight_bits >= 1, "weight bits must be positive");
+  EPIM_CHECK(cell_bits >= 1, "cell bits must be positive");
+  return ceil_div(weight_bits, cell_bits);
+}
+
+LayerMapping map_weight_matrix(std::int64_t rows, std::int64_t cols,
+                               int weight_bits,
+                               const CrossbarConfig& config) {
+  EPIM_CHECK(rows > 0 && cols > 0, "weight matrix must be non-empty");
+  LayerMapping m;
+  m.rows = rows;
+  m.cols_logical = cols;
+  m.weight_bits = weight_bits;
+  m.slices = config.weight_slices(weight_bits);
+  m.cols_physical = cols * m.slices;
+  m.tiles_r = ceil_div(rows, config.rows);
+  m.tiles_c = ceil_div(m.cols_physical, config.cols);
+  m.num_crossbars = m.tiles_r * m.tiles_c;
+  const double allocated = static_cast<double>(m.num_crossbars) *
+                           static_cast<double>(config.rows * config.cols);
+  m.utilization = static_cast<double>(m.used_cells()) / allocated;
+  return m;
+}
+
+}  // namespace epim

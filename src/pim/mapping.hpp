@@ -1,0 +1,34 @@
+// Weight-to-crossbar mapping (paper Sec. 4.1, following MNSIM [13]).
+//
+// A weight tensor is unrolled to a (cin*kh*kw) x cout matrix; rows map to
+// word lines, columns to bit lines. A k-bit weight spans ceil(k/cell_bits)
+// physical columns (bit slices). The matrix is tiled over as many crossbars
+// as needed. Epitomes map identically, just with their own (smaller) matrix.
+#pragma once
+
+#include <cstdint>
+
+#include "pim/config.hpp"
+
+namespace epim {
+
+/// Result of mapping one weight matrix onto crossbars.
+struct LayerMapping {
+  std::int64_t rows = 0;           ///< logical matrix rows (word lines used)
+  std::int64_t cols_logical = 0;   ///< logical matrix cols (output channels)
+  int weight_bits = 0;
+  std::int64_t slices = 0;         ///< physical columns per logical column
+  std::int64_t cols_physical = 0;  ///< cols_logical * slices
+  std::int64_t tiles_r = 0;        ///< crossbar tiles along rows
+  std::int64_t tiles_c = 0;        ///< crossbar tiles along physical cols
+  std::int64_t num_crossbars = 0;  ///< tiles_r * tiles_c
+  double utilization = 0.0;        ///< used cells / allocated cells
+
+  std::int64_t used_cells() const { return rows * cols_physical; }
+};
+
+/// Map a rows x cols logical weight matrix at the given precision.
+LayerMapping map_weight_matrix(std::int64_t rows, std::int64_t cols,
+                               int weight_bits, const CrossbarConfig& config);
+
+}  // namespace epim

@@ -1,0 +1,230 @@
+#include "prune/pim_prune.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/error.hpp"
+#include "common/math_util.hpp"
+#include "pim/mapping.hpp"
+
+namespace epim {
+
+const char* prune_granularity_name(PruneGranularity granularity) {
+  switch (granularity) {
+    case PruneGranularity::kElement:
+      return "element";
+    case PruneGranularity::kCrossbarRow:
+      return "crossbar-row";
+    case PruneGranularity::kCrossbarCol:
+      return "crossbar-col";
+    case PruneGranularity::kCrossbarBlock:
+      return "crossbar-block";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Zero the lowest-|w| elements until `ratio` of all entries are zero.
+void prune_elements(Tensor& m, double ratio) {
+  const std::int64_t n = m.numel();
+  const std::int64_t keep = n - static_cast<std::int64_t>(
+                                    std::floor(ratio * static_cast<double>(n)));
+  std::vector<std::int64_t> order(static_cast<std::size_t>(n));
+  std::iota(order.begin(), order.end(), 0);
+  std::nth_element(order.begin(),
+                   order.begin() + static_cast<std::ptrdiff_t>(n - keep),
+                   order.end(), [&](std::int64_t a, std::int64_t b) {
+                     return std::abs(m.at(a)) < std::abs(m.at(b));
+                   });
+  for (std::int64_t i = 0; i < n - keep; ++i) {
+    m.at(order[static_cast<std::size_t>(i)]) = 0.0f;
+  }
+}
+
+/// L1 norms of row/column groups of a (rows x cols) matrix.
+std::vector<double> group_norms(const Tensor& m, bool by_row) {
+  const std::int64_t rows = m.dim(0), cols = m.dim(1);
+  std::vector<double> norms(static_cast<std::size_t>(by_row ? rows : cols),
+                            0.0);
+  for (std::int64_t r = 0; r < rows; ++r) {
+    for (std::int64_t c = 0; c < cols; ++c) {
+      norms[static_cast<std::size_t>(by_row ? r : c)] +=
+          std::abs(static_cast<double>(m(r, c)));
+    }
+  }
+  return norms;
+}
+
+/// Zero the lowest-norm groups; returns surviving group count.
+std::int64_t prune_groups(Tensor& m, bool by_row, double ratio) {
+  const std::int64_t rows = m.dim(0), cols = m.dim(1);
+  const std::int64_t n_groups = by_row ? rows : cols;
+  const std::int64_t n_prune =
+      static_cast<std::int64_t>(std::floor(ratio *
+                                           static_cast<double>(n_groups)));
+  std::vector<double> norms = group_norms(m, by_row);
+  std::vector<std::int64_t> order(static_cast<std::size_t>(n_groups));
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](std::int64_t a, std::int64_t b) {
+    return norms[static_cast<std::size_t>(a)] <
+           norms[static_cast<std::size_t>(b)];
+  });
+  for (std::int64_t i = 0; i < n_prune; ++i) {
+    const std::int64_t g = order[static_cast<std::size_t>(i)];
+    if (by_row) {
+      for (std::int64_t c = 0; c < cols; ++c) m(g, c) = 0.0f;
+    } else {
+      for (std::int64_t r = 0; r < rows; ++r) m(r, g) = 0.0f;
+    }
+  }
+  return n_groups - n_prune;
+}
+
+/// Zero the lowest-norm (xbar_rows x xbar_cols) blocks.
+void prune_blocks(Tensor& m, double ratio, std::int64_t br, std::int64_t bc) {
+  const std::int64_t rows = m.dim(0), cols = m.dim(1);
+  const std::int64_t nbr = ceil_div(rows, br), nbc = ceil_div(cols, bc);
+  const std::int64_t n_blocks = nbr * nbc;
+  const std::int64_t n_prune =
+      static_cast<std::int64_t>(std::floor(ratio *
+                                           static_cast<double>(n_blocks)));
+  std::vector<double> norms(static_cast<std::size_t>(n_blocks), 0.0);
+  for (std::int64_t r = 0; r < rows; ++r) {
+    for (std::int64_t c = 0; c < cols; ++c) {
+      norms[static_cast<std::size_t>((r / br) * nbc + c / bc)] +=
+          std::abs(static_cast<double>(m(r, c)));
+    }
+  }
+  std::vector<std::int64_t> order(static_cast<std::size_t>(n_blocks));
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](std::int64_t a, std::int64_t b) {
+    return norms[static_cast<std::size_t>(a)] <
+           norms[static_cast<std::size_t>(b)];
+  });
+  std::vector<bool> dead(static_cast<std::size_t>(n_blocks), false);
+  for (std::int64_t i = 0; i < n_prune; ++i) {
+    dead[static_cast<std::size_t>(order[static_cast<std::size_t>(i)])] = true;
+  }
+  for (std::int64_t r = 0; r < rows; ++r) {
+    for (std::int64_t c = 0; c < cols; ++c) {
+      if (dead[static_cast<std::size_t>((r / br) * nbc + c / bc)]) {
+        m(r, c) = 0.0f;
+      }
+    }
+  }
+}
+
+}  // namespace
+
+PruneResult prune_matrix(const Tensor& matrix, const PruneConfig& config) {
+  EPIM_CHECK(matrix.rank() == 2, "prune_matrix expects a rank-2 tensor");
+  EPIM_CHECK(config.ratio >= 0.0 && config.ratio < 1.0,
+             "prune ratio must be in [0, 1)");
+  PruneResult result;
+  result.pruned = matrix;
+  Tensor& m = result.pruned;
+  switch (config.granularity) {
+    case PruneGranularity::kElement:
+      prune_elements(m, config.ratio);
+      break;
+    case PruneGranularity::kCrossbarRow:
+      prune_groups(m, /*by_row=*/true, config.ratio);
+      break;
+    case PruneGranularity::kCrossbarCol:
+      prune_groups(m, /*by_row=*/false, config.ratio);
+      break;
+    case PruneGranularity::kCrossbarBlock:
+      prune_blocks(m, config.ratio, config.xbar_rows, config.xbar_cols);
+      break;
+  }
+  // Bookkeeping: achieved sparsity, removed energy, surviving rows/cols.
+  double total_energy = 0.0, kept_energy = 0.0;
+  std::int64_t zeros = 0;
+  for (std::int64_t i = 0; i < matrix.numel(); ++i) {
+    const double v = matrix.at(i);
+    total_energy += v * v;
+    if (m.at(i) == 0.0f) {
+      ++zeros;
+    } else {
+      kept_energy += v * v;
+    }
+  }
+  result.achieved_ratio =
+      static_cast<double>(zeros) / static_cast<double>(matrix.numel());
+  result.removed_energy_fraction =
+      total_energy > 0.0 ? 1.0 - kept_energy / total_energy : 0.0;
+  const std::int64_t rows = m.dim(0), cols = m.dim(1);
+  result.remaining_rows = 0;
+  for (std::int64_t r = 0; r < rows; ++r) {
+    for (std::int64_t c = 0; c < cols; ++c) {
+      if (m(r, c) != 0.0f) {
+        ++result.remaining_rows;
+        break;
+      }
+    }
+  }
+  result.remaining_cols = 0;
+  for (std::int64_t c = 0; c < cols; ++c) {
+    for (std::int64_t r = 0; r < rows; ++r) {
+      if (m(r, c) != 0.0f) {
+        ++result.remaining_cols;
+        break;
+      }
+    }
+  }
+  return result;
+}
+
+NetworkPruneReport pim_prune_network(const Network& network,
+                                     const PruneConfig& config,
+                                     const CrossbarConfig& xbar,
+                                     int weight_bits, std::uint64_t seed) {
+  Rng rng(seed);
+  NetworkPruneReport report;
+  std::int64_t params_before = 0, params_after = 0;
+  double energy_removed_weighted = 0.0, energy_total = 0.0;
+  for (const auto& layer : network.weighted_layers()) {
+    const std::int64_t rows = layer.conv.unrolled_rows();
+    const std::int64_t cols = layer.conv.unrolled_cols();
+    Tensor w({rows, cols});
+    const float stddev =
+        static_cast<float>(std::sqrt(2.0 / static_cast<double>(rows)));
+    rng.fill_normal(w.data(), static_cast<std::size_t>(w.numel()), 0.0f,
+                    stddev);
+    const PruneResult pr = prune_matrix(w, config);
+    params_before += w.numel();
+    params_after += w.numel() - static_cast<std::int64_t>(
+                                    pr.achieved_ratio *
+                                    static_cast<double>(w.numel()) + 0.5);
+    const double layer_energy = static_cast<double>(w.numel());
+    energy_removed_weighted += pr.removed_energy_fraction * layer_energy;
+    energy_total += layer_energy;
+    report.crossbars_before +=
+        map_weight_matrix(rows, cols, weight_bits, xbar).num_crossbars;
+    // Structured pruning frees crossbars through the surviving rows/cols;
+    // element pruning does not change the crossbar footprint.
+    const std::int64_t eff_rows =
+        config.granularity == PruneGranularity::kElement
+            ? rows
+            : std::max<std::int64_t>(1, pr.remaining_rows);
+    const std::int64_t eff_cols =
+        config.granularity == PruneGranularity::kElement
+            ? cols
+            : std::max<std::int64_t>(1, pr.remaining_cols);
+    report.crossbars_after +=
+        map_weight_matrix(eff_rows, eff_cols, weight_bits, xbar)
+            .num_crossbars;
+  }
+  report.parameter_compression = static_cast<double>(params_before) /
+                                 static_cast<double>(std::max<std::int64_t>(
+                                     1, params_after));
+  report.crossbar_compression =
+      static_cast<double>(report.crossbars_before) /
+      static_cast<double>(std::max<std::int64_t>(1, report.crossbars_after));
+  report.removed_energy_fraction = energy_removed_weighted / energy_total;
+  return report;
+}
+
+}  // namespace epim

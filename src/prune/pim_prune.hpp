@@ -1,0 +1,67 @@
+// Reproduction of the PIM-Prune baseline (Chu et al., DAC 2020) used by the
+// paper for comparison (Tables 1 and 3), plus the element pruning combined
+// with epitomes in the paper's Sec. 7.2 ablation.
+//
+// PIM-Prune's key idea: pruning only saves crossbar *area* when whole word
+// lines / bit lines (or whole crossbar blocks) become free, so the pruning
+// pattern must be structured at crossbar granularity. We implement
+// magnitude-based pruning at four granularities:
+//  * kElement       -- unstructured; compresses parameters, not crossbars
+//                      (used for the epitome+pruning combination);
+//  * kCrossbarRow   -- removes whole rows of the unrolled weight matrix;
+//  * kCrossbarCol   -- removes whole logical columns (output channels);
+//  * kCrossbarBlock -- removes whole 128x128 crossbar tiles.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "nn/network.hpp"
+#include "pim/config.hpp"
+#include "tensor/tensor.hpp"
+
+namespace epim {
+
+enum class PruneGranularity { kElement, kCrossbarRow, kCrossbarCol,
+                              kCrossbarBlock };
+
+const char* prune_granularity_name(PruneGranularity granularity);
+
+struct PruneConfig {
+  double ratio = 0.5;  ///< target fraction of weights removed
+  PruneGranularity granularity = PruneGranularity::kCrossbarRow;
+  std::int64_t xbar_rows = 128;
+  std::int64_t xbar_cols = 128;
+};
+
+/// Result of pruning one weight matrix / tensor.
+struct PruneResult {
+  Tensor pruned;                        ///< same shape, pruned entries zeroed
+  double achieved_ratio = 0.0;          ///< zeroed weights / total
+  double removed_energy_fraction = 0.0; ///< pruned L2^2 / total L2^2
+  std::int64_t remaining_rows = 0;      ///< surviving matrix rows
+  std::int64_t remaining_cols = 0;      ///< surviving logical columns
+};
+
+/// Magnitude-prune a (rows x cols) logical weight matrix stored as a rank-2
+/// tensor. Structured granularities remove the lowest-L1 groups; the element
+/// granularity removes the smallest-magnitude entries globally.
+PruneResult prune_matrix(const Tensor& matrix, const PruneConfig& config);
+
+/// Whole-network PIM-Prune evaluation with synthetic (seeded Gaussian)
+/// weights, as used by the Table 1/3 benches.
+struct NetworkPruneReport {
+  double parameter_compression = 0.0;   ///< params / surviving params
+  double crossbar_compression = 0.0;    ///< XBs / surviving XBs
+  double removed_energy_fraction = 0.0; ///< weight-energy-weighted average
+  std::int64_t crossbars_before = 0;
+  std::int64_t crossbars_after = 0;
+};
+
+NetworkPruneReport pim_prune_network(const Network& network,
+                                     const PruneConfig& config,
+                                     const CrossbarConfig& xbar,
+                                     int weight_bits, std::uint64_t seed);
+
+}  // namespace epim

@@ -1,0 +1,42 @@
+#include "quant/accuracy_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace epim {
+
+AccuracyAnchors AccuracyAnchors::resnet50() {
+  AccuracyAnchors a;
+  a.model = "ResNet50";
+  a.conv_fp32 = 76.37;     // paper Table 1
+  a.epitome_fp32 = 74.00;  // paper Table 1, epitome 1024x256
+  return a;
+}
+
+AccuracyAnchors AccuracyAnchors::resnet101() {
+  AccuracyAnchors a;
+  a.model = "ResNet101";
+  a.conv_fp32 = 78.77;
+  a.epitome_fp32 = 76.56;
+  return a;
+}
+
+double AccuracyProjector::project_quantized(double weighted_mse,
+                                            double weight_power) const {
+  EPIM_CHECK(weighted_mse >= 0.0, "mse must be non-negative");
+  EPIM_CHECK(weight_power > 0.0, "weight power must be positive");
+  const double amplitude_ratio = std::sqrt(weighted_mse / weight_power);
+  return anchors_.epitome_fp32 - anchors_.penalty_scale * amplitude_ratio;
+}
+
+double AccuracyProjector::project_pruned(
+    double base_accuracy, double removed_energy_fraction) const {
+  EPIM_CHECK(removed_energy_fraction >= 0.0 && removed_energy_fraction <= 1.0,
+             "removed energy fraction must be in [0, 1]");
+  return base_accuracy -
+         anchors_.prune_penalty_scale * std::sqrt(removed_energy_fraction);
+}
+
+}  // namespace epim

@@ -1,0 +1,65 @@
+#include "quant/activation_quant.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace epim {
+
+ActivationObserver::ActivationObserver(double percentile)
+    : percentile_(percentile) {
+  EPIM_CHECK(percentile > 0.0 && percentile <= 1.0,
+             "percentile must be in (0, 1]");
+}
+
+void ActivationObserver::observe(const Tensor& t) {
+  // Keep a bounded reservoir of magnitudes; sites see many batches and we
+  // only need a stable upper quantile.
+  constexpr std::size_t kMaxSamples = 1 << 16;
+  for (std::int64_t i = 0; i < t.numel(); ++i) {
+    if (samples_.size() >= kMaxSamples) {
+      // Subsample: replace a pseudo-random slot (deterministic pattern).
+      samples_[static_cast<std::size_t>(i * 2654435761u) % kMaxSamples] =
+          std::max(0.0f, t.at(i));
+    } else {
+      samples_.push_back(std::max(0.0f, t.at(i)));
+    }
+  }
+}
+
+QuantParams ActivationObserver::params(int bits) const {
+  EPIM_CHECK(calibrated(), "observer has seen no activations");
+  std::vector<float> sorted = samples_;
+  std::sort(sorted.begin(), sorted.end());
+  const std::size_t idx = std::min(
+      sorted.size() - 1,
+      static_cast<std::size_t>(percentile_ *
+                               static_cast<double>(sorted.size() - 1)));
+  const double hi = std::max(1e-8, static_cast<double>(sorted[idx]));
+  return QuantParams::from_range(0.0, hi, bits);
+}
+
+std::vector<std::uint32_t> quantize_activations(const Tensor& t,
+                                                const QuantParams& params) {
+  std::vector<std::uint32_t> codes(static_cast<std::size_t>(t.numel()));
+  for (std::int64_t i = 0; i < t.numel(); ++i) {
+    codes[static_cast<std::size_t>(i)] =
+        static_cast<std::uint32_t>(params.quantize(t.at(i)));
+  }
+  return codes;
+}
+
+Tensor dequantize_activations(const std::vector<std::uint32_t>& codes,
+                              const Shape& shape, const QuantParams& params) {
+  Tensor out(shape);
+  EPIM_CHECK(static_cast<std::int64_t>(codes.size()) == out.numel(),
+             "code count must match shape");
+  for (std::int64_t i = 0; i < out.numel(); ++i) {
+    out.at(i) = static_cast<float>(
+        params.dequantize(codes[static_cast<std::size_t>(i)]));
+  }
+  return out;
+}
+
+}  // namespace epim

@@ -1,0 +1,45 @@
+// Activation quantization for bit-accurate PIM deployment.
+//
+// PIM crossbars consume *unsigned* bit-serial activations (post-ReLU
+// feature maps are non-negative), so activations use unsigned affine
+// quantization with ranges calibrated on a calibration set. The observer
+// tracks min/max (optionally a clipping percentile) per tensor site.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "quant/quantizer.hpp"
+#include "tensor/tensor.hpp"
+
+namespace epim {
+
+/// Running range observer for one activation site.
+class ActivationObserver {
+ public:
+  /// percentile in (0, 1]: 1.0 = plain min/max; 0.999 clips outliers.
+  explicit ActivationObserver(double percentile = 1.0);
+
+  /// Record one batch/tensor of activations.
+  void observe(const Tensor& t);
+
+  bool calibrated() const { return !samples_.empty(); }
+
+  /// Quantization parameters for `bits`-bit unsigned codes over [0, hi]
+  /// (activations are ReLU outputs; the range floor is 0).
+  QuantParams params(int bits) const;
+
+ private:
+  double percentile_;
+  std::vector<float> samples_;  // reservoir of observed magnitudes
+};
+
+/// Quantize a float activation tensor to unsigned codes.
+std::vector<std::uint32_t> quantize_activations(const Tensor& t,
+                                                const QuantParams& params);
+
+/// Dequantize unsigned codes back to floats (same layout as `shape`).
+Tensor dequantize_activations(const std::vector<std::uint32_t>& codes,
+                              const Shape& shape, const QuantParams& params);
+
+}  // namespace epim

@@ -1,0 +1,56 @@
+// HAWQ-lite mixed-precision bit allocation (paper Sec. 6.1 integrates HAWQ;
+// see DESIGN.md for the substitution).
+//
+// HAWQ ranks layers by Hessian-trace-weighted quantization perturbation. We
+// replace the Hessian trace, which requires the full training stack, with a
+// measurable curvature proxy: a layer's output-MAC count (how many times its
+// weights touch the loss path) times the *repetition-weighted* quantization
+// MSE gap between the low- and high-bit configurations. Layers where cheap
+// quantization hurts most (per unit of crossbar budget) are promoted to the
+// high bitwidth first, until the crossbar budget is exhausted -- the same
+// greedy decision structure as HAWQ-V2's Pareto allocation.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/assignment.hpp"
+#include "pim/config.hpp"
+#include "pim/estimator.hpp"
+#include "quant/epitome_quant.hpp"
+
+namespace epim {
+
+struct MixedPrecisionConfig {
+  int low_bits = 3;
+  int high_bits = 5;
+  /// Crossbar budget as a fraction of the way from the all-low to the
+  /// all-high crossbar count (0 = all low, 1 = all high).
+  double budget_fraction = 0.45;
+  /// Range scheme used when measuring per-layer sensitivity.
+  QuantConfig quant{};
+  /// Seed for the synthetic weight draws used in sensitivity probing.
+  std::uint64_t seed = 0x44A57'11AEu;
+};
+
+/// Per-layer sensitivity record (exposed for the ablation bench).
+struct LayerSensitivity {
+  std::int64_t layer = 0;
+  double score = 0.0;          ///< mse gap x MACs
+  std::int64_t xb_low = 0;     ///< crossbars at low_bits
+  std::int64_t xb_high = 0;    ///< crossbars at high_bits
+};
+
+struct MixedPrecisionResult {
+  PrecisionConfig precision;              ///< per-layer weight bits
+  std::vector<LayerSensitivity> ranking;  ///< sorted, most sensitive first
+  std::int64_t budget_crossbars = 0;
+  std::int64_t used_crossbars = 0;
+};
+
+/// Allocate low/high bits per weighted layer of the assignment.
+MixedPrecisionResult hawq_lite_allocate(const NetworkAssignment& assignment,
+                                        const MixedPrecisionConfig& config,
+                                        const CrossbarConfig& xbar);
+
+}  // namespace epim

@@ -1,0 +1,80 @@
+// Bit-accurate execution of a *trained* model on the simulated PIM chip.
+//
+// This is the deployment leg of the repo: it takes a trained
+// SmallEpitomeNet, quantizes weights per output channel (symmetric signed,
+// crossbar-programmable) and activations per site (unsigned, calibrated on
+// a calibration set), programs the epitome weights onto functional
+// CrossbarArrays -- optionally with device non-idealities -- and runs
+// inference entirely through the IFAT/IFRT/OFAT engine, with digital
+// per-channel dequantization, folded-BatchNorm affine, ReLU, pooling and the
+// float classifier head.
+//
+// Because every MAC goes through the bit-sliced crossbar model, the
+// accuracy this runtime measures is the accuracy the simulated chip would
+// deliver -- the quantity behind the paper's "deployed" numbers.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "datapath/pim_engine.hpp"
+#include "pim/crossbar.hpp"
+#include "quant/activation_quant.hpp"
+#include "train/dataset.hpp"
+#include "train/small_net.hpp"
+
+namespace epim {
+
+struct RuntimeConfig {
+  int weight_bits = 6;
+  int act_bits = 8;
+  /// Clipping percentile for activation calibration (1.0 = min/max).
+  double act_percentile = 1.0;
+  CrossbarConfig crossbar{};
+  NonIdealityConfig non_ideal{};
+
+  RuntimeConfig() { crossbar.adc_bits = 12; }
+};
+
+class PimNetworkRuntime {
+ public:
+  /// Compile the trained model: quantize, calibrate on `calibration`
+  /// (forwarding it through the float model to observe activation ranges),
+  /// and program the crossbars.
+  PimNetworkRuntime(const SmallEpitomeNet& model, const Dataset& calibration,
+                    RuntimeConfig config);
+
+  /// Crossbars programmed across all on-chip layers.
+  std::int64_t total_crossbars() const;
+
+  /// ADC clip events during the most recent forward (diagnostics).
+  std::int64_t last_clip_count() const { return clip_count_; }
+
+  /// Run one (C, H, W) image fully on the simulated chip; returns logits.
+  Tensor forward(const Tensor& image);
+
+  /// Top-1 accuracy over a dataset, everything executed on-chip.
+  double evaluate(const Dataset& dataset);
+
+ private:
+  struct CompiledBlock {
+    ConvLayerInfo layer;
+    std::unique_ptr<PimLayerEngine> engine;
+    std::vector<double> weight_scale;  ///< per output channel
+    ChannelAffine bn;
+    QuantParams act_in;  ///< quantizer for this block's input activations
+  };
+
+  /// Quantize an epitome's weights per output channel and build the engine.
+  CompiledBlock compile_block(const Epitome& epitome, const ChannelAffine& bn,
+                              std::int64_t ifm, const std::string& name);
+
+  Tensor run_block(CompiledBlock& block, const Tensor& input);
+
+  RuntimeConfig config_;
+  SmallEpitomeNet::Deploy deploy_;
+  std::vector<CompiledBlock> blocks_;  // block1..3 in order
+  std::int64_t clip_count_ = 0;
+};
+
+}  // namespace epim

@@ -1,0 +1,80 @@
+// Evolution-search-based layer-wise epitome design (paper Sec. 5.2,
+// Algorithm 1).
+//
+// Genome: one candidate index per weighted layer (candidates from
+// core/designer.hpp, including "keep the convolution"). Reward (Eq. 6-7):
+//
+//   reward = m / latency   or   m / energy,
+//   m = 0 if #crossbars(E) > budget else 1,
+//
+// so any individual exceeding the crossbar budget scores below every
+// feasible one. Each generation keeps the top `parents` individuals and
+// fills the population with mutated children (random layers reassigned to
+// random candidates), exactly the loop of Algorithm 1.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "core/assignment.hpp"
+#include "core/designer.hpp"
+#include "pim/estimator.hpp"
+
+namespace epim {
+
+enum class SearchObjective { kLatency, kEnergy, kEdp };
+
+const char* search_objective_name(SearchObjective objective);
+
+struct EvoSearchConfig {
+  int population = 40;
+  int iterations = 30;
+  int parents = 10;
+  /// Per-layer probability of reassignment when mutating a parent.
+  double mutation_rate = 0.15;
+  SearchObjective objective = SearchObjective::kLatency;
+  /// Crossbar budget of Eq. 7.
+  std::int64_t crossbar_budget = 0;
+  CandidateConfig candidates{};
+  PrecisionConfig precision = PrecisionConfig::uniform(9, 9);
+  std::uint64_t seed = 0xE7'05EA2Cu;
+};
+
+struct EvoSearchResult {
+  NetworkAssignment best;
+  double best_reward = 0.0;
+  NetworkCost best_cost;
+  /// Best feasible reward after each iteration (for convergence plots).
+  std::vector<double> reward_history;
+  std::int64_t evaluations = 0;
+  /// Size of the search space (candidate count product, saturating).
+  double search_space_size = 0.0;
+};
+
+class EvolutionSearch {
+ public:
+  EvolutionSearch(const Network& network, const PimEstimator& estimator,
+                  EvoSearchConfig config);
+
+  /// Candidate set of one layer (exposed for tests/benches).
+  const std::vector<std::optional<EpitomeSpec>>& layer_candidates(
+      std::int64_t layer) const;
+
+  EvoSearchResult run();
+
+ private:
+  using Genome = std::vector<int>;
+
+  NetworkAssignment to_assignment(const Genome& genome) const;
+  double reward_of(const NetworkCost& cost) const;
+  Genome random_genome(Rng& rng) const;
+  Genome mutate(const Genome& parent, Rng& rng) const;
+
+  const Network* network_;
+  const PimEstimator* estimator_;
+  EvoSearchConfig config_;
+  std::vector<std::vector<std::optional<EpitomeSpec>>> candidates_;
+};
+
+}  // namespace epim

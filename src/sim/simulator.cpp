@@ -1,0 +1,92 @@
+#include "sim/simulator.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace epim {
+
+namespace {
+
+bool is_fp32(const PrecisionConfig& precision) {
+  return std::all_of(precision.weight_bits.begin(),
+                     precision.weight_bits.end(),
+                     [](int b) { return b == 32; });
+}
+
+}  // namespace
+
+EpimSimulator::NoiseMeasurement EpimSimulator::measure_noise(
+    const NetworkAssignment& assignment, const PrecisionConfig& precision,
+    const QuantConfig& scheme, std::uint64_t seed) const {
+  Rng rng(seed);
+  double wse = 0.0, rep_total = 0.0, se = 0.0, power = 0.0;
+  std::int64_t count = 0;
+  for (std::int64_t i = 0; i < assignment.num_layers(); ++i) {
+    const ConvLayerInfo& layer =
+        assignment.layers()[static_cast<std::size_t>(i)];
+    const auto& choice = assignment.choice(i);
+    Epitome probe =
+        choice.has_value()
+            ? Epitome::random(*choice, layer.conv, rng)
+            : Epitome::random(
+                  EpitomeSpec{layer.conv.kernel_h, layer.conv.kernel_w,
+                              layer.conv.in_channels,
+                              layer.conv.out_channels, 1, false},
+                  layer.conv, rng);
+    // Trained CNN weights are heavy-tailed (leptokurtic), and the tails are
+    // what separates the range schemes: a single outlier inflates a naive
+    // min/max range for the whole tensor, while per-crossbar and
+    // overlap-weighted ranges contain the damage. Mimic that with a sparse
+    // large-magnitude component on top of the He-initialized draw.
+    for (std::int64_t e = 0; e < probe.weights().numel(); ++e) {
+      if (rng.flip(0.03)) probe.weights().at(e) *= 4.0f;
+    }
+    QuantConfig cfg = scheme;
+    cfg.bits = precision.layer_weight_bits(i);
+    if (cfg.bits == 32) continue;  // layer kept at full precision
+    EpitomeQuantizer quantizer(cfg);
+    const QuantizedEpitome q = quantizer.quantize(probe);
+    const Tensor rep = probe.repetition_map();
+    const Tensor& w = probe.weights();
+    for (std::int64_t e = 0; e < w.numel(); ++e) {
+      const double d = static_cast<double>(w.at(e)) - q.dequant_weights.at(e);
+      wse += static_cast<double>(rep.at(e)) * d * d;
+      rep_total += rep.at(e);
+      se += d * d;
+      power += static_cast<double>(w.at(e)) * w.at(e);
+      ++count;
+    }
+  }
+  NoiseMeasurement m;
+  if (count > 0) {
+    m.weighted_mse = rep_total > 0 ? wse / rep_total : 0.0;
+    m.plain_mse = se / static_cast<double>(count);
+    m.weight_power = power / static_cast<double>(count);
+  }
+  return m;
+}
+
+EpimSimulator::Evaluation EpimSimulator::evaluate(
+    const NetworkAssignment& assignment, const PrecisionConfig& precision,
+    const QuantConfig& scheme, const AccuracyProjector& projector,
+    std::uint64_t seed) const {
+  Evaluation eval;
+  eval.cost = estimator_.eval_network(assignment, precision);
+  if (is_fp32(precision)) {
+    eval.projected_accuracy = assignment.num_epitome_layers() == 0
+                                  ? projector.anchors().conv_fp32
+                                  : projector.anchors().epitome_fp32;
+    return eval;
+  }
+  const NoiseMeasurement m = measure_noise(assignment, precision, scheme,
+                                           seed);
+  eval.weighted_mse = m.weighted_mse;
+  eval.weight_power = m.weight_power;
+  eval.projected_accuracy =
+      projector.project_quantized(m.weighted_mse, m.weight_power);
+  return eval;
+}
+
+}  // namespace epim

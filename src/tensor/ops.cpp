@@ -1,0 +1,194 @@
+#include "tensor/ops.hpp"
+
+#include <cmath>
+
+namespace epim {
+
+Tensor matmul(const Tensor& a, const Tensor& b) {
+  EPIM_CHECK(a.rank() == 2 && b.rank() == 2, "matmul requires rank-2 inputs");
+  const std::int64_t m = a.dim(0), k = a.dim(1), n = b.dim(1);
+  EPIM_CHECK(b.dim(0) == k, "matmul inner dimensions must agree");
+  Tensor c({m, n});
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* pc = c.data();
+  for (std::int64_t i = 0; i < m; ++i) {
+    for (std::int64_t kk = 0; kk < k; ++kk) {
+      const float av = pa[i * k + kk];
+      if (av == 0.0f) continue;
+      const float* brow = pb + kk * n;
+      float* crow = pc + i * n;
+      for (std::int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+  return c;
+}
+
+Tensor transpose2d(const Tensor& a) {
+  EPIM_CHECK(a.rank() == 2, "transpose2d requires a rank-2 tensor");
+  const std::int64_t m = a.dim(0), n = a.dim(1);
+  Tensor out({n, m});
+  for (std::int64_t i = 0; i < m; ++i) {
+    for (std::int64_t j = 0; j < n; ++j) out.at(j * m + i) = a.at(i * n + j);
+  }
+  return out;
+}
+
+Tensor matmul_nt(const Tensor& a, const Tensor& b) {
+  EPIM_CHECK(a.rank() == 2 && b.rank() == 2,
+             "matmul_nt requires rank-2 inputs");
+  const std::int64_t m = a.dim(0), k = a.dim(1), n = b.dim(0);
+  EPIM_CHECK(b.dim(1) == k, "matmul_nt inner dimensions must agree");
+  Tensor c({m, n});
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* pc = c.data();
+  for (std::int64_t i = 0; i < m; ++i) {
+    for (std::int64_t j = 0; j < n; ++j) {
+      const float* arow = pa + i * k;
+      const float* brow = pb + j * k;
+      double acc = 0.0;
+      for (std::int64_t kk = 0; kk < k; ++kk) {
+        acc += static_cast<double>(arow[kk]) * brow[kk];
+      }
+      pc[i * n + j] = static_cast<float>(acc);
+    }
+  }
+  return c;
+}
+
+Tensor add(const Tensor& a, const Tensor& b) {
+  EPIM_CHECK(a.shape() == b.shape(), "add requires matching shapes");
+  Tensor out(a.shape());
+  for (std::int64_t i = 0; i < a.numel(); ++i) {
+    out.at(i) = a.at(i) + b.at(i);
+  }
+  return out;
+}
+
+Tensor sub(const Tensor& a, const Tensor& b) {
+  EPIM_CHECK(a.shape() == b.shape(), "sub requires matching shapes");
+  Tensor out(a.shape());
+  for (std::int64_t i = 0; i < a.numel(); ++i) {
+    out.at(i) = a.at(i) - b.at(i);
+  }
+  return out;
+}
+
+Tensor scale(const Tensor& a, float s) {
+  Tensor out(a.shape());
+  for (std::int64_t i = 0; i < a.numel(); ++i) out.at(i) = a.at(i) * s;
+  return out;
+}
+
+void add_inplace(Tensor& out, const Tensor& a) {
+  EPIM_CHECK(out.shape() == a.shape(), "add_inplace requires matching shapes");
+  float* po = out.data();
+  const float* pa = a.data();
+  for (std::int64_t i = 0; i < out.numel(); ++i) po[i] += pa[i];
+}
+
+void axpy_inplace(Tensor& out, float s, const Tensor& a) {
+  EPIM_CHECK(out.shape() == a.shape(), "axpy_inplace requires matching shapes");
+  float* po = out.data();
+  const float* pa = a.data();
+  for (std::int64_t i = 0; i < out.numel(); ++i) po[i] += s * pa[i];
+}
+
+double mse(const Tensor& a, const Tensor& b) {
+  EPIM_CHECK(a.shape() == b.shape(), "mse requires matching shapes");
+  EPIM_CHECK(a.numel() > 0, "mse of empty tensors");
+  double acc = 0.0;
+  for (std::int64_t i = 0; i < a.numel(); ++i) {
+    const double d = static_cast<double>(a.at(i)) - b.at(i);
+    acc += d * d;
+  }
+  return acc / static_cast<double>(a.numel());
+}
+
+double max_abs_diff(const Tensor& a, const Tensor& b) {
+  EPIM_CHECK(a.shape() == b.shape(), "max_abs_diff requires matching shapes");
+  double m = 0.0;
+  for (std::int64_t i = 0; i < a.numel(); ++i) {
+    m = std::max(m, std::abs(static_cast<double>(a.at(i)) - b.at(i)));
+  }
+  return m;
+}
+
+double l2_norm(const Tensor& a) {
+  double acc = 0.0;
+  for (std::int64_t i = 0; i < a.numel(); ++i) {
+    acc += static_cast<double>(a.at(i)) * a.at(i);
+  }
+  return std::sqrt(acc);
+}
+
+std::int64_t conv_out_dim(std::int64_t in, std::int64_t k, std::int64_t stride,
+                          std::int64_t pad) {
+  EPIM_CHECK(stride > 0, "stride must be positive");
+  EPIM_CHECK(in + 2 * pad >= k, "kernel larger than padded input");
+  return (in + 2 * pad - k) / stride + 1;
+}
+
+Tensor im2col(const Tensor& input, std::int64_t kh, std::int64_t kw,
+              std::int64_t stride, std::int64_t pad) {
+  EPIM_CHECK(input.rank() == 3, "im2col expects a (C, H, W) tensor");
+  const std::int64_t c = input.dim(0), h = input.dim(1), w = input.dim(2);
+  const std::int64_t oh = conv_out_dim(h, kh, stride, pad);
+  const std::int64_t ow = conv_out_dim(w, kw, stride, pad);
+  Tensor cols({oh * ow, c * kh * kw});
+  float* pc = cols.data();
+  const float* pi = input.data();
+  for (std::int64_t oy = 0; oy < oh; ++oy) {
+    for (std::int64_t ox = 0; ox < ow; ++ox) {
+      float* row = pc + (oy * ow + ox) * (c * kh * kw);
+      for (std::int64_t ci = 0; ci < c; ++ci) {
+        for (std::int64_t ky = 0; ky < kh; ++ky) {
+          const std::int64_t iy = oy * stride + ky - pad;
+          for (std::int64_t kx = 0; kx < kw; ++kx) {
+            const std::int64_t ix = ox * stride + kx - pad;
+            float v = 0.0f;
+            if (iy >= 0 && iy < h && ix >= 0 && ix < w) {
+              v = pi[(ci * h + iy) * w + ix];
+            }
+            row[(ci * kh + ky) * kw + kx] = v;
+          }
+        }
+      }
+    }
+  }
+  return cols;
+}
+
+Tensor col2im(const Tensor& cols, std::int64_t channels, std::int64_t height,
+              std::int64_t width, std::int64_t kh, std::int64_t kw,
+              std::int64_t stride, std::int64_t pad) {
+  EPIM_CHECK(cols.rank() == 2, "col2im expects a rank-2 tensor");
+  const std::int64_t oh = conv_out_dim(height, kh, stride, pad);
+  const std::int64_t ow = conv_out_dim(width, kw, stride, pad);
+  EPIM_CHECK(cols.dim(0) == oh * ow && cols.dim(1) == channels * kh * kw,
+             "col2im shape mismatch");
+  Tensor img({channels, height, width});
+  float* pi = img.data();
+  const float* pc = cols.data();
+  for (std::int64_t oy = 0; oy < oh; ++oy) {
+    for (std::int64_t ox = 0; ox < ow; ++ox) {
+      const float* row = pc + (oy * ow + ox) * (channels * kh * kw);
+      for (std::int64_t ci = 0; ci < channels; ++ci) {
+        for (std::int64_t ky = 0; ky < kh; ++ky) {
+          const std::int64_t iy = oy * stride + ky - pad;
+          if (iy < 0 || iy >= height) continue;
+          for (std::int64_t kx = 0; kx < kw; ++kx) {
+            const std::int64_t ix = ox * stride + kx - pad;
+            if (ix < 0 || ix >= width) continue;
+            pi[(ci * height + iy) * width + ix] +=
+                row[(ci * kh + ky) * kw + kx];
+          }
+        }
+      }
+    }
+  }
+  return img;
+}
+
+}  // namespace epim

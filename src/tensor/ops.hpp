@@ -1,0 +1,58 @@
+// Tensor operations used by the NN executor, quantizer and training substrate.
+#pragma once
+
+#include <cstdint>
+
+#include "tensor/tensor.hpp"
+
+namespace epim {
+
+/// C = A(mxk) * B(kxn). Shapes are validated.
+Tensor matmul(const Tensor& a, const Tensor& b);
+
+/// Transpose of a rank-2 tensor.
+Tensor transpose2d(const Tensor& a);
+
+/// C = A * B^T where A is (m x k) and B is (n x k).
+Tensor matmul_nt(const Tensor& a, const Tensor& b);
+
+/// Elementwise out = a + b (shapes must match).
+Tensor add(const Tensor& a, const Tensor& b);
+
+/// Elementwise out = a - b (shapes must match).
+Tensor sub(const Tensor& a, const Tensor& b);
+
+/// Elementwise out = a * s.
+Tensor scale(const Tensor& a, float s);
+
+/// In-place out += a (shapes must match).
+void add_inplace(Tensor& out, const Tensor& a);
+
+/// In-place out += s * a (axpy; shapes must match).
+void axpy_inplace(Tensor& out, float s, const Tensor& a);
+
+/// Mean squared error between two same-shape tensors.
+double mse(const Tensor& a, const Tensor& b);
+
+/// Max absolute difference between two same-shape tensors.
+double max_abs_diff(const Tensor& a, const Tensor& b);
+
+/// Frobenius / L2 norm of all elements.
+double l2_norm(const Tensor& a);
+
+/// im2col for NCHW single-image input: input (C, H, W) -> matrix of shape
+/// (out_h * out_w, C * kh * kw), with zero padding.
+Tensor im2col(const Tensor& input, std::int64_t kh, std::int64_t kw,
+              std::int64_t stride, std::int64_t pad);
+
+/// Reverse of im2col: scatter-add columns back into an image of shape
+/// (C, H, W). Used by the training substrate's convolution backward pass.
+Tensor col2im(const Tensor& cols, std::int64_t channels, std::int64_t height,
+              std::int64_t width, std::int64_t kh, std::int64_t kw,
+              std::int64_t stride, std::int64_t pad);
+
+/// Output spatial size of a convolution dimension.
+std::int64_t conv_out_dim(std::int64_t in, std::int64_t k, std::int64_t stride,
+                          std::int64_t pad);
+
+}  // namespace epim

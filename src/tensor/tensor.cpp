@@ -1,0 +1,172 @@
+#include "tensor/tensor.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <sstream>
+
+namespace epim {
+
+std::int64_t shape_numel(const Shape& shape) {
+  std::int64_t n = 1;
+  for (std::int64_t d : shape) {
+    EPIM_CHECK(d >= 0, "shape dimensions must be non-negative");
+    n *= d;
+  }
+  return n;
+}
+
+std::string shape_to_string(const Shape& shape) {
+  std::ostringstream os;
+  os << '[';
+  for (std::size_t i = 0; i < shape.size(); ++i) {
+    if (i) os << ", ";
+    os << shape[i];
+  }
+  os << ']';
+  return os.str();
+}
+
+Tensor::Tensor(Shape shape) : shape_(std::move(shape)) {
+  data_.assign(static_cast<std::size_t>(shape_numel(shape_)), 0.0f);
+}
+
+Tensor::Tensor(Shape shape, float fill) : shape_(std::move(shape)) {
+  data_.assign(static_cast<std::size_t>(shape_numel(shape_)), fill);
+}
+
+Tensor::Tensor(Shape shape, std::vector<float> data)
+    : shape_(std::move(shape)), data_(std::move(data)) {
+  EPIM_CHECK(static_cast<std::int64_t>(data_.size()) == shape_numel(shape_),
+             "data size must match shape " + shape_to_string(shape_));
+}
+
+std::int64_t Tensor::dim(std::int64_t i) const {
+  EPIM_CHECK(i >= 0 && i < rank(), "dimension index out of range");
+  return shape_[static_cast<std::size_t>(i)];
+}
+
+float& Tensor::at(std::int64_t i) {
+  EPIM_CHECK(i >= 0 && i < numel(), "flat index out of range");
+  return data_[static_cast<std::size_t>(i)];
+}
+
+float Tensor::at(std::int64_t i) const {
+  EPIM_CHECK(i >= 0 && i < numel(), "flat index out of range");
+  return data_[static_cast<std::size_t>(i)];
+}
+
+void Tensor::check_index(std::int64_t axis, std::int64_t idx) const {
+  EPIM_CHECK(idx >= 0 && idx < shape_[static_cast<std::size_t>(axis)],
+             "index out of range on axis " + std::to_string(axis) +
+                 " for shape " + shape_to_string(shape_));
+}
+
+std::int64_t Tensor::flat_index2(std::int64_t i0, std::int64_t i1) const {
+  EPIM_CHECK(rank() == 2, "rank-2 access on tensor of rank " +
+                              std::to_string(rank()));
+  check_index(0, i0);
+  check_index(1, i1);
+  return i0 * shape_[1] + i1;
+}
+
+std::int64_t Tensor::flat_index3(std::int64_t i0, std::int64_t i1,
+                                 std::int64_t i2) const {
+  EPIM_CHECK(rank() == 3, "rank-3 access on tensor of rank " +
+                              std::to_string(rank()));
+  check_index(0, i0);
+  check_index(1, i1);
+  check_index(2, i2);
+  return (i0 * shape_[1] + i1) * shape_[2] + i2;
+}
+
+std::int64_t Tensor::flat_index4(std::int64_t i0, std::int64_t i1,
+                                 std::int64_t i2, std::int64_t i3) const {
+  EPIM_CHECK(rank() == 4, "rank-4 access on tensor of rank " +
+                              std::to_string(rank()));
+  check_index(0, i0);
+  check_index(1, i1);
+  check_index(2, i2);
+  check_index(3, i3);
+  return ((i0 * shape_[1] + i1) * shape_[2] + i2) * shape_[3] + i3;
+}
+
+float& Tensor::operator()(std::int64_t i0) {
+  EPIM_CHECK(rank() == 1, "rank-1 access on tensor of rank " +
+                              std::to_string(rank()));
+  check_index(0, i0);
+  return data_[static_cast<std::size_t>(i0)];
+}
+
+float& Tensor::operator()(std::int64_t i0, std::int64_t i1) {
+  return data_[static_cast<std::size_t>(flat_index2(i0, i1))];
+}
+
+float& Tensor::operator()(std::int64_t i0, std::int64_t i1, std::int64_t i2) {
+  return data_[static_cast<std::size_t>(flat_index3(i0, i1, i2))];
+}
+
+float& Tensor::operator()(std::int64_t i0, std::int64_t i1, std::int64_t i2,
+                          std::int64_t i3) {
+  return data_[static_cast<std::size_t>(flat_index4(i0, i1, i2, i3))];
+}
+
+float Tensor::operator()(std::int64_t i0) const {
+  EPIM_CHECK(rank() == 1, "rank-1 access on tensor of rank " +
+                              std::to_string(rank()));
+  check_index(0, i0);
+  return data_[static_cast<std::size_t>(i0)];
+}
+
+float Tensor::operator()(std::int64_t i0, std::int64_t i1) const {
+  return data_[static_cast<std::size_t>(flat_index2(i0, i1))];
+}
+
+float Tensor::operator()(std::int64_t i0, std::int64_t i1,
+                         std::int64_t i2) const {
+  return data_[static_cast<std::size_t>(flat_index3(i0, i1, i2))];
+}
+
+float Tensor::operator()(std::int64_t i0, std::int64_t i1, std::int64_t i2,
+                         std::int64_t i3) const {
+  return data_[static_cast<std::size_t>(flat_index4(i0, i1, i2, i3))];
+}
+
+std::int64_t Tensor::offset(const std::vector<std::int64_t>& idx) const {
+  EPIM_CHECK(static_cast<std::int64_t>(idx.size()) == rank(),
+             "index rank must match tensor rank");
+  std::int64_t off = 0;
+  for (std::size_t a = 0; a < idx.size(); ++a) {
+    check_index(static_cast<std::int64_t>(a), idx[a]);
+    off = off * shape_[a] + idx[a];
+  }
+  return off;
+}
+
+Tensor Tensor::reshaped(Shape new_shape) const {
+  EPIM_CHECK(shape_numel(new_shape) == numel(),
+             "reshape must preserve element count");
+  return Tensor(std::move(new_shape), data_);
+}
+
+void Tensor::fill(float v) { std::fill(data_.begin(), data_.end(), v); }
+
+float Tensor::min() const {
+  EPIM_CHECK(!empty(), "min of empty tensor");
+  return *std::min_element(data_.begin(), data_.end());
+}
+
+float Tensor::max() const {
+  EPIM_CHECK(!empty(), "max of empty tensor");
+  return *std::max_element(data_.begin(), data_.end());
+}
+
+double Tensor::sum() const {
+  return std::accumulate(data_.begin(), data_.end(), 0.0);
+}
+
+double Tensor::mean() const {
+  EPIM_CHECK(!empty(), "mean of empty tensor");
+  return sum() / static_cast<double>(numel());
+}
+
+}  // namespace epim

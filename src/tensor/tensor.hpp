@@ -1,0 +1,96 @@
+// Dense row-major float tensor used throughout the EPIM stack.
+//
+// The simulator, quantizer and training substrate all operate on float32
+// data; bit-accurate integer behaviour (cells, ADC codes) is modelled on top
+// of this representation in src/pim and src/quant.
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace epim {
+
+using Shape = std::vector<std::int64_t>;
+
+/// Number of elements implied by a shape (1 for rank-0).
+std::int64_t shape_numel(const Shape& shape);
+
+/// Human-readable rendering, e.g. "[2, 3, 4]".
+std::string shape_to_string(const Shape& shape);
+
+/// Dense float32 tensor with row-major (C-order) layout.
+///
+/// Indexing helpers are provided for the ranks the library actually uses
+/// (1-4). Out-of-range indices throw in at()/operator(), making shape bugs
+/// loud; raw data() access is available for hot loops.
+class Tensor {
+ public:
+  Tensor() = default;
+  explicit Tensor(Shape shape);
+  Tensor(Shape shape, float fill);
+  Tensor(Shape shape, std::vector<float> data);
+
+  static Tensor zeros(Shape shape) { return Tensor(std::move(shape), 0.0f); }
+  static Tensor full(Shape shape, float v) {
+    return Tensor(std::move(shape), v);
+  }
+
+  const Shape& shape() const { return shape_; }
+  std::int64_t rank() const { return static_cast<std::int64_t>(shape_.size()); }
+  std::int64_t dim(std::int64_t i) const;
+  std::int64_t numel() const { return static_cast<std::int64_t>(data_.size()); }
+  bool empty() const { return data_.empty(); }
+
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+  std::vector<float>& storage() { return data_; }
+  const std::vector<float>& storage() const { return data_; }
+
+  /// Flat element access with bounds checking.
+  float& at(std::int64_t i);
+  float at(std::int64_t i) const;
+
+  /// Multi-dimensional access (rank must match the overload used).
+  float& operator()(std::int64_t i0);
+  float& operator()(std::int64_t i0, std::int64_t i1);
+  float& operator()(std::int64_t i0, std::int64_t i1, std::int64_t i2);
+  float& operator()(std::int64_t i0, std::int64_t i1, std::int64_t i2,
+                    std::int64_t i3);
+  float operator()(std::int64_t i0) const;
+  float operator()(std::int64_t i0, std::int64_t i1) const;
+  float operator()(std::int64_t i0, std::int64_t i1, std::int64_t i2) const;
+  float operator()(std::int64_t i0, std::int64_t i1, std::int64_t i2,
+                   std::int64_t i3) const;
+
+  /// Flat offset of a multi-index (rank-checked).
+  std::int64_t offset(const std::vector<std::int64_t>& idx) const;
+
+  /// Return a tensor with the same data and a new shape (numel must match).
+  Tensor reshaped(Shape new_shape) const;
+
+  void fill(float v);
+
+  /// Min / max / sum / mean over all elements. Tensor must be non-empty for
+  /// min/max/mean.
+  float min() const;
+  float max() const;
+  double sum() const;
+  double mean() const;
+
+ private:
+  std::int64_t flat_index2(std::int64_t i0, std::int64_t i1) const;
+  std::int64_t flat_index3(std::int64_t i0, std::int64_t i1,
+                           std::int64_t i2) const;
+  std::int64_t flat_index4(std::int64_t i0, std::int64_t i1, std::int64_t i2,
+                           std::int64_t i3) const;
+  void check_index(std::int64_t axis, std::int64_t idx) const;
+
+  Shape shape_;
+  std::vector<float> data_;
+};
+
+}  // namespace epim

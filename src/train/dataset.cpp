@@ -1,0 +1,95 @@
+#include "train/dataset.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace epim {
+
+Tensor Dataset::sample(std::int64_t i) const {
+  EPIM_CHECK(i >= 0 && i < size(), "sample index out of range");
+  const std::int64_t c = images.dim(1), h = images.dim(2), w = images.dim(3);
+  Tensor out({c, h, w});
+  const float* src = images.data() + i * c * h * w;
+  std::copy(src, src + c * h * w, out.data());
+  return out;
+}
+
+namespace {
+
+/// Smooth random template: low-frequency cosine mixture per channel.
+Tensor make_template(const SyntheticSpec& spec, Rng& rng) {
+  Tensor t({spec.channels, spec.image_size, spec.image_size});
+  for (std::int64_t c = 0; c < spec.channels; ++c) {
+    const double fx = rng.uniform(0.5, 2.5), fy = rng.uniform(0.5, 2.5);
+    const double px = rng.uniform(0.0, 6.28), py = rng.uniform(0.0, 6.28);
+    const double amp = rng.uniform(0.6, 1.2);
+    for (std::int64_t y = 0; y < spec.image_size; ++y) {
+      for (std::int64_t x = 0; x < spec.image_size; ++x) {
+        const double v =
+            amp * std::cos(fx * 6.28 * static_cast<double>(x) /
+                               static_cast<double>(spec.image_size) + px) *
+            std::cos(fy * 6.28 * static_cast<double>(y) /
+                         static_cast<double>(spec.image_size) + py);
+        t(c, y, x) = static_cast<float>(v);
+      }
+    }
+  }
+  return t;
+}
+
+void emit_samples(const SyntheticSpec& spec, Rng& rng,
+                  const std::vector<Tensor>& templates, int per_class,
+                  Dataset& out) {
+  const std::int64_t n =
+      static_cast<std::int64_t>(spec.num_classes) * per_class;
+  out.images = Tensor({n, spec.channels, spec.image_size, spec.image_size});
+  out.labels.assign(static_cast<std::size_t>(n), 0);
+  std::int64_t idx = 0;
+  for (int k = 0; k < spec.num_classes; ++k) {
+    const Tensor& tpl = templates[static_cast<std::size_t>(k)];
+    for (int s = 0; s < per_class; ++s, ++idx) {
+      const int dy = rng.uniform_int(-spec.max_shift, spec.max_shift);
+      const int dx = rng.uniform_int(-spec.max_shift, spec.max_shift);
+      float* dst = out.images.data() +
+                   idx * spec.channels * spec.image_size * spec.image_size;
+      for (std::int64_t c = 0; c < spec.channels; ++c) {
+        for (std::int64_t y = 0; y < spec.image_size; ++y) {
+          for (std::int64_t x = 0; x < spec.image_size; ++x) {
+            // Toroidal shift keeps pixel statistics shift-invariant.
+            const std::int64_t sy =
+                (y + dy + spec.image_size) % spec.image_size;
+            const std::int64_t sx =
+                (x + dx + spec.image_size) % spec.image_size;
+            const float noise =
+                static_cast<float>(rng.normal(0.0, spec.noise));
+            dst[(c * spec.image_size + y) * spec.image_size + x] =
+                tpl(c, sy, sx) + noise;
+          }
+        }
+      }
+      out.labels[static_cast<std::size_t>(idx)] = k;
+    }
+  }
+}
+
+}  // namespace
+
+SyntheticData make_synthetic_data(const SyntheticSpec& spec) {
+  EPIM_CHECK(spec.num_classes >= 2, "need at least two classes");
+  EPIM_CHECK(spec.image_size >= 8, "image size too small");
+  Rng rng(spec.seed);
+  std::vector<Tensor> templates;
+  templates.reserve(static_cast<std::size_t>(spec.num_classes));
+  for (int k = 0; k < spec.num_classes; ++k) {
+    templates.push_back(make_template(spec, rng));
+  }
+  SyntheticData data;
+  data.num_classes = spec.num_classes;
+  emit_samples(spec, rng, templates, spec.train_per_class, data.train);
+  emit_samples(spec, rng, templates, spec.test_per_class, data.test);
+  return data;
+}
+
+}  // namespace epim

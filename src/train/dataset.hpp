@@ -1,0 +1,48 @@
+// Synthetic image-classification dataset (the "ImageNet proxy" of
+// DESIGN.md's substitution table).
+//
+// Each class is a random smooth template image; samples are the template
+// under a random integer shift plus Gaussian pixel noise. The task is easy
+// enough for a small CNN to learn to high accuracy in a few epochs, yet rich
+// enough that quantizing the trained weights degrades accuracy measurably --
+// which is what the Table-2 trend experiments need.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "tensor/tensor.hpp"
+
+namespace epim {
+
+struct SyntheticSpec {
+  int num_classes = 8;
+  std::int64_t image_size = 16;
+  std::int64_t channels = 3;
+  int train_per_class = 48;
+  int test_per_class = 16;
+  float noise = 0.35f;
+  int max_shift = 2;
+  std::uint64_t seed = 0xDA7A'5E7u;
+};
+
+struct Dataset {
+  Tensor images;            ///< (N, C, H, W)
+  std::vector<int> labels;  ///< size N
+
+  std::int64_t size() const { return images.empty() ? 0 : images.dim(0); }
+
+  /// View of one sample as a (C, H, W) tensor (copies the slice).
+  Tensor sample(std::int64_t i) const;
+};
+
+struct SyntheticData {
+  Dataset train;
+  Dataset test;
+  int num_classes = 0;
+};
+
+SyntheticData make_synthetic_data(const SyntheticSpec& spec);
+
+}  // namespace epim

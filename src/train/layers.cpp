@@ -1,0 +1,460 @@
+#include "train/layers.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/error.hpp"
+#include "tensor/ops.hpp"
+
+namespace epim {
+
+void SgdParam::init(Shape shape) {
+  value = Tensor(shape);
+  grad = Tensor(shape);
+  velocity = Tensor(shape);
+}
+
+void SgdParam::zero_grad() { grad.fill(0.0f); }
+
+void SgdParam::step(float lr, float momentum, float weight_decay) {
+  float* v = velocity.data();
+  float* w = value.data();
+  const float* g = grad.data();
+  for (std::int64_t i = 0; i < value.numel(); ++i) {
+    v[i] = momentum * v[i] + g[i] + weight_decay * w[i];
+    w[i] -= lr * v[i];
+  }
+}
+
+namespace {
+
+/// Shared conv forward given a (cout, ckk) weight matrix; caches im2col.
+Tensor conv_forward(const Tensor& x, const Tensor& wmat, const ConvSpec& spec,
+                    std::vector<Tensor>& cols_cache, bool keep_cache) {
+  EPIM_CHECK(x.rank() == 4 && x.dim(1) == spec.in_channels,
+             "conv forward expects (N, Cin, H, W) input");
+  const std::int64_t n = x.dim(0), h = x.dim(2), w = x.dim(3);
+  const std::int64_t oh = conv_out_dim(h, spec.kernel_h, spec.stride,
+                                       spec.pad);
+  const std::int64_t ow = conv_out_dim(w, spec.kernel_w, spec.stride,
+                                       spec.pad);
+  const std::int64_t cout = spec.out_channels;
+  Tensor out({n, cout, oh, ow});
+  cols_cache.clear();
+  for (std::int64_t i = 0; i < n; ++i) {
+    Tensor img({spec.in_channels, h, w});
+    std::copy(x.data() + i * spec.in_channels * h * w,
+              x.data() + (i + 1) * spec.in_channels * h * w, img.data());
+    Tensor cols = im2col(img, spec.kernel_h, spec.kernel_w, spec.stride,
+                         spec.pad);                  // (pos, ckk)
+    const Tensor om = matmul_nt(cols, wmat);         // (pos, cout)
+    float* dst = out.data() + i * cout * oh * ow;
+    for (std::int64_t p = 0; p < oh * ow; ++p) {
+      for (std::int64_t c = 0; c < cout; ++c) {
+        dst[c * oh * ow + p] = om.at(p * cout + c);
+      }
+    }
+    if (keep_cache) cols_cache.push_back(std::move(cols));
+  }
+  return out;
+}
+
+/// Shared conv backward: accumulates grad_wmat (cout, ckk) and returns
+/// grad_in (N, Cin, H, W).
+Tensor conv_backward(const Tensor& grad_out, const Tensor& wmat,
+                     const ConvSpec& spec,
+                     const std::vector<Tensor>& cols_cache, std::int64_t in_h,
+                     std::int64_t in_w, Tensor& grad_wmat) {
+  const std::int64_t n = grad_out.dim(0), cout = grad_out.dim(1);
+  const std::int64_t oh = grad_out.dim(2), ow = grad_out.dim(3);
+  EPIM_CHECK(static_cast<std::int64_t>(cols_cache.size()) == n,
+             "conv backward requires caches from a training forward pass");
+  Tensor grad_in({n, spec.in_channels, in_h, in_w});
+  for (std::int64_t i = 0; i < n; ++i) {
+    // g as (cout, pos) is the native layout of the output slice.
+    Tensor gmat({cout, oh * ow});
+    std::copy(grad_out.data() + i * cout * oh * ow,
+              grad_out.data() + (i + 1) * cout * oh * ow, gmat.data());
+    const Tensor& cols = cols_cache[static_cast<std::size_t>(i)];
+    const Tensor gw = matmul(gmat, cols);  // (cout, ckk)
+    add_inplace(grad_wmat, gw);
+    const Tensor gcols = matmul(transpose2d(gmat), wmat);  // (pos, ckk)
+    const Tensor gimg = col2im(gcols, spec.in_channels, in_h, in_w,
+                               spec.kernel_h, spec.kernel_w, spec.stride,
+                               spec.pad);
+    std::copy(gimg.data(), gimg.data() + gimg.numel(),
+              grad_in.data() + i * spec.in_channels * in_h * in_w);
+  }
+  return grad_in;
+}
+
+}  // namespace
+
+Conv2dLayer::Conv2dLayer(ConvSpec spec, Rng& rng) : spec_(spec) {
+  weight_.init({spec.out_channels, spec.in_channels, spec.kernel_h,
+                spec.kernel_w});
+  const double fan_in = static_cast<double>(spec.in_channels *
+                                            spec.kernel_h * spec.kernel_w);
+  rng.fill_normal(weight_.value.data(),
+                  static_cast<std::size_t>(weight_.value.numel()), 0.0f,
+                  static_cast<float>(std::sqrt(2.0 / fan_in)));
+}
+
+Tensor Conv2dLayer::forward(const Tensor& x, bool train) {
+  in_h_ = x.dim(2);
+  in_w_ = x.dim(3);
+  const Tensor wmat = weight_.value.reshaped(
+      {spec_.out_channels, spec_.unrolled_rows()});
+  return conv_forward(x, wmat, spec_, cols_cache_, train);
+}
+
+Tensor Conv2dLayer::backward(const Tensor& grad_out) {
+  const Tensor wmat = weight_.value.reshaped(
+      {spec_.out_channels, spec_.unrolled_rows()});
+  Tensor gw({spec_.out_channels, spec_.unrolled_rows()});
+  Tensor grad_in = conv_backward(grad_out, wmat, spec_, cols_cache_, in_h_,
+                                 in_w_, gw);
+  add_inplace(weight_.grad,
+              gw.reshaped(weight_.grad.shape()));
+  return grad_in;
+}
+
+EpitomeConvLayer::EpitomeConvLayer(EpitomeSpec spec, ConvSpec conv, Rng& rng)
+    : epitome_(Epitome::random(spec, conv, rng)) {
+  weight_.init(epitome_.weights().shape());
+  weight_.value = epitome_.weights();
+}
+
+Tensor EpitomeConvLayer::forward(const Tensor& x, bool train) {
+  in_h_ = x.dim(2);
+  in_w_ = x.dim(3);
+  epitome_.weights() = weight_.value;  // keep views consistent
+  const ConvSpec& conv = epitome_.conv();
+  const Tensor recon = epitome_.reconstruct();
+  const Tensor wmat = recon.reshaped(
+      {conv.out_channels, conv.unrolled_rows()});
+  return conv_forward(x, wmat, conv, cols_cache_, train);
+}
+
+Tensor EpitomeConvLayer::backward(const Tensor& grad_out) {
+  const ConvSpec& conv = epitome_.conv();
+  const Tensor recon = epitome_.reconstruct();
+  const Tensor wmat = recon.reshaped(
+      {conv.out_channels, conv.unrolled_rows()});
+  Tensor gw({conv.out_channels, conv.unrolled_rows()});
+  Tensor grad_in = conv_backward(grad_out, wmat, conv, cols_cache_, in_h_,
+                                 in_w_, gw);
+  // Fold the reconstructed-weight gradient back onto the epitome cells.
+  const Tensor folded = epitome_.fold_gradient(gw.reshaped(
+      {conv.out_channels, conv.in_channels, conv.kernel_h, conv.kernel_w}));
+  add_inplace(weight_.grad, folded);
+  return grad_in;
+}
+
+void EpitomeConvLayer::step(float lr, float momentum, float wd) {
+  weight_.step(lr, momentum, wd);
+  epitome_.weights() = weight_.value;
+}
+
+void EpitomeConvLayer::restore_weights(const Tensor& snapshot) {
+  EPIM_CHECK(snapshot.shape() == weight_.value.shape(),
+             "snapshot shape mismatch");
+  weight_.value = snapshot;
+  epitome_.weights() = snapshot;
+}
+
+BatchNorm2d::BatchNorm2d(std::int64_t channels) : channels_(channels) {
+  gamma_.init({channels});
+  beta_.init({channels});
+  gamma_.value.fill(1.0f);
+  running_mean_ = Tensor({channels});
+  running_var_ = Tensor({channels}, 1.0f);
+}
+
+Tensor BatchNorm2d::forward(const Tensor& x, bool train) {
+  EPIM_CHECK(x.rank() == 4 && x.dim(1) == channels_,
+             "batchnorm expects (N, C, H, W) with matching channels");
+  const std::int64_t n = x.dim(0), h = x.dim(2), w = x.dim(3);
+  const std::int64_t plane = h * w;
+  const double count = static_cast<double>(n * plane);
+  Tensor out(x.shape());
+  xhat_ = Tensor(x.shape());
+  inv_std_.assign(static_cast<std::size_t>(channels_), 0.0);
+  for (std::int64_t c = 0; c < channels_; ++c) {
+    double mean, var;
+    if (train) {
+      double sum = 0.0, sq = 0.0;
+      for (std::int64_t i = 0; i < n; ++i) {
+        const float* p = x.data() + (i * channels_ + c) * plane;
+        for (std::int64_t j = 0; j < plane; ++j) {
+          sum += p[j];
+          sq += static_cast<double>(p[j]) * p[j];
+        }
+      }
+      mean = sum / count;
+      var = std::max(0.0, sq / count - mean * mean);
+      running_mean_(c) = static_cast<float>(
+          (1.0 - momentum_) * running_mean_(c) + momentum_ * mean);
+      running_var_(c) = static_cast<float>(
+          (1.0 - momentum_) * running_var_(c) + momentum_ * var);
+    } else {
+      mean = running_mean_(c);
+      var = running_var_(c);
+    }
+    const double inv = 1.0 / std::sqrt(var + eps_);
+    inv_std_[static_cast<std::size_t>(c)] = inv;
+    const float g = gamma_.value(c), b = beta_.value(c);
+    for (std::int64_t i = 0; i < n; ++i) {
+      const float* p = x.data() + (i * channels_ + c) * plane;
+      float* xh = xhat_.data() + (i * channels_ + c) * plane;
+      float* o = out.data() + (i * channels_ + c) * plane;
+      for (std::int64_t j = 0; j < plane; ++j) {
+        xh[j] = static_cast<float>((p[j] - mean) * inv);
+        o[j] = g * xh[j] + b;
+      }
+    }
+  }
+  return out;
+}
+
+Tensor BatchNorm2d::backward(const Tensor& grad_out) {
+  EPIM_CHECK(grad_out.shape() == xhat_.shape(),
+             "batchnorm backward shape mismatch");
+  const std::int64_t n = grad_out.dim(0), h = grad_out.dim(2),
+                     w = grad_out.dim(3);
+  const std::int64_t plane = h * w;
+  const double count = static_cast<double>(n * plane);
+  Tensor grad_in(grad_out.shape());
+  for (std::int64_t c = 0; c < channels_; ++c) {
+    double sum_g = 0.0, sum_gx = 0.0;
+    for (std::int64_t i = 0; i < n; ++i) {
+      const float* g = grad_out.data() + (i * channels_ + c) * plane;
+      const float* xh = xhat_.data() + (i * channels_ + c) * plane;
+      for (std::int64_t j = 0; j < plane; ++j) {
+        sum_g += g[j];
+        sum_gx += static_cast<double>(g[j]) * xh[j];
+      }
+    }
+    gamma_.grad(c) += static_cast<float>(sum_gx);
+    beta_.grad(c) += static_cast<float>(sum_g);
+    const double gamma = gamma_.value(c);
+    const double inv = inv_std_[static_cast<std::size_t>(c)];
+    for (std::int64_t i = 0; i < n; ++i) {
+      const float* g = grad_out.data() + (i * channels_ + c) * plane;
+      const float* xh = xhat_.data() + (i * channels_ + c) * plane;
+      float* gi = grad_in.data() + (i * channels_ + c) * plane;
+      for (std::int64_t j = 0; j < plane; ++j) {
+        gi[j] = static_cast<float>(
+            gamma * inv *
+            (g[j] - sum_g / count - xh[j] * sum_gx / count));
+      }
+    }
+  }
+  return grad_in;
+}
+
+ChannelAffine BatchNorm2d::eval_affine() const {
+  ChannelAffine affine;
+  affine.scale.resize(static_cast<std::size_t>(channels_));
+  affine.shift.resize(static_cast<std::size_t>(channels_));
+  for (std::int64_t c = 0; c < channels_; ++c) {
+    const double inv =
+        1.0 / std::sqrt(static_cast<double>(running_var_(c)) + eps_);
+    const double scale = static_cast<double>(gamma_.value(c)) * inv;
+    affine.scale[static_cast<std::size_t>(c)] = static_cast<float>(scale);
+    affine.shift[static_cast<std::size_t>(c)] = static_cast<float>(
+        beta_.value(c) - scale * running_mean_(c));
+  }
+  return affine;
+}
+
+void BatchNorm2d::zero_grad() {
+  gamma_.zero_grad();
+  beta_.zero_grad();
+}
+
+void BatchNorm2d::step(float lr, float momentum, float wd) {
+  gamma_.step(lr, momentum, 0.0f);  // no decay on norm parameters
+  beta_.step(lr, momentum, 0.0f);
+  (void)wd;
+}
+
+Tensor ReluLayer::forward(const Tensor& x, bool train) {
+  Tensor out(x.shape());
+  mask_.assign(static_cast<std::size_t>(x.numel()), false);
+  for (std::int64_t i = 0; i < x.numel(); ++i) {
+    const bool pos = x.at(i) > 0.0f;
+    mask_[static_cast<std::size_t>(i)] = pos;
+    out.at(i) = pos ? x.at(i) : 0.0f;
+  }
+  (void)train;
+  return out;
+}
+
+Tensor ReluLayer::backward(const Tensor& grad_out) {
+  EPIM_CHECK(static_cast<std::size_t>(grad_out.numel()) == mask_.size(),
+             "relu backward before forward");
+  Tensor grad_in(grad_out.shape());
+  for (std::int64_t i = 0; i < grad_out.numel(); ++i) {
+    grad_in.at(i) = mask_[static_cast<std::size_t>(i)] ? grad_out.at(i) : 0.0f;
+  }
+  return grad_in;
+}
+
+Tensor MaxPool2dLayer::forward(const Tensor& x, bool train) {
+  EPIM_CHECK(x.rank() == 4, "maxpool expects (N, C, H, W)");
+  const std::int64_t n = x.dim(0), c = x.dim(1), h = x.dim(2), w = x.dim(3);
+  const std::int64_t oh = conv_out_dim(h, k_, stride_, 0);
+  const std::int64_t ow = conv_out_dim(w, k_, stride_, 0);
+  in_shape_ = x.shape();
+  Tensor out({n, c, oh, ow});
+  argmax_.assign(static_cast<std::size_t>(out.numel()), 0);
+  for (std::int64_t i = 0; i < n; ++i) {
+    for (std::int64_t ci = 0; ci < c; ++ci) {
+      const float* src = x.data() + (i * c + ci) * h * w;
+      for (std::int64_t oy = 0; oy < oh; ++oy) {
+        for (std::int64_t ox = 0; ox < ow; ++ox) {
+          float best = -std::numeric_limits<float>::infinity();
+          std::int64_t best_idx = 0;
+          for (std::int64_t ky = 0; ky < k_; ++ky) {
+            for (std::int64_t kx = 0; kx < k_; ++kx) {
+              const std::int64_t iy = oy * stride_ + ky;
+              const std::int64_t ix = ox * stride_ + kx;
+              const float v = src[iy * w + ix];
+              if (v > best) {
+                best = v;
+                best_idx = iy * w + ix;
+              }
+            }
+          }
+          const std::int64_t o = ((i * c + ci) * oh + oy) * ow + ox;
+          out.at(o) = best;
+          argmax_[static_cast<std::size_t>(o)] =
+              (i * c + ci) * h * w + best_idx;
+        }
+      }
+    }
+  }
+  (void)train;
+  return out;
+}
+
+Tensor MaxPool2dLayer::backward(const Tensor& grad_out) {
+  Tensor grad_in(in_shape_);
+  for (std::int64_t o = 0; o < grad_out.numel(); ++o) {
+    grad_in.at(argmax_[static_cast<std::size_t>(o)]) += grad_out.at(o);
+  }
+  return grad_in;
+}
+
+Tensor GlobalAvgPoolLayer::forward(const Tensor& x, bool train) {
+  EPIM_CHECK(x.rank() == 4, "gap expects (N, C, H, W)");
+  in_shape_ = x.shape();
+  const std::int64_t n = x.dim(0), c = x.dim(1), plane = x.dim(2) * x.dim(3);
+  Tensor out({n, c});
+  for (std::int64_t i = 0; i < n; ++i) {
+    for (std::int64_t ci = 0; ci < c; ++ci) {
+      const float* p = x.data() + (i * c + ci) * plane;
+      double acc = 0.0;
+      for (std::int64_t j = 0; j < plane; ++j) acc += p[j];
+      out(i, ci) = static_cast<float>(acc / static_cast<double>(plane));
+    }
+  }
+  (void)train;
+  return out;
+}
+
+Tensor GlobalAvgPoolLayer::backward(const Tensor& grad_out) {
+  const std::int64_t n = in_shape_[0], c = in_shape_[1],
+                     plane = in_shape_[2] * in_shape_[3];
+  Tensor grad_in(in_shape_);
+  for (std::int64_t i = 0; i < n; ++i) {
+    for (std::int64_t ci = 0; ci < c; ++ci) {
+      const float g = grad_out(i, ci) / static_cast<float>(plane);
+      float* p = grad_in.data() + (i * c + ci) * plane;
+      for (std::int64_t j = 0; j < plane; ++j) p[j] = g;
+    }
+  }
+  return grad_in;
+}
+
+DenseLayer::DenseLayer(std::int64_t in_features, std::int64_t out_features,
+                       Rng& rng)
+    : in_f_(in_features), out_f_(out_features) {
+  weight_.init({out_features, in_features});
+  bias_.init({out_features});
+  rng.fill_normal(weight_.value.data(),
+                  static_cast<std::size_t>(weight_.value.numel()), 0.0f,
+                  static_cast<float>(std::sqrt(2.0 /
+                                               static_cast<double>(in_f_))));
+}
+
+Tensor DenseLayer::forward(const Tensor& x, bool train) {
+  EPIM_CHECK(x.rank() == 2 && x.dim(1) == in_f_,
+             "dense expects (N, in_features)");
+  if (train) input_cache_ = x;
+  Tensor out = matmul_nt(x, weight_.value);  // (N, K)
+  for (std::int64_t i = 0; i < out.dim(0); ++i) {
+    for (std::int64_t k = 0; k < out_f_; ++k) out(i, k) += bias_.value(k);
+  }
+  return out;
+}
+
+Tensor DenseLayer::backward(const Tensor& grad_out) {
+  EPIM_CHECK(!input_cache_.empty(), "dense backward before training forward");
+  // grad_w (K, F) = grad_out^T (K, N) x input (N, F).
+  add_inplace(weight_.grad, matmul(transpose2d(grad_out), input_cache_));
+  for (std::int64_t i = 0; i < grad_out.dim(0); ++i) {
+    for (std::int64_t k = 0; k < out_f_; ++k) {
+      bias_.grad(k) += grad_out(i, k);
+    }
+  }
+  return matmul(grad_out, weight_.value);  // (N, F)
+}
+
+void DenseLayer::zero_grad() {
+  weight_.zero_grad();
+  bias_.zero_grad();
+}
+
+void DenseLayer::step(float lr, float momentum, float wd) {
+  weight_.step(lr, momentum, wd);
+  bias_.step(lr, momentum, 0.0f);
+}
+
+SoftmaxLoss softmax_cross_entropy(const Tensor& logits,
+                                  const std::vector<int>& labels) {
+  EPIM_CHECK(logits.rank() == 2, "softmax expects (N, K) logits");
+  const std::int64_t n = logits.dim(0), k = logits.dim(1);
+  EPIM_CHECK(static_cast<std::int64_t>(labels.size()) == n,
+             "one label per sample required");
+  SoftmaxLoss result;
+  result.grad = Tensor(logits.shape());
+  result.predicted.resize(static_cast<std::size_t>(n));
+  for (std::int64_t i = 0; i < n; ++i) {
+    const float* row = logits.data() + i * k;
+    float mx = row[0];
+    std::int64_t arg = 0;
+    for (std::int64_t j = 1; j < k; ++j) {
+      if (row[j] > mx) {
+        mx = row[j];
+        arg = j;
+      }
+    }
+    result.predicted[static_cast<std::size_t>(i)] = static_cast<int>(arg);
+    double z = 0.0;
+    for (std::int64_t j = 0; j < k; ++j) z += std::exp(row[j] - mx);
+    const int y = labels[static_cast<std::size_t>(i)];
+    EPIM_CHECK(y >= 0 && y < k, "label out of range");
+    result.loss += -(row[y] - mx - std::log(z)) / static_cast<double>(n);
+    for (std::int64_t j = 0; j < k; ++j) {
+      const double p = std::exp(row[j] - mx) / z;
+      result.grad(i, j) = static_cast<float>(
+          (p - (j == y ? 1.0 : 0.0)) / static_cast<double>(n));
+    }
+  }
+  return result;
+}
+
+}  // namespace epim

@@ -1,0 +1,175 @@
+// Trainable layers with manual forward/backward (the training substrate).
+//
+// All image tensors are batched NCHW. The epitome layer trains *through the
+// reconstruction*: its forward pass reconstructs convolution weights from
+// the epitome, and its backward pass folds the convolution-weight gradient
+// back onto the epitome by scatter-add (Epitome::fold_gradient), so shared
+// (highly-repeated) epitome entries accumulate gradient from every site they
+// occupy -- exactly how the original epitome operator is trained.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "core/epitome.hpp"
+#include "nn/layer.hpp"
+#include "tensor/tensor.hpp"
+
+namespace epim {
+
+/// A parameter tensor with its gradient and SGD-momentum state.
+struct SgdParam {
+  Tensor value;
+  Tensor grad;
+  Tensor velocity;
+
+  void init(Shape shape);
+  void zero_grad();
+  /// SGD with momentum and decoupled weight decay.
+  void step(float lr, float momentum, float weight_decay);
+};
+
+/// Plain trainable convolution (no bias; BatchNorm follows in the nets).
+class Conv2dLayer {
+ public:
+  Conv2dLayer(ConvSpec spec, Rng& rng);
+
+  const ConvSpec& spec() const { return spec_; }
+  SgdParam& weight() { return weight_; }
+
+  Tensor forward(const Tensor& x, bool train);
+  Tensor backward(const Tensor& grad_out);
+  void zero_grad() { weight_.zero_grad(); }
+  void step(float lr, float momentum, float wd) {
+    weight_.step(lr, momentum, wd);
+  }
+
+ private:
+  ConvSpec spec_;
+  SgdParam weight_;  // (cout, cin, kh, kw)
+  std::vector<Tensor> cols_cache_;
+  std::int64_t in_h_ = 0, in_w_ = 0;
+};
+
+/// Trainable epitome convolution.
+class EpitomeConvLayer {
+ public:
+  EpitomeConvLayer(EpitomeSpec spec, ConvSpec conv, Rng& rng);
+
+  Epitome& epitome() { return epitome_; }
+  const Epitome& epitome() const { return epitome_; }
+
+  Tensor forward(const Tensor& x, bool train);
+  Tensor backward(const Tensor& grad_out);
+  void zero_grad() { weight_.zero_grad(); }
+  void step(float lr, float momentum, float wd);
+
+  /// Snapshot/restore of the epitome weights (used by quantized evaluation).
+  Tensor weights_snapshot() const { return epitome_.weights(); }
+  void restore_weights(const Tensor& snapshot);
+
+ private:
+  Epitome epitome_;
+  SgdParam weight_;  // mirrors epitome_.weights()
+  std::vector<Tensor> cols_cache_;
+  std::int64_t in_h_ = 0, in_w_ = 0;
+};
+
+/// Per-channel affine transform y = scale[c] * x + shift[c]; what an
+/// eval-mode BatchNorm folds down to for deployment.
+struct ChannelAffine {
+  std::vector<float> scale;
+  std::vector<float> shift;
+};
+
+/// Per-channel batch normalization over (N, H, W).
+class BatchNorm2d {
+ public:
+  explicit BatchNorm2d(std::int64_t channels);
+
+  Tensor forward(const Tensor& x, bool train);
+  Tensor backward(const Tensor& grad_out);
+  void zero_grad();
+  void step(float lr, float momentum, float wd);
+
+  /// Fold the eval-mode normalization (running stats + gamma/beta) into a
+  /// per-channel affine, as done when deploying onto the PIM runtime.
+  ChannelAffine eval_affine() const;
+
+ private:
+  std::int64_t channels_;
+  SgdParam gamma_, beta_;
+  Tensor running_mean_, running_var_;
+  double momentum_ = 0.1;
+  double eps_ = 1e-5;
+  // Caches for backward.
+  Tensor xhat_;
+  std::vector<double> inv_std_;
+};
+
+class ReluLayer {
+ public:
+  Tensor forward(const Tensor& x, bool train);
+  Tensor backward(const Tensor& grad_out);
+
+ private:
+  std::vector<bool> mask_;
+};
+
+class MaxPool2dLayer {
+ public:
+  MaxPool2dLayer(std::int64_t k, std::int64_t stride)
+      : k_(k), stride_(stride) {}
+
+  Tensor forward(const Tensor& x, bool train);
+  Tensor backward(const Tensor& grad_out);
+
+ private:
+  std::int64_t k_, stride_;
+  Shape in_shape_;
+  std::vector<std::int64_t> argmax_;
+};
+
+/// (N, C, H, W) -> (N, C).
+class GlobalAvgPoolLayer {
+ public:
+  Tensor forward(const Tensor& x, bool train);
+  Tensor backward(const Tensor& grad_out);
+
+ private:
+  Shape in_shape_;
+};
+
+/// Fully connected (N, F) -> (N, K) with bias.
+class DenseLayer {
+ public:
+  DenseLayer(std::int64_t in_features, std::int64_t out_features, Rng& rng);
+
+  SgdParam& weight() { return weight_; }
+  SgdParam& bias() { return bias_; }
+
+  Tensor forward(const Tensor& x, bool train);
+  Tensor backward(const Tensor& grad_out);
+  void zero_grad();
+  void step(float lr, float momentum, float wd);
+
+ private:
+  std::int64_t in_f_, out_f_;
+  SgdParam weight_;  // (K, F)
+  SgdParam bias_;    // (K)
+  Tensor input_cache_;
+};
+
+/// Softmax cross-entropy head.
+struct SoftmaxLoss {
+  double loss = 0.0;
+  Tensor grad;               ///< d loss / d logits, (N, K)
+  std::vector<int> predicted;
+};
+
+SoftmaxLoss softmax_cross_entropy(const Tensor& logits,
+                                  const std::vector<int>& labels);
+
+}  // namespace epim

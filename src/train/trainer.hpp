@@ -1,0 +1,48 @@
+// SGD training loop and (quantized) evaluation for SmallEpitomeNet.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "train/dataset.hpp"
+#include "train/small_net.hpp"
+
+namespace epim {
+
+struct TrainConfig {
+  int epochs = 10;
+  int batch_size = 16;
+  float lr = 0.08f;
+  float momentum = 0.9f;
+  float weight_decay = 5e-4f;
+  /// Multiplicative LR decay applied each epoch.
+  float lr_decay = 0.85f;
+  std::uint64_t seed = 0x7EA1'1E55u;
+  bool verbose = false;
+};
+
+struct TrainResult {
+  std::vector<double> epoch_loss;
+  double train_accuracy = 0.0;
+  double test_accuracy = 0.0;
+};
+
+/// Train the model in place and report final accuracies.
+TrainResult train_model(SmallEpitomeNet& model, const SyntheticData& data,
+                        const TrainConfig& config);
+
+/// Top-1 accuracy of the model on a dataset (eval mode).
+double evaluate_model(SmallEpitomeNet& model, const Dataset& dataset);
+
+/// Quantize weights under `config`, evaluate, then restore the weights.
+struct QuantEvalResult {
+  double accuracy = 0.0;
+  double weighted_mse = 0.0;
+  double weight_power = 0.0;
+};
+
+QuantEvalResult evaluate_quantized(SmallEpitomeNet& model,
+                                   const Dataset& dataset,
+                                   const QuantConfig& config);
+
+}  // namespace epim

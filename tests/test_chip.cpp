@@ -1,0 +1,178 @@
+// Tests for the chip-level hierarchy (tiles + mesh NoC, pipelining) and the
+// weight-duplication throughput planner.
+#include <gtest/gtest.h>
+
+#include "nn/resnet.hpp"
+#include "pim/chip.hpp"
+#include "pim/duplication.hpp"
+
+namespace epim {
+namespace {
+
+PimEstimator make_estimator() {
+  return PimEstimator(CrossbarConfig{}, HardwareLut{});
+}
+
+TEST(Chip, TileAndMeshAccounting) {
+  const auto est = make_estimator();
+  ChipModel chip(est, TileConfig{});
+  const Network net = resnet50();
+  const auto cost = chip.eval(NetworkAssignment::baseline(net),
+                              PrecisionConfig::uniform(9, 9));
+  // 16 crossbars per tile: tiles ~ crossbars/16 with per-layer rounding up.
+  EXPECT_GE(cost.num_tiles, cost.compute.num_crossbars / 16);
+  EXPECT_LE(cost.num_tiles, cost.compute.num_crossbars / 16 +
+                                static_cast<std::int64_t>(
+                                    cost.compute.layers.size()));
+  EXPECT_GE(cost.mesh_dim * cost.mesh_dim, cost.num_tiles);
+  EXPECT_LT((cost.mesh_dim - 1) * (cost.mesh_dim - 1), cost.num_tiles);
+}
+
+TEST(Chip, NocCostsArePositiveButSecondary) {
+  const auto est = make_estimator();
+  ChipModel chip(est, TileConfig{});
+  const Network net = resnet50();
+  const auto cost = chip.eval(NetworkAssignment::baseline(net),
+                              PrecisionConfig::uniform(9, 9));
+  EXPECT_GT(cost.noc_latency_ms, 0.0);
+  EXPECT_GT(cost.noc_energy_mj, 0.0);
+  // On-chip analog compute dominates; the NoC is an overhead, not the bulk.
+  EXPECT_LT(cost.noc_latency_ms, cost.compute.latency_ms);
+  EXPECT_LT(cost.noc_energy_mj, cost.compute.energy_mj());
+}
+
+TEST(Chip, PipeliningBoundedBySlowestLayer) {
+  const auto est = make_estimator();
+  ChipModel chip(est, TileConfig{});
+  const Network net = resnet50();
+  const auto cost = chip.eval(NetworkAssignment::baseline(net),
+                              PrecisionConfig::uniform(9, 9));
+  double slowest = 0.0;
+  for (const auto& l : cost.compute.layers) {
+    slowest = std::max(slowest, l.latency_ms);
+  }
+  EXPECT_DOUBLE_EQ(cost.pipelined_latency_ms, slowest);
+  EXPECT_LT(cost.pipelined_latency_ms, cost.compute.latency_ms);
+}
+
+TEST(Chip, EpitomeReducesTiles) {
+  const auto est = make_estimator();
+  ChipModel chip(est, TileConfig{});
+  const Network net = resnet50();
+  const auto precision = PrecisionConfig::uniform(9, 9);
+  const auto base = chip.eval(NetworkAssignment::baseline(net), precision);
+  const auto epi =
+      chip.eval(NetworkAssignment::uniform(net, UniformDesign{}), precision);
+  EXPECT_LT(epi.num_tiles, base.num_tiles);
+  // Identical feature maps flow between layers, so NoC energy is unchanged
+  // up to tile-distance effects; it must stay the same order of magnitude.
+  EXPECT_GT(epi.noc_energy_mj, 0.1 * base.noc_energy_mj);
+  EXPECT_LT(epi.noc_energy_mj, 10.0 * base.noc_energy_mj);
+}
+
+TEST(Chip, BiggerFlitCheaperNocLatency) {
+  const auto est = make_estimator();
+  TileConfig narrow;
+  narrow.noc_flit_bytes = 8;
+  TileConfig wide;
+  wide.noc_flit_bytes = 64;
+  const Network net = resnet50();
+  const auto precision = PrecisionConfig::uniform(9, 9);
+  const auto a =
+      ChipModel(est, narrow).eval(NetworkAssignment::baseline(net), precision);
+  const auto b =
+      ChipModel(est, wide).eval(NetworkAssignment::baseline(net), precision);
+  EXPECT_GT(a.noc_latency_ms, b.noc_latency_ms);
+  EXPECT_DOUBLE_EQ(a.noc_energy_mj, b.noc_energy_mj);  // bytes unchanged
+}
+
+// ---- duplication planner ----
+
+TEST(Duplication, ZeroBudgetIsIdentity) {
+  const auto est = make_estimator();
+  const Network net = resnet50();
+  const auto a = NetworkAssignment::baseline(net);
+  const auto plan =
+      plan_duplication(est, a, PrecisionConfig::uniform(9, 9), 0);
+  for (const auto c : plan.copies) EXPECT_EQ(c, 1);
+  EXPECT_EQ(plan.extra_crossbars, 0);
+  EXPECT_DOUBLE_EQ(plan.latency_before_ms, plan.latency_after_ms);
+}
+
+TEST(Duplication, SpeedsUpWithinBudget) {
+  const auto est = make_estimator();
+  const Network net = resnet50();
+  const auto a = NetworkAssignment::baseline(net);
+  const auto precision = PrecisionConfig::uniform(9, 9);
+  const auto plan = plan_duplication(est, a, precision, 2000);
+  EXPECT_LE(plan.extra_crossbars, 2000);
+  EXPECT_GT(plan.speedup(), 1.3);
+  // The early high-position-count layers are the bottleneck; at least one
+  // layer must have been duplicated several times.
+  std::int64_t max_copies = 0;
+  for (const auto c : plan.copies) max_copies = std::max(max_copies, c);
+  EXPECT_GE(max_copies, 2);
+}
+
+TEST(Duplication, MoreBudgetNeverSlower) {
+  const auto est = make_estimator();
+  const Network net = resnet50();
+  const auto a = NetworkAssignment::baseline(net);
+  const auto precision = PrecisionConfig::uniform(9, 9);
+  double prev = 1e18;
+  for (const std::int64_t budget : {0, 500, 2000, 8000}) {
+    const auto plan = plan_duplication(est, a, precision, budget);
+    EXPECT_LE(plan.latency_after_ms, prev + 1e-9);
+    prev = plan.latency_after_ms;
+  }
+}
+
+TEST(Duplication, ComposesWithEpitomes) {
+  // The epitome model plus a duplication budget still fits in a fraction of
+  // the convolution baseline's crossbars while recovering speed -- the
+  // "spend the saved area on parallelism" composition.
+  const auto est = make_estimator();
+  const Network net = resnet50();
+  const auto precision = PrecisionConfig::uniform(9, 9);
+  const auto conv_base =
+      est.eval_network(NetworkAssignment::baseline(net), precision);
+  const auto epi = NetworkAssignment::uniform(net, UniformDesign{});
+  const auto epi_base = est.eval_network(epi, precision);
+  const auto plan = plan_duplication(est, epi, precision, 3000);
+  EXPECT_GT(plan.speedup(), 1.5);
+  // Total footprint (weights + copies) still well under the conv baseline.
+  EXPECT_LT(epi_base.num_crossbars + plan.extra_crossbars,
+            conv_base.num_crossbars);
+  // And the duplicated epitome model is faster than the conv baseline.
+  EXPECT_LT(plan.latency_after_ms, conv_base.latency_ms);
+}
+
+struct BudgetCase {
+  std::int64_t budget;
+};
+
+class DuplicationSweep : public ::testing::TestWithParam<BudgetCase> {};
+
+TEST_P(DuplicationSweep, BudgetRespectedAndConsistent) {
+  const auto est = make_estimator();
+  const Network net = mini_resnet();
+  const auto a = NetworkAssignment::baseline(net);
+  const auto precision = PrecisionConfig::uniform(9, 9);
+  const auto plan = plan_duplication(est, a, precision, GetParam().budget);
+  EXPECT_LE(plan.extra_crossbars, GetParam().budget);
+  // latency_after = sum over layers of base latency / copies.
+  const auto base = est.eval_network(a, precision);
+  double expect = 0.0;
+  for (std::size_t i = 0; i < plan.copies.size(); ++i) {
+    expect += base.layers[i].latency_ms /
+              static_cast<double>(plan.copies[i]);
+  }
+  EXPECT_NEAR(plan.latency_after_ms, expect, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Budgets, DuplicationSweep,
+                         ::testing::Values(BudgetCase{0}, BudgetCase{10},
+                                           BudgetCase{100}, BudgetCase{1000}));
+
+}  // namespace
+}  // namespace epim

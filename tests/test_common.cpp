@@ -1,0 +1,154 @@
+// Unit tests for src/common: error macros, RNG, math helpers, tables.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/error.hpp"
+#include "common/math_util.hpp"
+#include "common/rng.hpp"
+#include "common/table.hpp"
+
+namespace epim {
+namespace {
+
+TEST(Error, CheckThrowsInvalidArgument) {
+  EXPECT_THROW(EPIM_CHECK(false, "boom"), InvalidArgument);
+  EXPECT_NO_THROW(EPIM_CHECK(true, "fine"));
+}
+
+TEST(Error, AssertThrowsInternalError) {
+  EXPECT_THROW(EPIM_ASSERT(false, "bug"), InternalError);
+}
+
+TEST(Error, MessageContainsContext) {
+  try {
+    EPIM_CHECK(1 == 2, "numbers disagree");
+    FAIL() << "expected throw";
+  } catch (const InvalidArgument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("numbers disagree"), std::string::npos);
+    EXPECT_NE(what.find("1 == 2"), std::string::npos);
+  }
+}
+
+TEST(Error, HierarchyRootsAtError) {
+  EXPECT_THROW(EPIM_CHECK(false, "x"), Error);
+  EXPECT_THROW(EPIM_ASSERT(false, "x"), Error);
+}
+
+TEST(Rng, DeterministicAcrossInstances) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.uniform_int(0, 1000), b.uniform_int(0, 1000));
+  }
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    same += a.uniform_int(0, 1 << 20) == b.uniform_int(0, 1 << 20) ? 1 : 0;
+  }
+  EXPECT_LT(same, 4);
+}
+
+TEST(Rng, UniformIntRespectsBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const int v = rng.uniform_int(-3, 5);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 5);
+  }
+}
+
+TEST(Rng, IndexCoversRange) {
+  Rng rng(7);
+  std::set<int> seen;
+  for (int i = 0; i < 500; ++i) seen.insert(rng.index(5));
+  EXPECT_EQ(seen.size(), 5u);
+  EXPECT_THROW(rng.index(0), InvalidArgument);
+}
+
+TEST(Rng, PermutationIsPermutation) {
+  Rng rng(99);
+  const auto perm = rng.permutation(50);
+  std::set<int> seen(perm.begin(), perm.end());
+  EXPECT_EQ(seen.size(), 50u);
+  EXPECT_EQ(*seen.begin(), 0);
+  EXPECT_EQ(*seen.rbegin(), 49);
+}
+
+TEST(Rng, FlipProbabilityRoughlyHonoured) {
+  Rng rng(3);
+  int heads = 0;
+  for (int i = 0; i < 2000; ++i) heads += rng.flip(0.25) ? 1 : 0;
+  EXPECT_NEAR(heads / 2000.0, 0.25, 0.05);
+}
+
+TEST(Rng, FillNormalMoments) {
+  Rng rng(11);
+  std::vector<float> buf(20000);
+  rng.fill_normal(buf.data(), buf.size(), 1.0f, 2.0f);
+  double mean = 0.0;
+  for (float v : buf) mean += v;
+  mean /= static_cast<double>(buf.size());
+  double var = 0.0;
+  for (float v : buf) var += (v - mean) * (v - mean);
+  var /= static_cast<double>(buf.size());
+  EXPECT_NEAR(mean, 1.0, 0.1);
+  EXPECT_NEAR(var, 4.0, 0.3);
+}
+
+TEST(MathUtil, CeilDiv) {
+  EXPECT_EQ(ceil_div(0, 4), 0);
+  EXPECT_EQ(ceil_div(1, 4), 1);
+  EXPECT_EQ(ceil_div(4, 4), 1);
+  EXPECT_EQ(ceil_div(5, 4), 2);
+  EXPECT_EQ(ceil_div(128, 128), 1);
+  EXPECT_EQ(ceil_div(129, 128), 2);
+}
+
+TEST(MathUtil, RoundUp) {
+  EXPECT_EQ(round_up(0, 8), 0);
+  EXPECT_EQ(round_up(1, 8), 8);
+  EXPECT_EQ(round_up(8, 8), 8);
+  EXPECT_EQ(round_up(9, 8), 16);
+}
+
+TEST(MathUtil, IsPow2AndLog2) {
+  EXPECT_TRUE(is_pow2(1));
+  EXPECT_TRUE(is_pow2(128));
+  EXPECT_FALSE(is_pow2(0));
+  EXPECT_FALSE(is_pow2(127));
+  EXPECT_EQ(ilog2(1), 0);
+  EXPECT_EQ(ilog2(128), 7);
+  EXPECT_THROW(ilog2(5), InvalidArgument);
+}
+
+TEST(Table, RendersAlignedColumns) {
+  TextTable t({"name", "value"});
+  t.add_row({"alpha", "1"});
+  t.add_row({"b", "22222"});
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("| alpha | 1     |"), std::string::npos);
+  EXPECT_NE(s.find("| b     | 22222 |"), std::string::npos);
+}
+
+TEST(Table, CsvOutput) {
+  TextTable t({"a", "b"});
+  t.add_row({"1", "2"});
+  EXPECT_EQ(t.to_csv(), "a,b\n1,2\n");
+}
+
+TEST(Table, RejectsWrongArity) {
+  TextTable t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), InvalidArgument);
+}
+
+TEST(Table, FmtPrecision) {
+  EXPECT_EQ(fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(fmt(2.0, 0), "2");
+}
+
+}  // namespace
+}  // namespace epim

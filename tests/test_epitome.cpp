@@ -1,0 +1,345 @@
+// Unit tests for src/core: the epitome operator, its sampler, reconstruction,
+// repetition structure, channel wrapping, gradient folding, the designer and
+// network assignments.
+#include <gtest/gtest.h>
+
+#include "core/assignment.hpp"
+#include "core/designer.hpp"
+#include "core/epitome.hpp"
+#include "nn/resnet.hpp"
+#include "tensor/ops.hpp"
+
+namespace epim {
+namespace {
+
+ConvSpec conv_3x3(std::int64_t cin, std::int64_t cout) {
+  return ConvSpec{cin, cout, 3, 3, 1, 1};
+}
+
+TEST(EpitomeSpec, Compatibility) {
+  const ConvSpec conv = conv_3x3(16, 32);
+  EXPECT_TRUE((EpitomeSpec{4, 4, 8, 16}).compatible_with(conv));
+  EXPECT_FALSE((EpitomeSpec{2, 4, 8, 16}).compatible_with(conv));  // p < kh
+  EXPECT_FALSE((EpitomeSpec{4, 4, 32, 16}).compatible_with(conv)); // cin_e > cin
+  EXPECT_FALSE((EpitomeSpec{4, 4, 8, 64}).compatible_with(conv));  // cout_e > cout
+}
+
+TEST(EpitomeSpec, RowAndParamAccounting) {
+  EpitomeSpec s{4, 4, 64, 256};
+  EXPECT_EQ(s.rows(), 1024);
+  EXPECT_EQ(s.weight_count(), 1024 * 256);
+  EXPECT_EQ(s.to_string().substr(0, 8), "1024x256");
+}
+
+TEST(SamplePlan, GroupCounts) {
+  const ConvSpec conv = conv_3x3(16, 32);
+  SamplePlan plan(EpitomeSpec{4, 4, 8, 16}, conv);
+  EXPECT_EQ(plan.num_in_groups(), 2);
+  EXPECT_EQ(plan.num_out_groups(), 2);
+  EXPECT_EQ(plan.total_patches(), 4);
+  EXPECT_EQ(plan.active_rounds(), 4);
+  EXPECT_EQ(plan.wrap_factor(), 1);
+}
+
+TEST(SamplePlan, NonDivisibleChannelsCovered) {
+  const ConvSpec conv = conv_3x3(10, 7);
+  SamplePlan plan(EpitomeSpec{4, 4, 4, 3}, conv);
+  EXPECT_EQ(plan.num_in_groups(), 3);
+  EXPECT_EQ(plan.num_out_groups(), 3);
+  // Every (cin, cout) pair must be covered exactly once.
+  std::vector<int> cover(static_cast<std::size_t>(10 * 7), 0);
+  for (const auto& s : plan.samples()) {
+    for (std::int64_t i = 0; i < s.ci_len; ++i) {
+      for (std::int64_t j = 0; j < s.co_len; ++j) {
+        cover[static_cast<std::size_t>((s.ci_begin + i) * 7 + s.co_begin +
+                                       j)]++;
+      }
+    }
+  }
+  for (const int c : cover) EXPECT_EQ(c, 1);
+}
+
+TEST(SamplePlan, WrappingSharesOffsetsAndRounds) {
+  const ConvSpec conv = conv_3x3(16, 64);
+  EpitomeSpec spec{4, 4, 8, 16};
+  spec.wrap_output = true;
+  SamplePlan plan(spec, conv);
+  EXPECT_EQ(plan.num_out_groups(), 4);
+  EXPECT_EQ(plan.wrap_factor(), 4);
+  EXPECT_EQ(plan.active_rounds(), plan.num_in_groups());
+  EXPECT_EQ(plan.total_patches(), plan.num_in_groups() * 4);
+  // Same input group -> same offsets across output groups (Eq. 8 setup),
+  // and replicas reference their source round.
+  for (const auto& s : plan.samples()) {
+    const auto& src = plan.samples()[static_cast<std::size_t>(s.in_group)];
+    EXPECT_EQ(s.off_p, src.off_p);
+    EXPECT_EQ(s.off_q, src.off_q);
+    if (s.out_group > 0) {
+      EXPECT_TRUE(s.replicated);
+      EXPECT_EQ(s.round, src.round);
+    }
+  }
+}
+
+TEST(SamplePlan, OffsetsStayInBounds) {
+  const ConvSpec conv = conv_3x3(64, 128);
+  const EpitomeSpec spec{6, 5, 16, 32};
+  SamplePlan plan(spec, conv);
+  for (const auto& s : plan.samples()) {
+    EXPECT_GE(s.off_p, 0);
+    EXPECT_LE(s.off_p + conv.kernel_h, spec.p);
+    EXPECT_GE(s.off_q, 0);
+    EXPECT_LE(s.off_q + conv.kernel_w, spec.q);
+  }
+}
+
+TEST(Epitome, DegenerateReconstructionIsIdentity) {
+  Rng rng(1);
+  const ConvSpec conv = conv_3x3(4, 6);
+  Tensor w({6, 4, 3, 3});
+  rng.fill_normal(w.data(), static_cast<std::size_t>(w.numel()), 0.0f, 1.0f);
+  const Epitome e = Epitome::from_conv_weights(conv, w);
+  EXPECT_EQ(e.plan().total_patches(), 1);
+  EXPECT_EQ(max_abs_diff(e.reconstruct(), w), 0.0);
+  EXPECT_DOUBLE_EQ(e.compression_rate(), 1.0);
+}
+
+TEST(Epitome, ReconstructionReadsSampledPatches) {
+  Rng rng(2);
+  const ConvSpec conv = conv_3x3(8, 8);
+  const EpitomeSpec spec{5, 5, 4, 4};
+  Epitome e = Epitome::random(spec, conv, rng);
+  const Tensor recon = e.reconstruct();
+  ASSERT_EQ(recon.shape(), (Shape{8, 8, 3, 3}));
+  // Check one sample by hand.
+  const auto& s = e.plan().samples()[1];
+  for (std::int64_t y = 0; y < 3; ++y) {
+    for (std::int64_t x = 0; x < 3; ++x) {
+      EXPECT_EQ(recon(s.co_begin, s.ci_begin, y, x),
+                e.weights()(0, 0, s.off_p + y, s.off_q + x));
+    }
+  }
+}
+
+TEST(Epitome, CompressionRate) {
+  const ConvSpec conv = conv_3x3(64, 64);  // 36864 params
+  Epitome e(EpitomeSpec{4, 4, 32, 32}, conv);  // 16384 params
+  EXPECT_NEAR(e.compression_rate(), 36864.0 / 16384.0, 1e-9);
+}
+
+TEST(Epitome, RepetitionMapTotalMatchesConvSize) {
+  // Sum of the repetition map equals the element count of the reconstructed
+  // convolution (every conv element is sampled from exactly one epitome
+  // element).
+  const ConvSpec conv = conv_3x3(16, 32);
+  Epitome e(EpitomeSpec{4, 4, 8, 16}, conv);
+  const Tensor rep = e.repetition_map();
+  EXPECT_DOUBLE_EQ(rep.sum(), static_cast<double>(conv.weight_count()));
+}
+
+TEST(Epitome, CentreRepeatsMoreThanBorder) {
+  // Fig. 2(c): with overlapping 3x3 windows in a 5x5 plane, centre entries
+  // are sampled by more patches than corner entries.
+  const ConvSpec conv = conv_3x3(32, 64);
+  Epitome e(EpitomeSpec{5, 5, 8, 8}, conv);
+  const Tensor rep = e.repetition_map();
+  double centre = 0.0, corner = 0.0;
+  const EpitomeSpec& s = e.spec();
+  for (std::int64_t co = 0; co < s.cout_e; ++co) {
+    for (std::int64_t ci = 0; ci < s.cin_e; ++ci) {
+      centre += rep(co, ci, 2, 2);
+      corner += rep(co, ci, 0, 0);
+    }
+  }
+  EXPECT_GT(centre, corner);
+}
+
+TEST(Epitome, WrappingMakesWeightsTranslationInvariant) {
+  // Eq. 8: W[x, :, :, :] == W[x + c, :, :, :].
+  Rng rng(3);
+  const ConvSpec conv = conv_3x3(8, 24);
+  EpitomeSpec spec{4, 4, 8, 8};
+  spec.wrap_output = true;
+  Epitome e = Epitome::random(spec, conv, rng);
+  const Tensor w = e.reconstruct();
+  const std::int64_t c = spec.cout_e;
+  const std::int64_t inner = conv.in_channels * 9;
+  for (std::int64_t x = 0; x < conv.out_channels - c; ++x) {
+    for (std::int64_t i = 0; i < inner; ++i) {
+      EXPECT_EQ(w.at(x * inner + i), w.at((x + c) * inner + i));
+    }
+  }
+}
+
+TEST(Epitome, NoWrappingGivesDistinctOutputGroups) {
+  Rng rng(4);
+  const ConvSpec conv = conv_3x3(8, 16);
+  Epitome e = Epitome::random(EpitomeSpec{4, 4, 8, 8}, conv, rng);
+  const Tensor w = e.reconstruct();
+  // Output group 1 uses a different spatial offset, so the groups differ.
+  double diff = 0.0;
+  const std::int64_t inner = conv.in_channels * 9;
+  for (std::int64_t i = 0; i < inner; ++i) {
+    diff += std::abs(w.at(i) - w.at(8 * inner + i));
+  }
+  EXPECT_GT(diff, 1e-3);
+}
+
+TEST(Epitome, FoldGradientIsAdjointOfReconstruct) {
+  // <reconstruct(E), G> == <E, fold(G)> for random G -- the defining
+  // property of a correct backward pass.
+  Rng rng(5);
+  const ConvSpec conv = conv_3x3(10, 14);
+  Epitome e = Epitome::random(EpitomeSpec{5, 4, 4, 6}, conv, rng);
+  Tensor g({14, 10, 3, 3});
+  rng.fill_normal(g.data(), static_cast<std::size_t>(g.numel()), 0.0f, 1.0f);
+  const Tensor recon = e.reconstruct();
+  double lhs = 0.0;
+  for (std::int64_t i = 0; i < g.numel(); ++i) lhs += recon.at(i) * g.at(i);
+  const Tensor folded = e.fold_gradient(g);
+  double rhs = 0.0;
+  for (std::int64_t i = 0; i < folded.numel(); ++i) {
+    rhs += e.weights().at(i) * folded.at(i);
+  }
+  EXPECT_NEAR(lhs, rhs, 1e-2);
+}
+
+TEST(Epitome, FoldGradientOfOnesEqualsRepetitionMap) {
+  const ConvSpec conv = conv_3x3(16, 8);
+  Epitome e(EpitomeSpec{4, 4, 8, 8}, conv);
+  Tensor ones({8, 16, 3, 3}, 1.0f);
+  EXPECT_EQ(max_abs_diff(e.fold_gradient(ones), e.repetition_map()), 0.0);
+}
+
+TEST(Designer, UniformSkipsSmallLayers) {
+  UniformDesign policy;  // 1024 x 256
+  EXPECT_FALSE(design_uniform(conv_3x3(64, 64), policy).has_value());
+  EXPECT_TRUE(design_uniform(conv_3x3(512, 512), policy).has_value());
+}
+
+TEST(Designer, UniformHitsRowTarget) {
+  UniformDesign policy;
+  const auto spec = design_uniform(conv_3x3(512, 512), policy);
+  ASSERT_TRUE(spec.has_value());
+  EXPECT_EQ(spec->rows(), 1024);
+  EXPECT_EQ(spec->cout_e, 256);
+  EXPECT_EQ(spec->p, 4);
+  EXPECT_EQ(spec->q, 4);
+  EXPECT_EQ(spec->cin_e, 64);
+}
+
+TEST(Designer, PointwiseLayersGetFlatEpitomes) {
+  UniformDesign policy;
+  const ConvSpec conv{2048, 512, 1, 1, 1, 0};
+  const auto spec = design_uniform(conv, policy);
+  ASSERT_TRUE(spec.has_value());
+  EXPECT_EQ(spec->p, 1);
+  EXPECT_EQ(spec->q, 1);
+  EXPECT_EQ(spec->rows(), 1024);
+}
+
+TEST(Designer, NeverInflatesALayer) {
+  UniformDesign policy;
+  policy.skip_small_layers = false;
+  for (const auto& layer : resnet50().weighted_layers()) {
+    const auto spec = design_uniform(layer.conv, policy);
+    if (spec.has_value()) {
+      EXPECT_LT(spec->weight_count(), layer.conv.weight_count())
+          << layer.name;
+    }
+  }
+}
+
+TEST(Designer, CandidatesAreCompatibleAndCompressing) {
+  CandidateConfig cfg;
+  const ConvSpec conv = conv_3x3(512, 512);
+  const auto cands = candidate_specs(conv, cfg);
+  EXPECT_GE(cands.size(), 4u);
+  EXPECT_FALSE(cands.front().has_value());  // identity candidate first
+  for (const auto& c : cands) {
+    if (!c.has_value()) continue;
+    EXPECT_TRUE(c->compatible_with(conv));
+    EXPECT_LT(c->weight_count(), conv.weight_count());
+  }
+}
+
+TEST(Designer, CandidatesDeduplicated) {
+  CandidateConfig cfg;
+  const auto cands = candidate_specs(conv_3x3(64, 64), cfg);
+  for (std::size_t i = 0; i < cands.size(); ++i) {
+    for (std::size_t j = i + 1; j < cands.size(); ++j) {
+      EXPECT_FALSE(cands[i] == cands[j]);
+    }
+  }
+}
+
+TEST(Assignment, BaselineHasNoEpitomes) {
+  const Network net = mini_resnet();
+  const auto a = NetworkAssignment::baseline(net);
+  EXPECT_EQ(a.num_epitome_layers(), 0);
+  EXPECT_DOUBLE_EQ(a.parameter_compression(), 1.0);
+}
+
+TEST(Assignment, UniformCompressesResNet50) {
+  const Network net = resnet50();
+  const auto a = NetworkAssignment::uniform(net, UniformDesign{});
+  EXPECT_GT(a.num_epitome_layers(), 20);
+  EXPECT_GT(a.parameter_compression(), 2.0);
+  EXPECT_LT(a.parameter_compression(), 6.0);
+}
+
+TEST(Assignment, SetChoiceValidates) {
+  const Network net = mini_resnet();
+  auto a = NetworkAssignment::baseline(net);
+  // Layer 1 of mini_resnet is a 16->16 3x3 conv.
+  EXPECT_NO_THROW(a.set_choice(1, EpitomeSpec{4, 4, 8, 8}));
+  EXPECT_EQ(a.num_epitome_layers(), 1);
+  EXPECT_THROW(a.set_choice(1, EpitomeSpec{4, 4, 999, 8}), InvalidArgument);
+  EXPECT_THROW(a.set_choice(999, std::nullopt), InvalidArgument);
+}
+
+TEST(Assignment, WrapToggleAppliesToAllEpitomeLayers) {
+  const Network net = resnet50();
+  auto a = NetworkAssignment::uniform(net, UniformDesign{});
+  a.set_wrap_output(true);
+  for (std::int64_t i = 0; i < a.num_layers(); ++i) {
+    if (a.choice(i).has_value()) EXPECT_TRUE(a.choice(i)->wrap_output);
+  }
+}
+
+// Property sweep: reconstruction covers every element for a variety of
+// epitome/conv shape combinations (including kernel sizes 1, 3, 5, 7 and
+// non-divisible channel ratios).
+struct ShapeCase {
+  std::int64_t cin, cout, k;
+  std::int64_t p, q, cin_e, cout_e;
+};
+
+class ReconstructionSweep : public ::testing::TestWithParam<ShapeCase> {};
+
+TEST_P(ReconstructionSweep, EveryConvElementAssigned) {
+  const auto c = GetParam();
+  const ConvSpec conv{c.cin, c.cout, c.k, c.k, 1, c.k / 2};
+  const EpitomeSpec spec{c.p, c.q, c.cin_e, c.cout_e};
+  ASSERT_TRUE(spec.compatible_with(conv));
+  Epitome e(spec, conv);
+  e.weights().fill(1.0f);  // all-ones epitome -> reconstruction all ones
+  const Tensor recon = e.reconstruct();
+  EXPECT_EQ(recon.min(), 1.0f);
+  EXPECT_EQ(recon.max(), 1.0f);
+  const Tensor rep = e.repetition_map();
+  EXPECT_DOUBLE_EQ(rep.sum(), static_cast<double>(conv.weight_count()));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, ReconstructionSweep,
+    ::testing::Values(ShapeCase{8, 8, 3, 4, 4, 4, 4},
+                      ShapeCase{10, 6, 3, 5, 5, 3, 4},
+                      ShapeCase{16, 16, 1, 1, 1, 8, 8},
+                      ShapeCase{12, 20, 5, 7, 6, 4, 8},
+                      ShapeCase{3, 64, 7, 8, 8, 3, 16},
+                      ShapeCase{32, 32, 3, 4, 4, 32, 32},
+                      ShapeCase{7, 5, 3, 6, 4, 2, 2}));
+
+}  // namespace
+}  // namespace epim

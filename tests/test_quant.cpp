@@ -1,0 +1,310 @@
+// Tests for src/quant: the affine quantizer (Eq. 2-3), the epitome-aware
+// range schemes (Eq. 4-5) and their error ordering, HAWQ-lite mixed
+// precision, and the accuracy projector.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "nn/resnet.hpp"
+#include "quant/accuracy_model.hpp"
+#include "quant/epitome_quant.hpp"
+#include "quant/mixed_precision.hpp"
+#include "quant/quantizer.hpp"
+#include "tensor/ops.hpp"
+
+namespace epim {
+namespace {
+
+TEST(QuantParams, ScaleFollowsEq3) {
+  const QuantParams p = QuantParams::from_range(-1.0, 1.0, 3);
+  EXPECT_DOUBLE_EQ(p.scale, 2.0 / 7.0);  // (beta - alpha) / (2^k - 1)
+}
+
+TEST(QuantParams, RoundTripWithinHalfStep) {
+  const QuantParams p = QuantParams::from_range(-2.0, 2.0, 8);
+  for (double r = -2.0; r <= 2.0; r += 0.037) {
+    EXPECT_NEAR(p.fake_quantize(r), r, p.scale / 2 + 1e-9);
+  }
+}
+
+TEST(QuantParams, ClampsOutOfRange) {
+  const QuantParams p = QuantParams::from_range(-1.0, 1.0, 4);
+  EXPECT_EQ(p.quantize(100.0), p.max_code());
+  EXPECT_EQ(p.quantize(-100.0), 0);
+}
+
+TEST(QuantParams, DegenerateRangeIsStable) {
+  const QuantParams p = QuantParams::from_range(0.5, 0.5, 4);
+  EXPECT_NO_THROW(p.quantize(0.5));
+}
+
+TEST(QuantParams, RejectsInvertedRange) {
+  EXPECT_THROW(QuantParams::from_range(1.0, -1.0, 4), InvalidArgument);
+  EXPECT_THROW(QuantParams::from_range(0.0, 1.0, 0), InvalidArgument);
+}
+
+TEST(QuantParams, SignedCodesFitTwosComplement) {
+  const QuantParams p = QuantParams::from_range(-1.0, 1.0, 3);
+  for (std::int64_t code = 0; code <= p.max_code(); ++code) {
+    const int s = p.signed_code(code);
+    EXPECT_GE(s, -4);
+    EXPECT_LE(s, 3);
+  }
+  EXPECT_THROW(p.signed_code(8), InvalidArgument);
+}
+
+TEST(QuantParams, MoreBitsLessError) {
+  Rng rng(1);
+  Tensor t({1000});
+  rng.fill_normal(t.data(), 1000, 0.0f, 1.0f);
+  double prev = 1e9;
+  for (const int bits : {2, 3, 5, 8}) {
+    const QuantParams p = minmax_params(t, bits);
+    const Tensor q = fake_quantize_tensor(t, p);
+    const double err = mse(t, q);
+    EXPECT_LT(err, prev);
+    prev = err;
+  }
+}
+
+// ---- epitome-aware quantization ----
+
+Epitome overlapping_epitome(Rng& rng) {
+  // 5x5 plane over a 3x3 kernel: strong centre-vs-border repetition
+  // structure, many patches.
+  const ConvSpec conv{32, 64, 3, 3, 1, 1};
+  return Epitome::random(EpitomeSpec{5, 5, 8, 16}, conv, rng);
+}
+
+TEST(EpitomeQuant, OutputShapesAndCodes) {
+  Rng rng(2);
+  Epitome e = overlapping_epitome(rng);
+  QuantConfig cfg;
+  cfg.bits = 3;
+  const QuantizedEpitome q = EpitomeQuantizer(cfg).quantize(e);
+  EXPECT_EQ(static_cast<std::int64_t>(q.qmatrix.size()), e.spec().rows());
+  EXPECT_EQ(static_cast<std::int64_t>(q.qmatrix.front().size()),
+            e.spec().cout_e);
+  EXPECT_EQ(q.dequant_weights.shape(), e.weights().shape());
+  for (const auto& row : q.qmatrix) {
+    for (const int v : row) {
+      EXPECT_GE(v, -4);
+      EXPECT_LE(v, 3);
+    }
+  }
+}
+
+TEST(EpitomeQuant, BlockCountMatchesGeometry) {
+  Rng rng(3);
+  const ConvSpec conv{512, 512, 3, 3, 1, 1};
+  Epitome e = Epitome::random(EpitomeSpec{4, 4, 64, 256}, conv, rng);
+  QuantConfig cfg;
+  cfg.scheme = RangeScheme::kPerCrossbar;
+  const QuantizedEpitome q = EpitomeQuantizer(cfg).quantize(e);
+  EXPECT_EQ(q.blocks_r, 8);   // 1024 / 128
+  EXPECT_EQ(q.blocks_c, 2);   // 256 / 128
+  EXPECT_EQ(q.block_params.size(), 16u);
+}
+
+TEST(EpitomeQuant, SchemeLadderReducesWeightedError) {
+  // Table 2's mechanism: naive <= per-crossbar <= overlap-weighted in
+  // repetition-weighted error (lower is better). Use a weight distribution
+  // with block-to-block spread plus outliers in the rarely-repeated border
+  // so the schemes separate.
+  Rng rng(4);
+  Epitome e = overlapping_epitome(rng);
+  // Inject outliers into border (repetition 1) cells.
+  const Tensor rep = e.repetition_map();
+  const float rep_min = rep.min();
+  for (std::int64_t i = 0; i < e.weights().numel(); ++i) {
+    if (rep.at(i) == rep_min && rng.flip(0.3)) {
+      e.weights().at(i) *= 8.0f;
+    }
+  }
+  auto weighted_err = [&](RangeScheme scheme) {
+    QuantConfig cfg;
+    cfg.bits = 3;
+    cfg.scheme = scheme;
+    return EpitomeQuantizer(cfg).quantize(e).weighted_mse;
+  };
+  const double naive = weighted_err(RangeScheme::kMinMax);
+  const double per_xbar = weighted_err(RangeScheme::kPerCrossbar);
+  const double overlap = weighted_err(RangeScheme::kOverlapWeighted);
+  EXPECT_LE(per_xbar, naive * 1.001);
+  EXPECT_LT(overlap, per_xbar);
+}
+
+TEST(EpitomeQuant, OverlapFallsBackWhenRepetitionUniform) {
+  // Pointwise epitome: no spatial overlap, uniform repetition -> the
+  // overlap scheme must degrade gracefully to per-crossbar behaviour.
+  Rng rng(5);
+  const ConvSpec conv{256, 256, 1, 1, 1, 0};
+  Epitome e = Epitome::random(EpitomeSpec{1, 1, 128, 128}, conv, rng);
+  QuantConfig a;
+  a.bits = 3;
+  a.scheme = RangeScheme::kPerCrossbar;
+  QuantConfig b = a;
+  b.scheme = RangeScheme::kOverlapWeighted;
+  const double ea = EpitomeQuantizer(a).quantize(e).weighted_mse;
+  const double eb = EpitomeQuantizer(b).quantize(e).weighted_mse;
+  EXPECT_NEAR(ea, eb, 1e-12);
+}
+
+TEST(EpitomeQuant, WeightedMseUsesRepetition) {
+  // For a degenerate epitome (uniform repetition of 1), weighted and plain
+  // MSE coincide.
+  Rng rng(6);
+  const ConvSpec conv{8, 8, 3, 3, 1, 1};
+  Tensor w({8, 8, 3, 3});
+  rng.fill_normal(w.data(), static_cast<std::size_t>(w.numel()), 0.0f, 1.0f);
+  Epitome e = Epitome::from_conv_weights(conv, std::move(w));
+  QuantConfig cfg;
+  cfg.bits = 4;
+  const QuantizedEpitome q = EpitomeQuantizer(cfg).quantize(e);
+  EXPECT_NEAR(q.plain_mse, q.weighted_mse, 1e-12);
+}
+
+struct SchemeBitsCase {
+  RangeScheme scheme;
+  int bits;
+};
+
+class QuantBitsSweep : public ::testing::TestWithParam<SchemeBitsCase> {};
+
+TEST_P(QuantBitsSweep, DequantCloseAtHighBitsCoarseAtLow) {
+  Rng rng(7);
+  Epitome e = overlapping_epitome(rng);
+  QuantConfig cfg;
+  cfg.bits = GetParam().bits;
+  cfg.scheme = GetParam().scheme;
+  const QuantizedEpitome q = EpitomeQuantizer(cfg).quantize(e);
+  EXPECT_GT(q.plain_mse, 0.0);
+  // 9-bit quantization must be very accurate relative to weight power.
+  if (GetParam().bits >= 9) {
+    double power = 0.0;
+    for (std::int64_t i = 0; i < e.weights().numel(); ++i) {
+      power += static_cast<double>(e.weights().at(i)) * e.weights().at(i);
+    }
+    power /= static_cast<double>(e.weights().numel());
+    EXPECT_LT(q.plain_mse / power, 5e-4);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, QuantBitsSweep,
+    ::testing::Values(SchemeBitsCase{RangeScheme::kMinMax, 3},
+                      SchemeBitsCase{RangeScheme::kPerCrossbar, 3},
+                      SchemeBitsCase{RangeScheme::kOverlapWeighted, 3},
+                      SchemeBitsCase{RangeScheme::kMinMax, 9},
+                      SchemeBitsCase{RangeScheme::kOverlapWeighted, 9},
+                      SchemeBitsCase{RangeScheme::kPerCrossbar, 5}));
+
+// ---- mixed precision ----
+
+TEST(MixedPrecision, RespectsBudget) {
+  const Network net = resnet50();
+  const auto a = NetworkAssignment::uniform(net, UniformDesign{});
+  MixedPrecisionConfig cfg;
+  cfg.budget_fraction = 0.4;
+  const auto result = hawq_lite_allocate(a, cfg, CrossbarConfig{});
+  EXPECT_LE(result.used_crossbars, result.budget_crossbars);
+  EXPECT_EQ(static_cast<std::int64_t>(result.precision.weight_bits.size()),
+            a.num_layers());
+}
+
+TEST(MixedPrecision, ZeroBudgetAllLow) {
+  const Network net = resnet50();
+  const auto a = NetworkAssignment::uniform(net, UniformDesign{});
+  MixedPrecisionConfig cfg;
+  cfg.budget_fraction = 0.0;
+  const auto result = hawq_lite_allocate(a, cfg, CrossbarConfig{});
+  for (const int b : result.precision.weight_bits) {
+    EXPECT_EQ(b, cfg.low_bits);
+  }
+}
+
+TEST(MixedPrecision, FullBudgetAllHigh) {
+  const Network net = resnet50();
+  const auto a = NetworkAssignment::uniform(net, UniformDesign{});
+  MixedPrecisionConfig cfg;
+  cfg.budget_fraction = 1.0;
+  const auto result = hawq_lite_allocate(a, cfg, CrossbarConfig{});
+  std::int64_t high = 0;
+  for (const int b : result.precision.weight_bits) {
+    high += b == cfg.high_bits ? 1 : 0;
+  }
+  EXPECT_EQ(high, a.num_layers());
+}
+
+TEST(MixedPrecision, PromotesMostSensitiveFirst) {
+  const Network net = resnet50();
+  const auto a = NetworkAssignment::uniform(net, UniformDesign{});
+  MixedPrecisionConfig cfg;
+  cfg.budget_fraction = 0.3;
+  const auto result = hawq_lite_allocate(a, cfg, CrossbarConfig{});
+  // Ranking must be sorted by score descending.
+  for (std::size_t i = 1; i < result.ranking.size(); ++i) {
+    EXPECT_GE(result.ranking[i - 1].score, result.ranking[i].score);
+  }
+  // The single most sensitive layer must be promoted (its delta fits any
+  // non-trivial budget for ResNet-50).
+  const auto top = result.ranking.front();
+  EXPECT_EQ(result.precision.weight_bits[static_cast<std::size_t>(top.layer)],
+            cfg.high_bits);
+}
+
+TEST(MixedPrecision, CrossbarCountBetweenUniformExtremes) {
+  // Paper Table 1: W3mp sits between W3 and W5 in crossbars.
+  const Network net = resnet50();
+  const auto a = NetworkAssignment::uniform(net, UniformDesign{});
+  PimEstimator est(CrossbarConfig{}, HardwareLut{});
+  MixedPrecisionConfig cfg;
+  const auto result = hawq_lite_allocate(a, cfg, CrossbarConfig{});
+  const auto mixed = est.eval_network(a, result.precision);
+  const auto low = est.eval_network(a, PrecisionConfig::uniform(3, 9));
+  const auto high = est.eval_network(a, PrecisionConfig::uniform(5, 9));
+  EXPECT_GT(mixed.num_crossbars, low.num_crossbars);
+  EXPECT_LT(mixed.num_crossbars, high.num_crossbars);
+}
+
+// ---- accuracy projector ----
+
+TEST(AccuracyProjector, AnchorsAtZeroNoise) {
+  const AccuracyProjector proj(AccuracyAnchors::resnet50());
+  EXPECT_DOUBLE_EQ(proj.project_quantized(0.0, 1.0), 74.00);
+}
+
+TEST(AccuracyProjector, MonotoneInNoise) {
+  const AccuracyProjector proj(AccuracyAnchors::resnet50());
+  double prev = 100.0;
+  for (const double mse : {1e-6, 1e-4, 1e-2, 1e-1}) {
+    const double acc = proj.project_quantized(mse, 1.0);
+    EXPECT_LT(acc, prev);
+    prev = acc;
+  }
+}
+
+TEST(AccuracyProjector, PaperRegimeAt3Bit) {
+  // 3-bit min/max quantization of ~Gaussian weights has noise amplitude
+  // ratio around 0.3; the projected accuracy should land in the paper's
+  // 3-bit band (69.9 - 72.5) rather than somewhere wild.
+  const AccuracyProjector proj(AccuracyAnchors::resnet50());
+  const double acc = proj.project_quantized(0.09, 1.0);  // sqrt = 0.3
+  EXPECT_GT(acc, 69.0);
+  EXPECT_LT(acc, 73.0);
+}
+
+TEST(AccuracyProjector, PruningPenalty) {
+  const AccuracyProjector proj(AccuracyAnchors::resnet50());
+  EXPECT_DOUBLE_EQ(proj.project_pruned(74.0, 0.0), 74.0);
+  EXPECT_LT(proj.project_pruned(74.0, 0.01), 74.0);
+  EXPECT_THROW(proj.project_pruned(74.0, 1.5), InvalidArgument);
+}
+
+TEST(AccuracyProjector, ResNet101Anchors) {
+  const auto a = AccuracyAnchors::resnet101();
+  EXPECT_DOUBLE_EQ(a.conv_fp32, 78.77);
+  EXPECT_DOUBLE_EQ(a.epitome_fp32, 76.56);
+}
+
+}  // namespace
+}  // namespace epim

@@ -1,0 +1,215 @@
+// Unit tests for src/tensor: Tensor container semantics and the op kernels
+// (matmul, im2col/col2im and their adjoint relationship).
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "tensor/ops.hpp"
+#include "tensor/tensor.hpp"
+
+namespace epim {
+namespace {
+
+TEST(Tensor, ShapeAndNumel) {
+  Tensor t({2, 3, 4});
+  EXPECT_EQ(t.rank(), 3);
+  EXPECT_EQ(t.numel(), 24);
+  EXPECT_EQ(t.dim(0), 2);
+  EXPECT_EQ(t.dim(2), 4);
+  EXPECT_THROW(t.dim(3), InvalidArgument);
+}
+
+TEST(Tensor, ZeroInitialized) {
+  Tensor t({5, 5});
+  for (std::int64_t i = 0; i < t.numel(); ++i) EXPECT_EQ(t.at(i), 0.0f);
+}
+
+TEST(Tensor, FillConstructor) {
+  Tensor t({3}, 2.5f);
+  EXPECT_EQ(t(0), 2.5f);
+  EXPECT_EQ(t(2), 2.5f);
+}
+
+TEST(Tensor, DataConstructorValidatesSize) {
+  EXPECT_NO_THROW(Tensor({2, 2}, std::vector<float>{1, 2, 3, 4}));
+  EXPECT_THROW(Tensor({2, 2}, std::vector<float>{1, 2, 3}), InvalidArgument);
+}
+
+TEST(Tensor, RowMajorIndexing) {
+  Tensor t({2, 3}, std::vector<float>{0, 1, 2, 3, 4, 5});
+  EXPECT_EQ(t(0, 0), 0.0f);
+  EXPECT_EQ(t(0, 2), 2.0f);
+  EXPECT_EQ(t(1, 0), 3.0f);
+  EXPECT_EQ(t(1, 2), 5.0f);
+}
+
+TEST(Tensor, Rank4Indexing) {
+  Tensor t({2, 2, 2, 2});
+  t(1, 0, 1, 0) = 7.0f;
+  EXPECT_EQ(t.at(((1 * 2 + 0) * 2 + 1) * 2 + 0), 7.0f);
+}
+
+TEST(Tensor, IndexBoundsChecked) {
+  Tensor t({2, 3});
+  EXPECT_THROW(t(2, 0), InvalidArgument);
+  EXPECT_THROW(t(0, 3), InvalidArgument);
+  EXPECT_THROW(t(0, -1), InvalidArgument);
+  Tensor u({4});
+  EXPECT_THROW(u(0, 0), InvalidArgument);  // wrong-rank access
+}
+
+TEST(Tensor, OffsetMultiIndex) {
+  Tensor t({2, 3, 4});
+  EXPECT_EQ(t.offset({1, 2, 3}), 1 * 12 + 2 * 4 + 3);
+  EXPECT_THROW(t.offset({1, 2}), InvalidArgument);
+}
+
+TEST(Tensor, ReshapePreservesData) {
+  Tensor t({2, 3}, std::vector<float>{0, 1, 2, 3, 4, 5});
+  Tensor r = t.reshaped({3, 2});
+  EXPECT_EQ(r(2, 1), 5.0f);
+  EXPECT_THROW(t.reshaped({4, 2}), InvalidArgument);
+}
+
+TEST(Tensor, Reductions) {
+  Tensor t({4}, std::vector<float>{-1, 0, 2, 3});
+  EXPECT_EQ(t.min(), -1.0f);
+  EXPECT_EQ(t.max(), 3.0f);
+  EXPECT_DOUBLE_EQ(t.sum(), 4.0);
+  EXPECT_DOUBLE_EQ(t.mean(), 1.0);
+}
+
+TEST(Ops, MatmulSmallKnown) {
+  Tensor a({2, 2}, std::vector<float>{1, 2, 3, 4});
+  Tensor b({2, 2}, std::vector<float>{5, 6, 7, 8});
+  Tensor c = matmul(a, b);
+  EXPECT_EQ(c(0, 0), 19.0f);
+  EXPECT_EQ(c(0, 1), 22.0f);
+  EXPECT_EQ(c(1, 0), 43.0f);
+  EXPECT_EQ(c(1, 1), 50.0f);
+}
+
+TEST(Ops, MatmulShapeChecked) {
+  Tensor a({2, 3}), b({2, 3});
+  EXPECT_THROW(matmul(a, b), InvalidArgument);
+}
+
+TEST(Ops, MatmulNtMatchesMatmulTranspose) {
+  Rng rng(1);
+  Tensor a({5, 7}), b({4, 7});
+  rng.fill_normal(a.data(), 35, 0.0f, 1.0f);
+  rng.fill_normal(b.data(), 28, 0.0f, 1.0f);
+  const Tensor c1 = matmul_nt(a, b);
+  const Tensor c2 = matmul(a, transpose2d(b));
+  EXPECT_LT(max_abs_diff(c1, c2), 1e-4);
+}
+
+TEST(Ops, TransposeInvolution) {
+  Rng rng(2);
+  Tensor a({3, 5});
+  rng.fill_normal(a.data(), 15, 0.0f, 1.0f);
+  EXPECT_EQ(max_abs_diff(transpose2d(transpose2d(a)), a), 0.0);
+}
+
+TEST(Ops, ElementwiseAddSubScale) {
+  Tensor a({3}, std::vector<float>{1, 2, 3});
+  Tensor b({3}, std::vector<float>{4, 5, 6});
+  EXPECT_EQ(add(a, b)(1), 7.0f);
+  EXPECT_EQ(sub(b, a)(2), 3.0f);
+  EXPECT_EQ(scale(a, 2.0f)(0), 2.0f);
+  Tensor c = a;
+  add_inplace(c, b);
+  EXPECT_EQ(c(0), 5.0f);
+  axpy_inplace(c, -1.0f, b);
+  EXPECT_LT(max_abs_diff(c, a), 1e-6);
+}
+
+TEST(Ops, MseAndNorm) {
+  Tensor a({2}, std::vector<float>{0, 3});
+  Tensor b({2}, std::vector<float>{0, 0});
+  EXPECT_DOUBLE_EQ(mse(a, b), 4.5);
+  EXPECT_DOUBLE_EQ(l2_norm(a), 3.0);
+  EXPECT_DOUBLE_EQ(max_abs_diff(a, b), 3.0);
+}
+
+TEST(Ops, ConvOutDim) {
+  EXPECT_EQ(conv_out_dim(224, 7, 2, 3), 112);
+  EXPECT_EQ(conv_out_dim(112, 3, 2, 1), 56);
+  EXPECT_EQ(conv_out_dim(56, 1, 1, 0), 56);
+  EXPECT_EQ(conv_out_dim(56, 3, 1, 1), 56);
+  EXPECT_THROW(conv_out_dim(2, 5, 1, 0), InvalidArgument);
+}
+
+TEST(Ops, Im2colIdentityKernel) {
+  // 1x1 kernel, stride 1, no pad: im2col is just a (HW, C) re-layout.
+  Tensor img({2, 3, 3});
+  for (std::int64_t i = 0; i < img.numel(); ++i) {
+    img.at(i) = static_cast<float>(i);
+  }
+  Tensor cols = im2col(img, 1, 1, 1, 0);
+  EXPECT_EQ(cols.dim(0), 9);
+  EXPECT_EQ(cols.dim(1), 2);
+  EXPECT_EQ(cols(4, 0), img(0, 1, 1));
+  EXPECT_EQ(cols(4, 1), img(1, 1, 1));
+}
+
+TEST(Ops, Im2colPaddingZeros) {
+  Tensor img({1, 2, 2}, std::vector<float>{1, 2, 3, 4});
+  Tensor cols = im2col(img, 3, 3, 1, 1);
+  // Top-left output position: the (0,0) kernel tap reads padding.
+  EXPECT_EQ(cols(0, 0), 0.0f);
+  // Its centre tap reads img(0,0,0).
+  EXPECT_EQ(cols(0, 4), 1.0f);
+}
+
+TEST(Ops, Im2colStride) {
+  Tensor img({1, 4, 4});
+  for (std::int64_t i = 0; i < 16; ++i) img.at(i) = static_cast<float>(i);
+  Tensor cols = im2col(img, 2, 2, 2, 0);
+  EXPECT_EQ(cols.dim(0), 4);  // 2x2 output positions
+  // Second output position (row 0, col 1) starts at x=2.
+  EXPECT_EQ(cols(1, 0), 2.0f);
+}
+
+// Property: <im2col(x), y> == <x, col2im(y)> (adjoint pair), which is what
+// the conv backward pass relies on.
+TEST(Ops, Im2colCol2imAdjoint) {
+  Rng rng(5);
+  const std::int64_t c = 3, h = 6, w = 5, kh = 3, kw = 2, stride = 2, pad = 1;
+  Tensor x({c, h, w});
+  rng.fill_normal(x.data(), static_cast<std::size_t>(x.numel()), 0.0f, 1.0f);
+  Tensor cols = im2col(x, kh, kw, stride, pad);
+  Tensor y(cols.shape());
+  rng.fill_normal(y.data(), static_cast<std::size_t>(y.numel()), 0.0f, 1.0f);
+  double lhs = 0.0;
+  for (std::int64_t i = 0; i < cols.numel(); ++i) lhs += cols.at(i) * y.at(i);
+  const Tensor back = col2im(y, c, h, w, kh, kw, stride, pad);
+  double rhs = 0.0;
+  for (std::int64_t i = 0; i < x.numel(); ++i) rhs += x.at(i) * back.at(i);
+  EXPECT_NEAR(lhs, rhs, 1e-2);
+}
+
+struct Im2colCase {
+  std::int64_t c, h, w, kh, kw, stride, pad;
+};
+
+class Im2colShapes : public ::testing::TestWithParam<Im2colCase> {};
+
+TEST_P(Im2colShapes, ShapeFormula) {
+  const auto p = GetParam();
+  Tensor img({p.c, p.h, p.w}, 1.0f);
+  const Tensor cols = im2col(img, p.kh, p.kw, p.stride, p.pad);
+  EXPECT_EQ(cols.dim(0), conv_out_dim(p.h, p.kh, p.stride, p.pad) *
+                             conv_out_dim(p.w, p.kw, p.stride, p.pad));
+  EXPECT_EQ(cols.dim(1), p.c * p.kh * p.kw);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, Im2colShapes,
+    ::testing::Values(Im2colCase{1, 8, 8, 3, 3, 1, 1},
+                      Im2colCase{3, 16, 16, 3, 3, 2, 1},
+                      Im2colCase{4, 7, 9, 1, 1, 1, 0},
+                      Im2colCase{2, 12, 12, 7, 7, 2, 3},
+                      Im2colCase{8, 5, 5, 5, 5, 1, 2}));
+
+}  // namespace
+}  // namespace epim
