@@ -5,6 +5,9 @@
 //  (c) ADC resolution               -- functional clipping error on real MVMs;
 //  (d) index-table storage overhead -- cost of the IFAT/IFRT/OFAT datapath;
 //  (e) channel-wrapping factor      -- energy vs replication factor r.
+//
+// Hardware sweeps drive the Pipeline façade (one config per point);
+// layer-level probes use the pipeline's estimator.
 #include <cstdio>
 
 #include "common/rng.hpp"
@@ -15,26 +18,28 @@
 #include "pim/chip.hpp"
 #include "pim/crossbar.hpp"
 #include "pim/duplication.hpp"
-#include "sim/simulator.hpp"
+#include "pipeline/pipeline.hpp"
 
 namespace epim {
 namespace {
+
+DesignConfig baseline_design() {
+  DesignConfig design;
+  design.policy = DesignPolicy::kBaseline;
+  return design;
+}
 
 void crossbar_size_sweep(const Network& net) {
   std::printf("--- (a) crossbar size sweep (ResNet-50, epitome 1024x256, "
               "W9A9) ---\n");
   TextTable table({"xbar", "#XB", "lat ms", "mJ", "util%"});
   for (const std::int64_t size : {64, 128, 256}) {
-    CrossbarConfig cfg;
-    cfg.rows = cfg.cols = size;
+    PipelineConfig cfg;
+    cfg.hardware.crossbar.rows = cfg.hardware.crossbar.cols = size;
     // Keep the ADC able to resolve a full column of 2-bit cells.
-    cfg.adc_bits = size == 256 ? 10 : 9;
-    EpimSimulator sim(cfg);
-    UniformDesign policy;
-    policy.crossbar_size = size;
-    const auto uni = NetworkAssignment::uniform(net, policy);
-    const auto c = sim.estimator().eval_network(
-        uni, PrecisionConfig::uniform(9, 9));
+    cfg.hardware.crossbar.adc_bits = size == 256 ? 10 : 9;
+    cfg.design.uniform.crossbar_size = size;
+    const auto c = Pipeline(cfg).compile(net).estimate().cost;
     table.add_row({std::to_string(size) + "x" + std::to_string(size),
                    std::to_string(c.num_crossbars), fmt(c.latency_ms, 1),
                    fmt(c.energy_mj(), 1), fmt(100 * c.utilization, 1)});
@@ -46,14 +51,11 @@ void cell_bits_sweep(const Network& net) {
   std::printf("--- (b) memristor cell-bits sweep (W9A9) ---\n");
   TextTable table({"cell bits", "slices", "#XB", "lat ms", "mJ"});
   for (const int cell_bits : {1, 2, 4}) {
-    CrossbarConfig cfg;
-    cfg.cell_bits = cell_bits;
-    EpimSimulator sim(cfg);
-    const auto uni = NetworkAssignment::uniform(net, UniformDesign{});
-    const auto c = sim.estimator().eval_network(
-        uni, PrecisionConfig::uniform(9, 9));
+    PipelineConfig cfg;
+    cfg.hardware.crossbar.cell_bits = cell_bits;
+    const auto c = Pipeline(cfg).compile(net).estimate().cost;
     table.add_row({std::to_string(cell_bits),
-                   std::to_string(cfg.weight_slices(9)),
+                   std::to_string(cfg.hardware.crossbar.weight_slices(9)),
                    std::to_string(c.num_crossbars), fmt(c.latency_ms, 1),
                    fmt(c.energy_mj(), 1)});
   }
@@ -95,12 +97,13 @@ void adc_resolution_sweep() {
   std::printf("%s\n", table.to_string().c_str());
 }
 
-void index_table_overhead(const Network& net) {
+void index_table_overhead(const Pipeline& pipeline, const Network& net) {
   std::printf("--- (d) IFAT/IFRT/OFAT storage overhead (epitome 1024x256) "
               "---\n");
   TextTable table({"network", "table entries", "epitome params",
                    "overhead %"});
-  const auto uni = NetworkAssignment::uniform(net, UniformDesign{});
+  const CompiledModel model = pipeline.compile(net);
+  const NetworkAssignment& uni = model.assignment();
   std::int64_t entries = 0, params = 0;
   for (std::int64_t i = 0; i < uni.num_layers(); ++i) {
     const auto& choice = uni.choice(i);
@@ -117,9 +120,9 @@ void index_table_overhead(const Network& net) {
   std::printf("%s\n", table.to_string().c_str());
 }
 
-void wrap_factor_sweep() {
+void wrap_factor_sweep(const Pipeline& pipeline) {
   std::printf("--- (e) channel-wrapping factor r vs per-layer cost ---\n");
-  PimEstimator est(CrossbarConfig{}, HardwareLut{});
+  const PimEstimator& est = pipeline.estimator();
   TextTable table({"r", "rounds", "replicas", "lat ms", "dyn mJ"});
   // One stage-4-like layer; r grows as the epitome's cout_e shrinks.
   const ConvLayerInfo layer{"probe", ConvSpec{512, 512, 3, 3, 1, 1}, 7, 7};
@@ -135,46 +138,44 @@ void wrap_factor_sweep() {
   std::printf("%s\n", table.to_string().c_str());
 }
 
-void model_zoo_sweep() {
+void model_zoo_sweep(const Pipeline& pipeline) {
   std::printf("--- (f) model zoo: uniform 1024x256 epitome across "
               "architectures (W9A9) ---\n");
-  EpimSimulator sim;
   TextTable table({"model", "weights M", "#XB conv", "#XB epitome", "XB CR",
                    "param CR", "lat x-conv", "mJ x-conv"});
   const Network nets[] = {resnet18(), resnet34(), resnet50(), resnet101(),
                           vgg16()};
   for (const Network& net : nets) {
-    const auto precision = PrecisionConfig::uniform(9, 9);
-    const auto base = sim.estimator().eval_network(
-        NetworkAssignment::baseline(net), precision);
-    const auto uni = NetworkAssignment::uniform(net, UniformDesign{});
-    const auto epi = sim.estimator().eval_network(uni, precision);
+    const auto base =
+        pipeline.compile(net, baseline_design()).estimate().cost;
+    const CompiledModel model = pipeline.compile(net);
+    const auto& epi = model.estimate().cost;
     table.add_row(
         {net.name(), fmt(static_cast<double>(net.total_weights()) / 1e6, 1),
          std::to_string(base.num_crossbars),
          std::to_string(epi.num_crossbars),
          fmt(static_cast<double>(base.num_crossbars) /
              static_cast<double>(epi.num_crossbars)),
-         fmt(uni.parameter_compression()),
+         fmt(model.assignment().parameter_compression()),
          fmt(epi.latency_ms / base.latency_ms),
          fmt(epi.energy_mj() / base.energy_mj())});
   }
   std::printf("%s\n", table.to_string().c_str());
 }
 
-void duplication_sweep(const Network& net) {
+void duplication_sweep(const Pipeline& pipeline, const Network& net) {
   std::printf("--- (g) weight duplication: spend saved crossbars on "
               "parallelism (epitome 1024x256, W9A9) ---\n");
-  PimEstimator est(CrossbarConfig{}, HardwareLut{});
-  const auto precision = PrecisionConfig::uniform(9, 9);
   const auto conv_base =
-      est.eval_network(NetworkAssignment::baseline(net), precision);
-  const auto epi = NetworkAssignment::uniform(net, UniformDesign{});
-  const auto epi_base = est.eval_network(epi, precision);
+      pipeline.compile(net, baseline_design()).estimate().cost;
+  const CompiledModel model = pipeline.compile(net);
+  const auto& epi_base = model.estimate().cost;
   TextTable table({"extra XB budget", "XB total", "lat ms", "speedup",
                    "vs conv baseline"});
   for (const std::int64_t budget : {0, 1000, 2000, 4000}) {
-    const auto plan = plan_duplication(est, epi, precision, budget);
+    const auto plan = plan_duplication(pipeline.estimator(),
+                                       model.assignment(), model.precision(),
+                                       budget);
     table.add_row({std::to_string(budget),
                    std::to_string(epi_base.num_crossbars +
                                   plan.extra_crossbars),
@@ -186,22 +187,19 @@ void duplication_sweep(const Network& net) {
               conv_base.latency_ms, table.to_string().c_str());
 }
 
-void chip_noc_sweep(const Network& net) {
+void chip_noc_sweep(const Pipeline& pipeline, const Network& net) {
   std::printf("--- (h) chip hierarchy: tiles, mesh NoC, pipelining (W9A9) "
               "---\n");
-  PimEstimator est(CrossbarConfig{}, HardwareLut{});
-  const auto precision = PrecisionConfig::uniform(9, 9);
   TextTable table({"design", "tiles", "mesh", "compute ms", "NoC ms",
                    "NoC mJ", "pipelined ms/img"});
   const struct {
     const char* label;
-    NetworkAssignment assignment;
-  } rows[] = {{"conv baseline", NetworkAssignment::baseline(net)},
-              {"epitome 1024x256",
-               NetworkAssignment::uniform(net, UniformDesign{})}};
+    CompiledModel model;
+  } rows[] = {{"conv baseline", pipeline.compile(net, baseline_design())},
+              {"epitome 1024x256", pipeline.compile(net)}};
   for (const auto& row : rows) {
-    const ChipModel chip(est, TileConfig{});
-    const auto c = chip.eval(row.assignment, precision);
+    const ChipModel chip(pipeline.estimator(), TileConfig{});
+    const auto c = chip.eval(row.model.assignment(), row.model.precision());
     table.add_row({row.label, std::to_string(c.num_tiles),
                    std::to_string(c.mesh_dim) + "x" +
                        std::to_string(c.mesh_dim),
@@ -218,13 +216,14 @@ int main() {
   using namespace epim;
   std::printf("=== EPIM ablation studies ===\n\n");
   const Network net = resnet50();
+  const Pipeline pipeline{PipelineConfig{}};  // uniform 1024x256, W9A9
   crossbar_size_sweep(net);
   cell_bits_sweep(net);
   adc_resolution_sweep();
-  index_table_overhead(net);
-  wrap_factor_sweep();
-  model_zoo_sweep();
-  duplication_sweep(net);
-  chip_noc_sweep(net);
+  index_table_overhead(pipeline, net);
+  wrap_factor_sweep(pipeline);
+  model_zoo_sweep(pipeline);
+  duplication_sweep(pipeline, net);
+  chip_noc_sweep(pipeline, net);
   return 0;
 }

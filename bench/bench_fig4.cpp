@@ -6,13 +6,15 @@
 // Expected shape (paper): at matched compression, EPIM-Opt achieves up to
 // ~3x lower latency, ~2.4x lower energy and ~7x lower EDP than the uniform
 // design, with the gap widening at aggressive compression.
+//
+// Each sweep point drives the Pipeline façade with a one-off design
+// override; search variants enable the config's evolutionary refinement.
 #include <algorithm>
 #include <cstdio>
 
 #include "common/table.hpp"
 #include "nn/resnet.hpp"
-#include "search/evolution.hpp"
-#include "sim/simulator.hpp"
+#include "pipeline/pipeline.hpp"
 
 namespace epim {
 namespace {
@@ -28,10 +30,11 @@ struct SweepPoint {
 int main() {
   using namespace epim;
   const Network net = resnet50();
-  EpimSimulator sim;
-  const auto precision = PrecisionConfig::uniform(9, 9);
-  const auto baseline = sim.estimator().eval_network(
-      NetworkAssignment::baseline(net), precision);
+  const Pipeline pipeline{PipelineConfig{}};  // W9A9, analytical backend
+  DesignConfig baseline_design;
+  baseline_design.policy = DesignPolicy::kBaseline;
+  const auto baseline =
+      pipeline.compile(net, baseline_design).estimate().cost;
 
   const SweepPoint points[] = {{"2048x512", 2048, 512},
                                {"1024x256", 1024, 256},
@@ -50,27 +53,27 @@ int main() {
               baseline.latency_ms, baseline.energy_mj(), baseline.edp());
 
   for (const auto& point : points) {
-    UniformDesign policy;
-    policy.target_rows = point.rows;
-    policy.target_cout = point.cout;
-    auto uniform = NetworkAssignment::uniform(net, policy);
-    auto wrapped = NetworkAssignment::uniform(net, policy);
-    wrapped.set_wrap_output(true);
-    const auto cost_u = sim.estimator().eval_network(uniform, precision);
-    const auto cost_w = sim.estimator().eval_network(wrapped, precision);
+    DesignConfig design;
+    design.uniform.target_rows = point.rows;
+    design.uniform.target_cout = point.cout;
+    DesignConfig wrapped = design;
+    wrapped.wrap_output = true;
+    const auto cost_u = pipeline.compile(net, design).estimate().cost;
+    const auto cost_w = pipeline.compile(net, wrapped).estimate().cost;
 
     // Evo-Search at this point's crossbar budget, without and with wrapping
     // in the candidate pool (the latter = EPIM-Opt).
     auto search = [&](bool wrap, SearchObjective objective) {
-      EvoSearchConfig cfg;
-      cfg.population = 32;
-      cfg.iterations = 16;
-      cfg.parents = 8;
-      cfg.crossbar_budget = cost_u.num_crossbars;
-      cfg.precision = precision;
-      cfg.objective = objective;
-      cfg.candidates.wrap_output = wrap;
-      return EvolutionSearch(net, sim.estimator(), cfg).run().best_cost;
+      PipelineConfig cfg;
+      cfg.search.enabled = true;
+      cfg.search.evo.population = 32;
+      cfg.search.evo.iterations = 16;
+      cfg.search.evo.parents = 8;
+      cfg.search.evo.crossbar_budget = cost_u.num_crossbars;
+      cfg.search.evo.objective = objective;
+      cfg.search.evo.candidates.wrap_output = wrap;
+      CompiledModel model = Pipeline(cfg).compile(net);
+      return model.search().best_cost;
     };
     const auto cost_e = search(false, SearchObjective::kEdp);
     const auto cost_opt = search(true, SearchObjective::kEdp);

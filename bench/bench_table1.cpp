@@ -6,14 +6,14 @@
 // is a projection (see quant/accuracy_model.hpp); hardware numbers come from
 // the calibrated behaviour-level estimator. Expect the *shape* to match the
 // paper (who wins, roughly by how much), not digit-for-digit equality.
+//
+// Every row is one Pipeline configuration: design policy + precision plan.
 #include <cstdio>
-#include <optional>
+#include <vector>
 
 #include "common/table.hpp"
 #include "nn/resnet.hpp"
-#include "quant/mixed_precision.hpp"
-#include "search/evolution.hpp"
-#include "sim/simulator.hpp"
+#include "pipeline/pipeline.hpp"
 
 namespace epim {
 namespace {
@@ -26,7 +26,7 @@ struct PaperRow {
 
 struct RowSpec {
   std::string label;
-  PrecisionConfig precision;
+  PrecisionPlan plan;
   bool epitome;
   PaperRow paper;
 };
@@ -34,23 +34,24 @@ struct RowSpec {
 void run_model(const char* name, const Network& net,
                const AccuracyAnchors& anchors,
                const std::vector<RowSpec>& rows, bool opt_rows) {
-  EpimSimulator sim;
-  const AccuracyProjector proj(anchors);
-  const QuantConfig scheme;  // overlap-weighted, the paper's full method
-  const auto base = NetworkAssignment::baseline(net);
-  const auto uni = NetworkAssignment::uniform(net, UniformDesign{});
+  auto make_config = [&](const PrecisionPlan& plan, DesignPolicy policy) {
+    PipelineConfig cfg;
+    cfg.anchors = anchors;
+    cfg.precision = plan;
+    cfg.design.policy = policy;
+    return cfg;
+  };
   const double base_xb = static_cast<double>(
-      sim.estimator()
-          .eval_network(base, PrecisionConfig::uniform(32, 32))
-          .num_crossbars);
+      Pipeline(make_config(PrecisionPlan::fp32(), DesignPolicy::kBaseline))
+          .compile(net)
+          .estimate()
+          .cost.num_crossbars);
 
   TextTable table({"config", "epitome", "acc%*", "acc%(paper)", "#XB",
                    "#XB(paper)", "CR", "CR(paper)", "lat ms", "lat(paper)",
                    "mJ", "mJ(paper)", "util%", "util(paper)"});
-  auto emit = [&](const std::string& label, const NetworkAssignment& a,
-                  const PrecisionConfig& p, const PaperRow& ref,
-                  const char* epitome_desc) {
-    const auto e = sim.evaluate(a, p, scheme, proj);
+  auto add_row = [&](const std::string& label, const char* epitome_desc,
+                     const CompiledModel::Evaluation& e, const PaperRow& ref) {
     table.add_row({label, epitome_desc, fmt(e.projected_accuracy),
                    fmt(ref.accuracy), std::to_string(e.cost.num_crossbars),
                    fmt(ref.xbs, 0),
@@ -61,40 +62,38 @@ void run_model(const char* name, const Network& net,
   };
 
   for (const RowSpec& row : rows) {
-    emit(row.label, row.epitome ? uni : base, row.precision, row.paper,
-         row.epitome ? "1024x256" : "-");
+    const auto policy =
+        row.epitome ? DesignPolicy::kUniform : DesignPolicy::kBaseline;
+    const auto e =
+        Pipeline(make_config(row.plan, policy)).compile(net).estimate();
+    add_row(row.label, row.epitome ? "1024x256" : "-", e, row.paper);
   }
 
   if (opt_rows) {
     // Layer-wise designs from the evolutionary search at the W9A9 uniform
     // crossbar count scaled to the paper's latency/energy-opt budgets.
-    const auto w9 =
-        sim.estimator().eval_network(uni, PrecisionConfig::uniform(9, 9));
+    const auto w9 = make_config(PrecisionPlan::uniform(9, 9),
+                                DesignPolicy::kUniform);
+    const auto w9_cost = Pipeline(w9).compile(net).estimate().cost;
     for (const auto objective :
          {SearchObjective::kLatency, SearchObjective::kEnergy}) {
-      EvoSearchConfig cfg;
-      cfg.population = 32;
-      cfg.iterations = 20;
-      cfg.parents = 8;
-      cfg.crossbar_budget = (w9.num_crossbars * 3) / 4;
-      cfg.precision = PrecisionConfig::uniform(9, 9);
-      cfg.objective = objective;
-      cfg.candidates.wrap_output = true;
-      const auto result = EvolutionSearch(net, sim.estimator(), cfg).run();
+      PipelineConfig cfg = w9;
+      cfg.search.enabled = true;
+      cfg.search.evo.population = 32;
+      cfg.search.evo.iterations = 20;
+      cfg.search.evo.parents = 8;
+      cfg.search.evo.crossbar_budget = (w9_cost.num_crossbars * 3) / 4;
+      cfg.search.evo.objective = objective;
+      cfg.search.evo.candidates.wrap_output = true;
+      CompiledModel model = Pipeline(cfg).compile(net);
+      model.search();
       const bool lat = objective == SearchObjective::kLatency;
       const PaperRow ref = lat ? PaperRow{"W9A9", "layer-wise", 73.60, 1080,
                                           12.15, 49.2, 16.4, 93.4}
                                : PaperRow{"W9A9", "layer-wise", 73.15, 1048,
                                           12.52, 50.6, 15.6, 93.2};
-      const auto e = sim.evaluate(result.best, cfg.precision, scheme, proj);
-      table.add_row(
-          {lat ? "W9A9-Latency-Opt" : "W9A9-Energy-Opt", "layer-wise",
-           fmt(e.projected_accuracy), fmt(ref.accuracy),
-           std::to_string(e.cost.num_crossbars), fmt(ref.xbs, 0),
-           fmt(base_xb / static_cast<double>(e.cost.num_crossbars)),
-           fmt(ref.cr), fmt(e.cost.latency_ms, 1), fmt(ref.latency, 1),
-           fmt(e.cost.energy_mj(), 1), fmt(ref.energy, 1),
-           fmt(100.0 * e.cost.utilization, 1), fmt(ref.util, 1)});
+      add_row(lat ? "W9A9-Latency-Opt" : "W9A9-Energy-Opt", "layer-wise",
+              model.estimate(), ref);
     }
   }
 
@@ -102,54 +101,48 @@ void run_model(const char* name, const Network& net,
               table.to_string().c_str());
 }
 
-std::vector<RowSpec> resnet50_rows(const NetworkAssignment& uni,
-                                   const CrossbarConfig& xbar) {
+std::vector<RowSpec> resnet50_rows() {
   std::vector<RowSpec> rows;
-  rows.push_back({"FP32 conv", PrecisionConfig::uniform(32, 32), false,
+  rows.push_back({"FP32 conv", PrecisionPlan::fp32(), false,
                   {"FP32", "-", 76.37, 13120, 1.00, 139.8, 214.0, 94.9}});
-  rows.push_back({"FP32 epitome", PrecisionConfig::uniform(32, 32), true,
+  rows.push_back({"FP32 epitome", PrecisionPlan::fp32(), true,
                   {"FP32", "1024x256", 74.00, 5696, 2.30, 167.7, 194.8,
                    96.7}});
-  rows.push_back({"W9A9", PrecisionConfig::uniform(9, 9), true,
+  rows.push_back({"W9A9", PrecisionPlan::uniform(9, 9), true,
                   {"W9A9", "1024x256", 73.98, 1424, 9.21, 50.9, 17.0, 96.7}});
-  rows.push_back({"W7A9", PrecisionConfig::uniform(7, 9), true,
+  rows.push_back({"W7A9", PrecisionPlan::uniform(7, 9), true,
                   {"W7A9", "1024x256", 73.81, 1076, 12.19, 45.2, 20.5,
                    93.2}});
-  rows.push_back({"W5A9", PrecisionConfig::uniform(5, 9), true,
+  rows.push_back({"W5A9", PrecisionPlan::uniform(5, 9), true,
                   {"W5A9", "1024x256", 73.59, 720, 18.12, 39.9, 13.7, 93.2}});
   // W3mp: HAWQ-lite mixed precision between 3 and 5 bits.
-  MixedPrecisionConfig mp;
-  const auto alloc = hawq_lite_allocate(uni, mp, xbar);
-  rows.push_back({"W3mpA9 (HAWQ-lite)", alloc.precision, true,
+  rows.push_back({"W3mpA9 (HAWQ-lite)", PrecisionPlan::hawq_mixed(), true,
                   {"W3mpA9", "1024x256", 72.98, 618, 21.23, 37.0, 10.2,
                    93.2}});
-  rows.push_back({"W3A9", PrecisionConfig::uniform(3, 9), true,
+  rows.push_back({"W3A9", PrecisionPlan::uniform(3, 9), true,
                   {"W3A9", "1024x256", 71.59, 428, 30.65, 36.7, 9.3, 93.2}});
   return rows;
 }
 
-std::vector<RowSpec> resnet101_rows(const NetworkAssignment& uni,
-                                    const CrossbarConfig& xbar) {
+std::vector<RowSpec> resnet101_rows() {
   std::vector<RowSpec> rows;
-  rows.push_back({"FP32 conv", PrecisionConfig::uniform(32, 32), false,
+  rows.push_back({"FP32 conv", PrecisionPlan::fp32(), false,
                   {"FP32", "-", 78.77, 22912, 1.00, 189.7, 385.7, 94.7}});
-  rows.push_back({"FP32 epitome", PrecisionConfig::uniform(32, 32), true,
+  rows.push_back({"FP32 epitome", PrecisionPlan::fp32(), true,
                   {"FP32", "1024x256", 76.56, 10592, 2.16, 263.7, 364.8,
                    98.2}});
-  rows.push_back({"W9A9", PrecisionConfig::uniform(9, 9), true,
+  rows.push_back({"W9A9", PrecisionPlan::uniform(9, 9), true,
                   {"W9A9", "1024x256", 76.52, 2648, 8.65, 75.8, 32.2, 98.2}});
-  rows.push_back({"W7A9", PrecisionConfig::uniform(7, 9), true,
+  rows.push_back({"W7A9", PrecisionPlan::uniform(7, 9), true,
                   {"W7A9", "1024x256", 76.48, 1994, 11.49, 73.7, 39.5,
                    98.2}});
-  rows.push_back({"W5A9", PrecisionConfig::uniform(5, 9), true,
+  rows.push_back({"W5A9", PrecisionPlan::uniform(5, 9), true,
                   {"W5A9", "1024x256", 75.68, 1584, 14.46, 72.1, 29.2,
                    98.2}});
-  MixedPrecisionConfig mp;
-  const auto alloc = hawq_lite_allocate(uni, mp, xbar);
-  rows.push_back({"W3mpA9 (HAWQ-lite)", alloc.precision, true,
+  rows.push_back({"W3mpA9 (HAWQ-lite)", PrecisionPlan::hawq_mixed(), true,
                   {"W3mpA9", "1024x256", 75.80, 1052, 21.78, 65.5, 18.6,
                    98.2}});
-  rows.push_back({"W3A9", PrecisionConfig::uniform(3, 9), true,
+  rows.push_back({"W3A9", PrecisionPlan::uniform(3, 9), true,
                   {"W3A9", "1024x256", 74.98, 734, 31.22, 63.4, 17.0,
                    98.2}});
   return rows;
@@ -162,17 +155,9 @@ int main() {
   using namespace epim;
   std::printf("acc%%* = projected accuracy (anchored on the paper's FP32 "
               "points; see EXPERIMENTS.md)\n\n");
-  {
-    const Network net = resnet50();
-    const auto uni = NetworkAssignment::uniform(net, UniformDesign{});
-    run_model("ResNet-50", net, AccuracyAnchors::resnet50(),
-              resnet50_rows(uni, CrossbarConfig{}), /*opt_rows=*/true);
-  }
-  {
-    const Network net = resnet101();
-    const auto uni = NetworkAssignment::uniform(net, UniformDesign{});
-    run_model("ResNet-101", net, AccuracyAnchors::resnet101(),
-              resnet101_rows(uni, CrossbarConfig{}), /*opt_rows=*/false);
-  }
+  run_model("ResNet-50", resnet50(), AccuracyAnchors::resnet50(),
+            resnet50_rows(), /*opt_rows=*/true);
+  run_model("ResNet-101", resnet101(), AccuracyAnchors::resnet101(),
+            resnet101_rows(), /*opt_rows=*/false);
   return 0;
 }

@@ -3,20 +3,19 @@
 // wrapping, and HAWQ-lite mixed 3/5-bit quantization -- and print the
 // deployment report a hardware team would review.
 //
+// Everything goes through the epim::Pipeline façade: one config aggregate,
+// one compile() call, one estimate() per configuration.
+//
 // Build & run:   ./build/examples/deploy_resnet50
 #include <cstdio>
 
 #include "common/table.hpp"
 #include "nn/resnet.hpp"
-#include "quant/mixed_precision.hpp"
-#include "sim/simulator.hpp"
+#include "pipeline/pipeline.hpp"
 
 int main() {
   using namespace epim;
   const Network net = resnet50();
-  EpimSimulator sim;
-  const AccuracyProjector projector(AccuracyAnchors::resnet50());
-  const QuantConfig scheme;  // overlap-weighted ranges
 
   std::printf("deploying %s (%lld weighted layers, %.1fM weights)\n\n",
               net.name().c_str(),
@@ -24,47 +23,53 @@ int main() {
               static_cast<double>(net.total_weights()) / 1e6);
 
   // Step 1: baseline -- does the FP32 convolution model even fit?
-  const auto baseline = sim.evaluate(NetworkAssignment::baseline(net),
-                                     PrecisionConfig::uniform(32, 32),
-                                     scheme, projector);
+  PipelineConfig base_cfg;
+  base_cfg.design.policy = DesignPolicy::kBaseline;
+  base_cfg.precision = PrecisionPlan::fp32();
+  const auto baseline = Pipeline(base_cfg).compile(net).estimate();
   std::printf("step 1  FP32 convolution baseline needs %lld crossbars\n",
               static_cast<long long>(baseline.cost.num_crossbars));
 
-  // Step 2: replace convolutions with 1024x256 epitomes + channel wrapping.
-  auto assignment = NetworkAssignment::uniform(net, UniformDesign{});
-  assignment.set_wrap_output(true);
+  // Step 2+3: the EPIM deployment pipeline -- 1024x256 epitomes with channel
+  // wrapping, HAWQ-lite mixed precision under a crossbar budget.
+  PipelineConfig cfg;
+  cfg.design.wrap_output = true;
+  cfg.precision = PrecisionPlan::hawq_mixed([] {
+    MixedPrecisionConfig mp;
+    mp.budget_fraction = 0.45;
+    return mp;
+  }());
+  Pipeline pipeline(cfg);
+  const CompiledModel model = pipeline.compile(net);
+
   std::printf("step 2  epitome designer compressed %lld / %lld layers "
               "(parameter compression %.2fx)\n",
-              static_cast<long long>(assignment.num_epitome_layers()),
-              static_cast<long long>(assignment.num_layers()),
-              assignment.parameter_compression());
+              static_cast<long long>(model.assignment().num_epitome_layers()),
+              static_cast<long long>(model.assignment().num_layers()),
+              model.assignment().parameter_compression());
 
-  // Step 3: HAWQ-lite mixed precision under a crossbar budget.
-  MixedPrecisionConfig mp;
-  mp.budget_fraction = 0.45;
-  const auto alloc = hawq_lite_allocate(assignment, mp,
-                                        sim.crossbar_config());
+  const auto& alloc = model.mixed_precision().value();
   std::int64_t high = 0;
   for (const int b : alloc.precision.weight_bits) {
-    high += b == mp.high_bits ? 1 : 0;
+    high += b == cfg.precision.mixed.high_bits ? 1 : 0;
   }
   std::printf("step 3  HAWQ-lite kept %lld sensitive layers at %d bits, "
               "the rest at %d bits (budget %lld crossbars)\n",
-              static_cast<long long>(high), mp.high_bits, mp.low_bits,
+              static_cast<long long>(high), cfg.precision.mixed.high_bits,
+              cfg.precision.mixed.low_bits,
               static_cast<long long>(alloc.budget_crossbars));
   std::printf("        most sensitive layers: ");
   for (int i = 0; i < 3; ++i) {
     std::printf("%s%s",
-                assignment.layers()[static_cast<std::size_t>(
-                                        alloc.ranking[static_cast<std::size_t>(
-                                            i)].layer)]
+                model.assignment()
+                    .layers()[static_cast<std::size_t>(
+                        alloc.ranking[static_cast<std::size_t>(i)].layer)]
                     .name.c_str(),
                 i < 2 ? ", " : "\n");
   }
 
   // Step 4: the deployment report.
-  const auto deployed =
-      sim.evaluate(assignment, alloc.precision, scheme, projector);
+  const auto& deployed = model.estimate();
   TextTable report({"metric", "FP32 conv baseline", "EPIM deployment"});
   report.add_row({"crossbars",
                   std::to_string(baseline.cost.num_crossbars),
@@ -84,5 +89,8 @@ int main() {
                   fmt(baseline.projected_accuracy),
                   fmt(deployed.projected_accuracy)});
   std::printf("\nstep 4  deployment report\n%s", report.to_string().c_str());
+
+  // The same facts, straight from the façade's own reporter.
+  std::printf("\n%s", model.summary().c_str());
   return 0;
 }

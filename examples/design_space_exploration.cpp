@@ -1,8 +1,9 @@
 // Design-space exploration scenario: a hardware architect has a fixed
 // crossbar budget and wants the fastest layer-wise epitome design for
-// ResNet-50 (paper Sec. 5.2, Algorithm 1). Runs the evolutionary search
-// with both objectives and prints the convergence curve plus the per-stage
-// structure of the winning design.
+// ResNet-50 (paper Sec. 5.2, Algorithm 1). Compiles the uniform design with
+// the Pipeline façade, then refines it in place with CompiledModel::search()
+// and prints the convergence curve plus the per-stage structure of the
+// winning design.
 //
 // Build & run:   ./build/examples/design_space_exploration
 #include <cstdio>
@@ -10,18 +11,17 @@
 
 #include "common/table.hpp"
 #include "nn/resnet.hpp"
-#include "search/evolution.hpp"
-#include "sim/simulator.hpp"
+#include "pipeline/pipeline.hpp"
 
 int main() {
   using namespace epim;
   const Network net = resnet50();
-  EpimSimulator sim;
-  const auto precision = PrecisionConfig::uniform(9, 9);
 
-  // The budget: 60% of what the uniform 1024x256 design would use.
-  const auto uniform = NetworkAssignment::uniform(net, UniformDesign{});
-  const auto uniform_cost = sim.estimator().eval_network(uniform, precision);
+  // The uniform 1024x256 design at W9A9 (the pipeline's defaults).
+  PipelineConfig cfg;
+  const auto uniform_cost = Pipeline(cfg).compile(net).estimate().cost;
+
+  // The budget: 60% of what the uniform design uses.
   const std::int64_t budget = uniform_cost.num_crossbars * 6 / 10;
   std::printf("uniform 1024x256 design: %lld crossbars, %.1f ms, %.1f mJ\n",
               static_cast<long long>(uniform_cost.num_crossbars),
@@ -29,17 +29,16 @@ int main() {
   std::printf("crossbar budget for the search: %lld\n\n",
               static_cast<long long>(budget));
 
-  EvoSearchConfig cfg;
-  cfg.population = 40;
-  cfg.iterations = 25;
-  cfg.parents = 10;
-  cfg.crossbar_budget = budget;
-  cfg.precision = precision;
-  cfg.candidates.wrap_output = true;  // EPIM-Opt style
-  cfg.objective = SearchObjective::kLatency;
+  cfg.search.enabled = true;
+  cfg.search.evo.population = 40;
+  cfg.search.evo.iterations = 25;
+  cfg.search.evo.parents = 10;
+  cfg.search.evo.crossbar_budget = budget;
+  cfg.search.evo.candidates.wrap_output = true;  // EPIM-Opt style
+  cfg.search.evo.objective = SearchObjective::kLatency;
 
-  EvolutionSearch search(net, sim.estimator(), cfg);
-  const auto result = search.run();
+  CompiledModel model = Pipeline(cfg).compile(net);
+  const EvoSearchResult result = model.search();
 
   std::printf("search space: %.3g layer-wise combinations (paper: 2.07e7 "
               "for its candidate family)\n",
@@ -58,13 +57,14 @@ int main() {
   std::printf("\n\n");
 
   // Summarize the winning design per ResNet stage: how many layers keep
-  // their convolution, and the epitome row-size histogram.
+  // their convolution, and the epitome row-size histogram. The refined
+  // assignment now lives inside the compiled model.
   std::map<std::string, std::map<std::string, int>> stage_summary;
-  for (std::int64_t i = 0; i < result.best.num_layers(); ++i) {
-    const std::string& name =
-        result.best.layers()[static_cast<std::size_t>(i)].name;
+  const NetworkAssignment& best = model.assignment();
+  for (std::int64_t i = 0; i < best.num_layers(); ++i) {
+    const std::string& name = best.layers()[static_cast<std::size_t>(i)].name;
     const std::string stage = name.substr(0, name.find('.'));
-    const auto& choice = result.best.choice(i);
+    const auto& choice = best.choice(i);
     stage_summary[stage][choice.has_value()
                              ? std::to_string(choice->rows()) + "x" +
                                    std::to_string(choice->cout_e)

@@ -1,9 +1,12 @@
-// Quickstart: the EPIM workflow on a single convolution layer.
+// Quickstart: the EPIM workflow on a single convolution layer, driven
+// through the epim::Pipeline façade.
 //
-//  1. Describe a convolution and design an epitome for it.
+//  1. Describe a one-layer network and let the pipeline compile an epitome
+//     design for it.
 //  2. Look at the sampling plan (how the crossbars will be activated).
-//  3. Run the layer through the IFAT/IFRT/OFAT datapath and check it equals
-//     the reference convolution with the reconstructed weights.
+//  3. Run the layer through the IFAT/IFRT/OFAT datapath, check it equals the
+//     reference convolution, and confirm the pipeline's two evaluation
+//     backends agree on the activity counts.
 //  4. Compare hardware cost (crossbars / latency / energy) of the
 //     convolution vs the epitome on the behaviour-level PIM model.
 //
@@ -11,10 +14,9 @@
 #include <cstdio>
 
 #include "common/rng.hpp"
-#include "core/designer.hpp"
 #include "datapath/datapath_sim.hpp"
 #include "nn/conv_exec.hpp"
-#include "pim/estimator.hpp"
+#include "pipeline/pipeline.hpp"
 #include "tensor/ops.hpp"
 
 int main() {
@@ -24,14 +26,18 @@ int main() {
   // A stage-3-style ResNet layer: 256 -> 256 channels, 3x3, on a 14x14 map.
   const ConvLayerInfo layer{"demo.conv",
                             ConvSpec{256, 256, 3, 3, 1, 1}, 14, 14};
+  Network net("demo");
+  net.add_conv(layer);
   std::printf("layer: %s\n", layer.to_string().c_str());
   std::printf("conv weights: %lld params, unrolled %lld x %lld\n\n",
               static_cast<long long>(layer.conv.weight_count()),
               static_cast<long long>(layer.conv.unrolled_rows()),
               static_cast<long long>(layer.conv.unrolled_cols()));
 
-  // 1. Design an epitome with the paper's uniform 1024x256 policy.
-  const auto spec = design_uniform(layer.conv, UniformDesign{});
+  // 1. Compile with the paper's uniform 1024x256 policy (the default).
+  Pipeline pipeline{PipelineConfig{}};
+  const CompiledModel model = pipeline.compile(net);
+  const auto& spec = model.assignment().choice(0);
   if (!spec.has_value()) {
     std::printf("layer too small to benefit from an epitome\n");
     return 0;
@@ -63,14 +69,21 @@ int main() {
               "outputs\n",
               max_abs_diff(via_datapath, reference),
               static_cast<long long>(reference.numel()));
-  std::printf("datapath activity: %lld crossbar rounds, %lld buffer writes, "
-              "%lld joint-module adds\n\n",
-              static_cast<long long>(datapath.stats().crossbar_rounds),
-              static_cast<long long>(datapath.stats().buffer_writes),
-              static_cast<long long>(datapath.stats().joint_adds));
+
+  // HW/SW agreement: the pipeline's (analytical) backend's activity
+  // accounting must match what the functional datapath actually does.
+  const DatapathBackend functional(pipeline.config().hardware.crossbar,
+                                   pipeline.config().hardware.lut);
+  const LayerActivity a = pipeline.backend().layer_activity(layer, *spec, 1);
+  const LayerActivity f = functional.layer_activity(layer, *spec, 1);
+  std::printf("activity counts, analytical vs functional datapath: "
+              "%lld vs %lld crossbar rounds -- %s\n\n",
+              static_cast<long long>(a.crossbar_rounds),
+              static_cast<long long>(f.crossbar_rounds),
+              a == f ? "agree" : "DISAGREE");
 
   // 4. Hardware cost on the behaviour-level PIM model (W9A9).
-  PimEstimator estimator(CrossbarConfig{}, HardwareLut{});
+  const PimEstimator& estimator = pipeline.estimator();
   const LayerCost conv_cost = estimator.eval_conv_layer(layer, 9, 9);
   const LayerCost epi_cost = estimator.eval_epitome_layer(layer, *spec, 9, 9);
   std::printf("hardware cost @ W9A9 (128x128 crossbars, 2-bit cells):\n");

@@ -1,13 +1,14 @@
 // Full-stack scenario: train an epitome CNN, deploy it onto the simulated
-// PIM chip (real quantized weights programmed into bit-sliced crossbars,
-// IFAT/IFRT/OFAT execution), and measure the accuracy the chip delivers --
-// including under memristor write variation and hard faults.
+// PIM chip through the Pipeline façade (real quantized weights programmed
+// into bit-sliced crossbars, IFAT/IFRT/OFAT execution), and measure the
+// accuracy the chip delivers -- including under memristor write variation
+// and hard faults.
 //
 // Build & run:   ./build/examples/run_on_chip
 #include <cstdio>
 
 #include "common/table.hpp"
-#include "runtime/pim_runtime.hpp"
+#include "pipeline/pipeline.hpp"
 #include "train/trainer.hpp"
 
 int main() {
@@ -30,19 +31,20 @@ int main() {
   const TrainResult trained = train_model(net, data, tcfg);
   std::printf("float model test accuracy: %.3f\n\n", trained.test_accuracy);
 
-  // 2. Deploy at several precisions on a clean chip.
+  // 2. Deploy at several precisions on a clean chip. The pipeline derives
+  // the RuntimeConfig (12-bit deployment ADC, calibration on data.train).
   std::printf("deploying onto the simulated chip (128x128 crossbars, 2-bit "
               "cells, bit-serial inputs)...\n");
   TextTable precisions({"weights", "acts", "crossbars", "chip accuracy",
                         "float accuracy"});
   for (const auto& [wb, ab] : {std::pair{8, 10}, {6, 8}, {4, 6}, {3, 4}}) {
-    RuntimeConfig cfg;
-    cfg.weight_bits = wb;
-    cfg.act_bits = ab;
-    PimNetworkRuntime runtime(net, data.train, cfg);
+    PipelineConfig cfg;
+    cfg.deploy.weight_bits = wb;
+    cfg.deploy.act_bits = ab;
+    DeployedModel chip = Pipeline(cfg).deploy(net, data.train);
     precisions.add_row({"W" + std::to_string(wb), "A" + std::to_string(ab),
-                        std::to_string(runtime.total_crossbars()),
-                        fmt(runtime.evaluate(data.test), 3),
+                        std::to_string(chip.total_crossbars()),
+                        fmt(chip.evaluate(data.test), 3),
                         fmt(trained.test_accuracy, 3)});
   }
   std::printf("%s\n", precisions.to_string().c_str());
@@ -56,15 +58,15 @@ int main() {
   } grid[] = {{0.0, 0.0, 0.0}, {0.2, 0.0, 0.0}, {0.5, 0.0, 0.0},
               {0.0, 0.02, 0.0}, {0.0, 0.0, 0.01}, {0.5, 0.02, 0.01}};
   for (const auto& g : grid) {
-    RuntimeConfig cfg;
-    cfg.weight_bits = 6;
-    cfg.act_bits = 8;
-    cfg.non_ideal.conductance_sigma = g.sigma;
-    cfg.non_ideal.stuck_at_zero_prob = g.s0;
-    cfg.non_ideal.stuck_at_max_prob = g.s1;
-    PimNetworkRuntime runtime(net, data.train, cfg);
+    PipelineConfig cfg;
+    cfg.deploy.weight_bits = 6;
+    cfg.deploy.act_bits = 8;
+    cfg.deploy.non_ideal.conductance_sigma = g.sigma;
+    cfg.deploy.non_ideal.stuck_at_zero_prob = g.s0;
+    cfg.deploy.non_ideal.stuck_at_max_prob = g.s1;
+    DeployedModel chip = Pipeline(cfg).deploy(net, data.train);
     faults.add_row({fmt(g.sigma, 1), fmt(g.s0, 2), fmt(g.s1, 2),
-                    fmt(runtime.evaluate(data.test), 3)});
+                    fmt(chip.evaluate(data.test), 3)});
   }
   std::printf("%s", faults.to_string().c_str());
   std::printf("\nevery multiply-accumulate above went through the bit-sliced "

@@ -1,12 +1,14 @@
 // Software-stack scenario: train an epitome CNN from scratch (training
 // *through* the epitome reconstruction, gradients folded back onto the
 // shared cells), then post-training-quantize it with the paper's
-// epitome-aware schemes and compare real measured accuracy.
+// epitome-aware schemes -- each scheme expressed as a Pipeline quant config
+// -- and compare real measured accuracy.
 //
 // Build & run:   ./build/examples/train_and_quantize
 #include <cstdio>
 
 #include "common/table.hpp"
+#include "pipeline/pipeline.hpp"
 #include "train/trainer.hpp"
 
 int main() {
@@ -49,18 +51,19 @@ int main() {
               epim_result.test_accuracy, conv_result.test_accuracy,
               conv_result.test_accuracy - epim_result.test_accuracy);
 
-  // Post-training quantization of the epitome model.
+  // Post-training quantization of the epitome model, each point one
+  // pipeline configuration.
   TextTable table({"bits", "scheme", "test acc", "weighted MSE"});
   for (const int bits : {2, 3, 4, 6}) {
     for (const auto scheme :
          {RangeScheme::kMinMax, RangeScheme::kPerCrossbar,
           RangeScheme::kOverlapWeighted}) {
-      QuantConfig cfg;
-      cfg.bits = bits;
-      cfg.scheme = scheme;
-      cfg.xbar_rows = 64;
-      cfg.xbar_cols = 16;
-      const auto r = evaluate_quantized(epim_net, data.test, cfg);
+      PipelineConfig cfg;
+      cfg.quant.bits = bits;
+      cfg.quant.scheme = scheme;
+      cfg.quant.xbar_rows = 64;
+      cfg.quant.xbar_cols = 16;
+      const auto r = Pipeline(cfg).evaluate_quantized(epim_net, data.test);
       table.add_row({std::to_string(bits), range_scheme_name(scheme),
                      fmt(r.accuracy, 3), fmt(r.weighted_mse, 6)});
     }

@@ -1,0 +1,117 @@
+#include "pipeline/backend.hpp"
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "core/epitome.hpp"
+#include "datapath/datapath_sim.hpp"
+
+namespace epim {
+
+namespace {
+
+LayerActivity activity_from_cost(const LayerCost& cost) {
+  LayerActivity a;
+  a.positions = cost.positions;
+  a.crossbar_rounds = cost.positions * cost.rounds_per_position;
+  a.replica_copies = cost.positions * cost.replicas_per_position;
+  return a;
+}
+
+/// The analytical activity derivation shared by AnalyticalBackend and
+/// DatapathBackend's cross-check. Counts depend only on the sampling plan,
+/// so the probe precision (W9A9) is arbitrary.
+LayerActivity analytical_activity(const EpimSimulator& sim,
+                                  const ConvLayerInfo& layer,
+                                  const EpitomeSpec& spec) {
+  return activity_from_cost(sim.estimator().eval_epitome_layer(layer, spec,
+                                                               9, 9));
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// AnalyticalBackend
+// ---------------------------------------------------------------------------
+
+EpimSimulator::Evaluation AnalyticalBackend::evaluate(
+    const NetworkAssignment& assignment, const PrecisionConfig& precision,
+    const QuantConfig& scheme, const AccuracyProjector& projector,
+    std::uint64_t seed) const {
+  return sim_.evaluate(assignment, precision, scheme, projector, seed);
+}
+
+LayerActivity AnalyticalBackend::layer_activity(const ConvLayerInfo& layer,
+                                                const EpitomeSpec& spec,
+                                                std::uint64_t /*seed*/) const {
+  return analytical_activity(sim_, layer, spec);
+}
+
+// ---------------------------------------------------------------------------
+// DatapathBackend
+// ---------------------------------------------------------------------------
+
+LayerActivity DatapathBackend::layer_activity(const ConvLayerInfo& layer,
+                                              const EpitomeSpec& spec,
+                                              std::uint64_t seed) const {
+  const ConvSpec& conv = layer.conv;
+  // Shrink the feature map to the smallest size with at least one output
+  // position: per-position activity is position-independent, so measuring a
+  // handful of positions and scaling is exact (and keeps ResNet-scale
+  // agreement checks cheap).
+  const std::int64_t probe_h =
+      std::max<std::int64_t>(conv.kernel_h - 2 * conv.pad, 1);
+  const std::int64_t probe_w =
+      std::max<std::int64_t>(conv.kernel_w - 2 * conv.pad, 1);
+  const ConvLayerInfo probe{layer.name, conv, probe_h, probe_w};
+  const std::int64_t probe_positions = probe.output_positions();
+  EPIM_ASSERT(probe_positions > 0, "datapath probe has no output positions");
+
+  Rng rng(seed);
+  Epitome epitome = Epitome::random(spec, conv, rng);
+  DatapathSimulator datapath(probe, std::move(epitome));
+  Tensor x({conv.in_channels, probe_h, probe_w});
+  rng.fill_normal(x.data(), static_cast<std::size_t>(x.numel()), 0.0f, 1.0f);
+  datapath.run(x);
+  const DatapathStats& stats = datapath.stats();
+  EPIM_ASSERT(stats.crossbar_rounds % probe_positions == 0 &&
+                  stats.replica_copies % probe_positions == 0,
+              "datapath activity is not position-uniform");
+
+  LayerActivity a;
+  a.positions = layer.output_positions();
+  a.crossbar_rounds = a.positions * (stats.crossbar_rounds / probe_positions);
+  a.replica_copies = a.positions * (stats.replica_copies / probe_positions);
+  return a;
+}
+
+EpimSimulator::Evaluation DatapathBackend::evaluate(
+    const NetworkAssignment& assignment, const PrecisionConfig& precision,
+    const QuantConfig& scheme, const AccuracyProjector& projector,
+    std::uint64_t seed) const {
+  // Cross-check every distinct (conv, epitome) pair: the analytical
+  // estimator's activity accounting must equal what the functional datapath
+  // actually does. Distinct pairs only -- ResNet stages repeat shapes.
+  std::vector<std::pair<ConvSpec, EpitomeSpec>> checked;
+  for (std::int64_t i = 0; i < assignment.num_layers(); ++i) {
+    const auto& choice = assignment.choice(i);
+    if (!choice.has_value()) continue;
+    const ConvLayerInfo& layer =
+        assignment.layers()[static_cast<std::size_t>(i)];
+    const auto key = std::make_pair(layer.conv, *choice);
+    if (std::find(checked.begin(), checked.end(), key) != checked.end()) {
+      continue;
+    }
+    checked.push_back(key);
+    const LayerActivity functional = layer_activity(layer, *choice, seed);
+    const LayerActivity analytical = analytical_activity(sim_, layer, *choice);
+    EPIM_ASSERT(functional == analytical,
+                "HW/SW activity disagreement on layer " + layer.name);
+  }
+  return sim_.evaluate(assignment, precision, scheme, projector, seed);
+}
+
+}  // namespace epim

@@ -1,0 +1,112 @@
+// Pluggable evaluation backends for the Pipeline façade.
+//
+// A backend answers two questions about a compiled model:
+//  * evaluate()       -- whole-network hardware cost plus projected accuracy;
+//  * layer_activity() -- per-layer crossbar activity counts (activation
+//                        rounds, channel-wrapping replica copies), the
+//                        HW/SW agreement surface between the analytical
+//                        estimator and the functional datapath.
+//
+// Two implementations ship today: AnalyticalBackend (the behaviour-level
+// estimator, fast enough for search loops) and DatapathBackend (the same
+// cost composition, but activity counts are *measured* by executing the
+// IFAT/IFRT/OFAT datapath and cross-checked against the analytical model).
+// Future backends (batched, multi-chip) implement the same interface, so
+// callers of the façade never change.
+#pragma once
+
+#include <cstdint>
+
+#include "core/assignment.hpp"
+#include "pim/estimator.hpp"
+#include "quant/accuracy_model.hpp"
+#include "quant/epitome_quant.hpp"
+#include "sim/simulator.hpp"
+
+namespace epim {
+
+/// Crossbar activity of one layer over a full inference. These counts times
+/// the HardwareLut entries are the dynamic cost model, so two backends that
+/// agree here agree on dynamic energy attribution.
+struct LayerActivity {
+  std::int64_t positions = 0;        ///< output feature-map positions
+  std::int64_t crossbar_rounds = 0;  ///< crossbar activations
+  std::int64_t replica_copies = 0;   ///< channel-wrapping buffer copies
+
+  bool operator==(const LayerActivity&) const = default;
+};
+
+class EvaluationBackend {
+ public:
+  virtual ~EvaluationBackend() = default;
+
+  virtual const char* name() const = 0;
+
+  /// Whole-network evaluation: analytical NetworkCost plus projected
+  /// accuracy from measured quantization noise (see EpimSimulator).
+  virtual EpimSimulator::Evaluation evaluate(
+      const NetworkAssignment& assignment, const PrecisionConfig& precision,
+      const QuantConfig& scheme, const AccuracyProjector& projector,
+      std::uint64_t seed) const = 0;
+
+  /// Activity counts for one layer executed as an epitome. Counts depend
+  /// only on the sampling plan, not on precision.
+  virtual LayerActivity layer_activity(const ConvLayerInfo& layer,
+                                       const EpitomeSpec& spec,
+                                       std::uint64_t seed) const = 0;
+};
+
+/// Behaviour-level estimator backend (paper Sec. 4.3 / 6.1 modelling).
+class AnalyticalBackend : public EvaluationBackend {
+ public:
+  AnalyticalBackend(CrossbarConfig config, HardwareLut lut)
+      : sim_(config, lut) {}
+
+  const char* name() const override { return "analytical-estimator"; }
+  const EpimSimulator& simulator() const { return sim_; }
+
+  EpimSimulator::Evaluation evaluate(const NetworkAssignment& assignment,
+                                     const PrecisionConfig& precision,
+                                     const QuantConfig& scheme,
+                                     const AccuracyProjector& projector,
+                                     std::uint64_t seed) const override;
+
+  LayerActivity layer_activity(const ConvLayerInfo& layer,
+                               const EpitomeSpec& spec,
+                               std::uint64_t seed) const override;
+
+ private:
+  EpimSimulator sim_;
+};
+
+/// Functional-datapath backend: costs and accuracy projection compose the
+/// same way as the analytical backend, but per-layer activity counts come
+/// from actually executing the IFAT/IFRT/OFAT datapath on a probe input.
+/// evaluate() additionally cross-checks every distinct epitome layer's
+/// functional counts against the analytical model and throws InternalError
+/// on disagreement -- the façade's HW/SW agreement check.
+class DatapathBackend : public EvaluationBackend {
+ public:
+  DatapathBackend(CrossbarConfig config, HardwareLut lut)
+      : sim_(config, lut) {}
+
+  const char* name() const override { return "functional-datapath"; }
+
+  EpimSimulator::Evaluation evaluate(const NetworkAssignment& assignment,
+                                     const PrecisionConfig& precision,
+                                     const QuantConfig& scheme,
+                                     const AccuracyProjector& projector,
+                                     std::uint64_t seed) const override;
+
+  /// Executes the datapath at a minimal feature-map size (activity per
+  /// output position is position-independent) and scales the measured
+  /// counters to the layer's real geometry.
+  LayerActivity layer_activity(const ConvLayerInfo& layer,
+                               const EpitomeSpec& spec,
+                               std::uint64_t seed) const override;
+
+ private:
+  EpimSimulator sim_;
+};
+
+}  // namespace epim

@@ -30,10 +30,14 @@ struct RuntimeConfig {
   int act_bits = 8;
   /// Clipping percentile for activation calibration (1.0 = min/max).
   double act_percentile = 1.0;
+  /// Crossbar geometry/precision the model is programmed onto. Note the
+  /// default `adc_bits` (9) is the estimator's cost-model regime; the
+  /// bit-accurate runtime usually needs a wider ADC to digitize a full
+  /// column of partial sums without clipping. The Pipeline façade derives
+  /// this from HardwareConfig::deploy_adc_bits (default 12); set it
+  /// explicitly when constructing a RuntimeConfig by hand.
   CrossbarConfig crossbar{};
   NonIdealityConfig non_ideal{};
-
-  RuntimeConfig() { crossbar.adc_bits = 12; }
 };
 
 class PimNetworkRuntime {

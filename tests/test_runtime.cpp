@@ -183,12 +183,21 @@ TEST(Runtime, DeployExportShapes) {
   EXPECT_EQ(deploy.dense_w.dim(0), 5);
 }
 
+// RuntimeConfig no longer widens the ADC silently; deployment-grade configs
+// set the 12-bit deployment ADC explicitly (the façade derives it from
+// HardwareConfig::deploy_adc_bits).
+RuntimeConfig deploy_config(int weight_bits, int act_bits) {
+  RuntimeConfig cfg;
+  cfg.weight_bits = weight_bits;
+  cfg.act_bits = act_bits;
+  cfg.crossbar.adc_bits = 12;
+  return cfg;
+}
+
 TEST(Runtime, HighPrecisionDeploymentMatchesFloatModel) {
   auto& m = trained_model();
   ASSERT_GT(m.fp32_accuracy, 0.75);
-  RuntimeConfig cfg;
-  cfg.weight_bits = 8;
-  cfg.act_bits = 10;
+  const RuntimeConfig cfg = deploy_config(8, 10);
   PimNetworkRuntime runtime(m.net, m.data.train, cfg);
   const double chip_acc = runtime.evaluate(m.data.test);
   // 8-bit weights / 10-bit activations on a clean chip must track the float
@@ -199,12 +208,8 @@ TEST(Runtime, HighPrecisionDeploymentMatchesFloatModel) {
 
 TEST(Runtime, LowPrecisionDegradesGracefully) {
   auto& m = trained_model();
-  RuntimeConfig hi;
-  hi.weight_bits = 8;
-  hi.act_bits = 10;
-  RuntimeConfig lo;
-  lo.weight_bits = 3;
-  lo.act_bits = 4;
+  const RuntimeConfig hi = deploy_config(8, 10);
+  const RuntimeConfig lo = deploy_config(3, 4);
   const double acc_hi =
       PimNetworkRuntime(m.net, m.data.train, hi).evaluate(m.data.test);
   const double acc_lo =
@@ -216,9 +221,7 @@ TEST(Runtime, LowPrecisionDegradesGracefully) {
 
 TEST(Runtime, DeviceNoiseCostsAccuracy) {
   auto& m = trained_model();
-  RuntimeConfig clean;
-  clean.weight_bits = 6;
-  clean.act_bits = 8;
+  const RuntimeConfig clean = deploy_config(6, 8);
   RuntimeConfig noisy = clean;
   noisy.non_ideal.conductance_sigma = 0.8;
   noisy.non_ideal.stuck_at_zero_prob = 0.05;
@@ -231,7 +234,7 @@ TEST(Runtime, DeviceNoiseCostsAccuracy) {
 
 TEST(Runtime, CrossbarBudgetAccounted) {
   auto& m = trained_model();
-  RuntimeConfig cfg;
+  const RuntimeConfig cfg = deploy_config(6, 8);
   PimNetworkRuntime runtime(m.net, m.data.train, cfg);
   EXPECT_GT(runtime.total_crossbars(), 0);
   EXPECT_LT(runtime.total_crossbars(), 64);  // small model, small chip
@@ -239,7 +242,7 @@ TEST(Runtime, CrossbarBudgetAccounted) {
 
 TEST(Runtime, ForwardShape) {
   auto& m = trained_model();
-  RuntimeConfig cfg;
+  const RuntimeConfig cfg = deploy_config(6, 8);
   PimNetworkRuntime runtime(m.net, m.data.train, cfg);
   const Tensor logits = runtime.forward(m.data.test.sample(0));
   EXPECT_EQ(logits.shape(), (Shape{5}));
