@@ -1,0 +1,209 @@
+#include "common/parallel.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <cstdlib>
+#include <exception>
+#include <memory>
+#include <mutex>
+#include <thread>
+
+#include "common/error.hpp"
+
+namespace epim {
+
+namespace {
+
+/// Set while a thread is executing chunks of a parallel region; nested
+/// regions detect it and run inline.
+thread_local bool t_in_parallel_region = false;
+
+int default_thread_count() {
+  if (const char* env = std::getenv("EPIM_THREADS")) {
+    const int n = std::atoi(env);
+    if (n >= 1) return n;
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? static_cast<int>(hw) : 1;
+}
+
+/// One parallel region in flight. Heap-allocated and shared with workers so
+/// a straggler waking up after the region retired only ever sees an
+/// exhausted dispenser -- it can never re-run a chunk of a newer job.
+struct Job {
+  const std::function<void(int)>* fn = nullptr;
+  int chunks = 0;
+  std::atomic<int> next{0};
+  std::atomic<int> pending{0};
+  /// One slot per chunk; the initiating thread rethrows the lowest-chunk
+  /// exception, matching what serial execution would have thrown first.
+  std::vector<std::exception_ptr> errors;
+};
+
+/// Persistent pool of (threads - 1) workers; the calling thread always
+/// participates, so a 1-thread configuration holds no workers at all.
+class ThreadPool {
+ public:
+  static ThreadPool& instance() {
+    static ThreadPool pool;
+    return pool;
+  }
+
+  int threads() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return static_cast<int>(workers_.size()) + 1;
+  }
+
+  void resize(int n) {
+    n = std::max(1, n);
+    EPIM_CHECK(!t_in_parallel_region,
+               "set_num_threads inside a parallel region");
+    std::unique_lock<std::mutex> lock(mutex_);
+    if (static_cast<int>(workers_.size()) + 1 == n) return;
+    stop_workers(lock);
+    stop_ = false;
+    for (int i = 0; i < n - 1; ++i) {
+      workers_.emplace_back([this] { worker_loop(); });
+    }
+  }
+
+  /// Execute chunk_fn(c) for every c in [0, chunks), blocking until all
+  /// chunks finished. Chunks are handed out through an atomic dispenser, so
+  /// which *thread* runs a chunk is unspecified -- determinism comes from
+  /// chunk boundaries, never from placement.
+  void run(int chunks, const std::function<void(int)>& chunk_fn) {
+    auto job = std::make_shared<Job>();
+    job->fn = &chunk_fn;
+    job->chunks = chunks;
+    job->pending.store(chunks, std::memory_order_relaxed);
+    job->errors.assign(static_cast<std::size_t>(chunks), nullptr);
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      current_job_ = job;
+      ++generation_;
+    }
+    work_cv_.notify_all();
+    t_in_parallel_region = true;
+    drain(*job);
+    t_in_parallel_region = false;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      done_cv_.wait(lock, [&] {
+        return job->pending.load(std::memory_order_acquire) == 0;
+      });
+      current_job_.reset();
+    }
+    for (const std::exception_ptr& e : job->errors) {
+      if (e) std::rethrow_exception(e);
+    }
+  }
+
+  ~ThreadPool() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    stop_workers(lock);
+  }
+
+ private:
+  ThreadPool() { resize(default_thread_count()); }
+
+  void stop_workers(std::unique_lock<std::mutex>& lock) {
+    stop_ = true;
+    work_cv_.notify_all();
+    lock.unlock();
+    for (std::thread& w : workers_) w.join();
+    lock.lock();
+    workers_.clear();
+  }
+
+  void drain(Job& job) {
+    for (;;) {
+      const int c = job.next.fetch_add(1, std::memory_order_relaxed);
+      if (c >= job.chunks) break;
+      try {
+        (*job.fn)(c);
+      } catch (...) {
+        job.errors[static_cast<std::size_t>(c)] = std::current_exception();
+      }
+      if (job.pending.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        // Pair the notify with the mutex so the initiating thread cannot
+        // miss it between its predicate check and its wait.
+        { std::lock_guard<std::mutex> lock(mutex_); }
+        done_cv_.notify_all();
+      }
+    }
+  }
+
+  void worker_loop() {
+    t_in_parallel_region = true;  // workers only ever run inside a region
+    std::uint64_t seen = 0;
+    for (;;) {
+      std::shared_ptr<Job> job;
+      {
+        std::unique_lock<std::mutex> lock(mutex_);
+        work_cv_.wait(lock, [&] { return stop_ || generation_ != seen; });
+        if (stop_) return;
+        seen = generation_;
+        job = current_job_;
+      }
+      if (job) drain(*job);
+    }
+  }
+
+  std::mutex mutex_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  std::vector<std::thread> workers_;
+  bool stop_ = false;
+  std::uint64_t generation_ = 0;
+  std::shared_ptr<Job> current_job_;
+};
+
+}  // namespace
+
+int num_threads() { return ThreadPool::instance().threads(); }
+
+void set_num_threads(int n) { ThreadPool::instance().resize(n); }
+
+int num_chunks(std::int64_t n) {
+  if (n <= 0) return 0;
+  return static_cast<int>(
+      std::min<std::int64_t>(n, static_cast<std::int64_t>(num_threads())));
+}
+
+void parallel_for_chunks(
+    std::int64_t n,
+    const std::function<void(int chunk, std::int64_t begin, std::int64_t end)>&
+        fn) {
+  parallel_for_chunks(n, num_chunks(n), fn);
+}
+
+void parallel_for_chunks(
+    std::int64_t n, int chunks,
+    const std::function<void(int chunk, std::int64_t begin, std::int64_t end)>&
+        fn) {
+  if (n <= 0 || chunks <= 0) return;
+  chunks = static_cast<int>(
+      std::min<std::int64_t>(static_cast<std::int64_t>(chunks), n));
+  const std::int64_t per = (n + chunks - 1) / chunks;
+  auto run_chunk = [&](int c) {
+    const std::int64_t begin = static_cast<std::int64_t>(c) * per;
+    const std::int64_t end = std::min<std::int64_t>(n, begin + per);
+    if (begin < end) fn(c, begin, end);
+  };
+  if (chunks == 1 || t_in_parallel_region) {
+    // Serial (or nested) execution: same chunk decomposition, same order.
+    for (int c = 0; c < chunks; ++c) run_chunk(c);
+    return;
+  }
+  ThreadPool::instance().run(chunks, run_chunk);
+}
+
+void parallel_for(std::int64_t n,
+                  const std::function<void(std::int64_t)>& fn) {
+  parallel_for_chunks(n, [&](int, std::int64_t begin, std::int64_t end) {
+    for (std::int64_t i = begin; i < end; ++i) fn(i);
+  });
+}
+
+}  // namespace epim

@@ -1,0 +1,65 @@
+// Shared parallel-execution layer: a persistent thread pool plus a
+// deterministic parallel_for.
+//
+// Design constraints, in order:
+//  * Determinism. Work is split into a fixed number of contiguous chunks
+//    (derived only from the trip count and the configured thread count), and
+//    every chunk writes results keyed by loop index or chunk index -- never by
+//    worker-thread identity. Callers that reduce must either use
+//    order-independent arithmetic (integer sums) or combine per-chunk partials
+//    in chunk order; parallel_reduce below does the latter. Under these rules
+//    results are bit-identical at any thread count, which the test suite
+//    asserts for the runtime and the evolution search.
+//  * Re-entrancy. A parallel_for issued from inside a worker (nested
+//    parallelism) runs inline on the calling thread instead of deadlocking on
+//    the pool.
+//  * Zero configuration. The pool is lazily created with EPIM_THREADS threads
+//    (or std::thread::hardware_concurrency() when unset) and can be resized
+//    at runtime with set_num_threads() -- the knob the thread-scaling benches
+//    and determinism tests turn.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace epim {
+
+/// Threads the pool currently runs work on (>= 1; 1 means serial execution
+/// on the calling thread). First call reads EPIM_THREADS.
+int num_threads();
+
+/// Resize the pool. n < 1 is clamped to 1. Safe to call between parallel
+/// regions; must not be called from inside one.
+void set_num_threads(int n);
+
+/// Run fn(i) for every i in [0, n). Iterations are grouped into at most
+/// num_threads() contiguous chunks; each chunk executes on exactly one
+/// thread, in ascending index order within the chunk.
+void parallel_for(std::int64_t n, const std::function<void(std::int64_t)>& fn);
+
+/// Chunked variant: fn(chunk, begin, end) once per non-empty chunk. Chunk
+/// boundaries depend only on n and num_threads(), so per-chunk scratch state
+/// (workspaces, partial reductions) is deterministic. `chunk` indexes a dense
+/// range [0, chunks) usable directly as a scratch-slot key. To reduce
+/// deterministically, accumulate into a per-chunk partial and fold the
+/// partials in chunk order after the call.
+void parallel_for_chunks(
+    std::int64_t n,
+    const std::function<void(int chunk, std::int64_t begin, std::int64_t end)>&
+        fn);
+
+/// Explicit-chunk-count variant: uses exactly min(chunks, n) chunks
+/// regardless of the live thread setting. Callers that size per-chunk
+/// scratch up front pass the same count here, so a concurrent
+/// set_num_threads() can never hand fn a chunk index beyond the scratch.
+void parallel_for_chunks(
+    std::int64_t n, int chunks,
+    const std::function<void(int chunk, std::int64_t begin, std::int64_t end)>&
+        fn);
+
+/// Number of chunks parallel_for_chunks(n, fn) would use for a trip count
+/// of n under the current thread setting; the canonical scratch-slot count.
+int num_chunks(std::int64_t n);
+
+}  // namespace epim

@@ -4,6 +4,7 @@
 
 #include "common/error.hpp"
 #include "common/math_util.hpp"
+#include "common/parallel.hpp"
 
 namespace epim {
 
@@ -51,13 +52,20 @@ PimLayerEngine::PimLayerEngine(ConvLayerInfo layer, EpitomeSpec spec,
 }
 
 IntOutput PimLayerEngine::run(const IntImage& input, int act_bits) const {
+  std::int64_t clips = 0;
+  IntOutput out = run(input, act_bits, &clips);
+  clip_count_ = clips;
+  return out;
+}
+
+IntOutput PimLayerEngine::run(const IntImage& input, int act_bits,
+                              std::int64_t* clip_count) const {
   const ConvSpec& conv = layer_.conv;
   EPIM_CHECK(input.channels == conv.in_channels &&
                  input.height == layer_.ifm_h && input.width == layer_.ifm_w,
              "input image does not match layer spec");
   EPIM_CHECK(static_cast<std::int64_t>(input.data.size()) == input.numel(),
              "input data size mismatch");
-  clip_count_ = 0;
   const std::int64_t oh = layer_.ofm_h();
   const std::int64_t ow = layer_.ofm_w();
   const std::int64_t rows = tables_.epitome_rows();
@@ -68,13 +76,41 @@ IntOutput PimLayerEngine::run(const IntImage& input, int act_bits) const {
   out.width = ow;
   out.data.assign(static_cast<std::size_t>(conv.out_channels * oh * ow), 0);
 
-  std::vector<std::vector<std::int64_t>> partials(
-      static_cast<std::size_t>(plan_.active_rounds()));
-  std::vector<std::uint32_t> line_value(static_cast<std::size_t>(rows));
-  std::vector<bool> line_enable(static_cast<std::size_t>(rows));
+  // Per-round output widths, invariant across positions (first primary OFAT
+  // entry of each round, as in the per-position scan this hoists).
+  std::vector<std::int64_t> round_co_len(
+      static_cast<std::size_t>(plan_.active_rounds()), 0);
+  std::vector<bool> round_seen(round_co_len.size(), false);
+  for (const OfatEntry& oe : tables_.ofat()) {
+    if (oe.replica_of < 0 && !round_seen[static_cast<std::size_t>(oe.round)]) {
+      round_seen[static_cast<std::size_t>(oe.round)] = true;
+      round_co_len[static_cast<std::size_t>(oe.round)] =
+          oe.co_stop - oe.co_start;
+    }
+  }
 
-  for (std::int64_t oy = 0; oy < oh; ++oy) {
-    for (std::int64_t ox = 0; ox < ow; ++ox) {
+  // Output positions fan out across threads. Every position writes a
+  // disjoint set of out.data cells and the per-position work is pure, so
+  // the result is identical at any thread count; clip events accumulate per
+  // chunk and sum exactly. Scratch buffers live per chunk, allocated once
+  // and reused across all of the chunk's positions.
+  const std::int64_t positions = oh * ow;
+  const int chunks = std::max(num_chunks(positions), 1);
+  std::vector<std::int64_t> chunk_clips(static_cast<std::size_t>(chunks), 0);
+  parallel_for_chunks(positions, chunks, [&](int chunk, std::int64_t begin,
+                                             std::int64_t end) {
+    std::vector<std::vector<std::int64_t>> partials(
+        static_cast<std::size_t>(plan_.active_rounds()));
+    std::vector<std::uint32_t> line_value(static_cast<std::size_t>(rows));
+    std::vector<bool> line_enable(static_cast<std::size_t>(rows));
+    std::vector<std::uint32_t> in;
+    std::vector<bool> en;
+    std::vector<std::int64_t> res;
+    std::int64_t& clips = chunk_clips[static_cast<std::size_t>(chunk)];
+
+    for (std::int64_t pos = begin; pos < end; ++pos) {
+      const std::int64_t oy = pos / ow;
+      const std::int64_t ox = pos % ow;
       // Crossbar activation rounds.
       for (const IfatEntry& fa : tables_.ifat()) {
         const IfrtSequence& seq =
@@ -100,21 +136,14 @@ IntOutput PimLayerEngine::run(const IntImage& input, int act_bits) const {
           line_value[static_cast<std::size_t>(wl)] = v;
           line_enable[static_cast<std::size_t>(wl)] = true;
         }
-        // Locate this round's output width.
-        std::int64_t co_len = 0;
-        for (const OfatEntry& oe : tables_.ofat()) {
-          if (oe.round == fa.round && oe.replica_of < 0) {
-            co_len = oe.co_stop - oe.co_start;
-            break;
-          }
-        }
+        const std::int64_t co_len =
+            round_co_len[static_cast<std::size_t>(fa.round)];
         auto& partial = partials[static_cast<std::size_t>(fa.round)];
         partial.assign(static_cast<std::size_t>(co_len), 0);
         for (const Tile& tile : tiles_) {
           if (tile.col_begin >= co_len) continue;
-          std::vector<std::uint32_t> in(
-              static_cast<std::size_t>(tile.row_count));
-          std::vector<bool> en(static_cast<std::size_t>(tile.row_count));
+          in.assign(static_cast<std::size_t>(tile.row_count), 0u);
+          en.assign(static_cast<std::size_t>(tile.row_count), false);
           bool any = false;
           for (std::int64_t r = 0; r < tile.row_count; ++r) {
             in[static_cast<std::size_t>(r)] =
@@ -125,8 +154,7 @@ IntOutput PimLayerEngine::run(const IntImage& input, int act_bits) const {
             any = any || e;
           }
           if (!any) continue;
-          const auto res = tile.array.mvm(in, en, act_bits);
-          clip_count_ += tile.array.last_clip_count();
+          tile.array.mvm(in, en, act_bits, res, &clips);
           const std::int64_t cc = std::min(tile.col_count,
                                            co_len - tile.col_begin);
           for (std::int64_t c = 0; c < cc; ++c) {
@@ -136,7 +164,6 @@ IntOutput PimLayerEngine::run(const IntImage& input, int act_bits) const {
         }
       }
       // Joint module / OFAT merge.
-      const std::int64_t pos = oy * ow + ox;
       for (const OfatEntry& oe : tables_.ofat()) {
         const std::int64_t co_len = oe.co_stop - oe.co_start;
         const auto& src = partials[static_cast<std::size_t>(
@@ -149,6 +176,9 @@ IntOutput PimLayerEngine::run(const IntImage& input, int act_bits) const {
         }
       }
     }
+  });
+  if (clip_count != nullptr) {
+    for (const std::int64_t c : chunk_clips) *clip_count += c;
   }
   return out;
 }

@@ -54,9 +54,18 @@ class PimLayerEngine {
   const ConvLayerInfo& layer() const { return layer_; }
 
   /// Run the layer; activations must each fit in act_bits (unsigned).
+  /// Output positions are processed in parallel (deterministically: every
+  /// position writes disjoint output cells).
   IntOutput run(const IntImage& input, int act_bits) const;
 
+  /// Thread-safe variant: identical output, ADC clip events accumulated into
+  /// *clip_count instead of the mutable last_clip_count() diagnostic, so
+  /// concurrent callers sharing one programmed engine never race.
+  IntOutput run(const IntImage& input, int act_bits,
+                std::int64_t* clip_count) const;
+
   /// ADC clip events observed during the last run (0 means bit-exact).
+  /// Undefined under concurrent run() -- use the clip-out overload there.
   std::int64_t last_clip_count() const { return clip_count_; }
 
  private:

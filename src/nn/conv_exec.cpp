@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <limits>
 
+#include "common/parallel.hpp"
 #include "tensor/ops.hpp"
 
 namespace epim {
@@ -17,17 +18,30 @@ Tensor conv2d(const Tensor& input, const Tensor& weight, std::int64_t stride,
   const std::int64_t kh = weight.dim(2), kw = weight.dim(3);
   const std::int64_t oh = conv_out_dim(input.dim(1), kh, stride, pad);
   const std::int64_t ow = conv_out_dim(input.dim(2), kw, stride, pad);
-  // cols: (oh*ow, cin*kh*kw); weight matrix: (cout, cin*kh*kw).
+  // cols: (oh*ow, cin*kh*kw); weight matrix: (cout, cin*kh*kw). The matmul
+  // writes (cout, oh*ow) directly -- the (oh*ow, cout) -> (cout, oh, ow)
+  // transpose is folded into the output indexing, and output channels fan
+  // out across threads (channel planes are disjoint, so any thread count
+  // produces the same tensor).
   const Tensor cols = im2col(input, kh, kw, stride, pad);
-  const Tensor wmat = weight.reshaped({cout, weight.numel() / cout});
-  const Tensor out = matmul_nt(cols, wmat);  // (oh*ow, cout)
-  // Transpose to (cout, oh, ow).
+  const std::int64_t k = weight.numel() / cout;
+  const std::int64_t positions = oh * ow;
   Tensor result({cout, oh, ow});
-  for (std::int64_t p = 0; p < oh * ow; ++p) {
-    for (std::int64_t c = 0; c < cout; ++c) {
-      result.at(c * oh * ow + p) = out.at(p * cout + c);
+  const float* pa = cols.data();
+  const float* pw = weight.data();
+  float* pr = result.data();
+  parallel_for(cout, [&](std::int64_t c) {
+    const float* wrow = pw + c * k;
+    float* out_plane = pr + c * positions;
+    for (std::int64_t p = 0; p < positions; ++p) {
+      const float* arow = pa + p * k;
+      double acc = 0.0;
+      for (std::int64_t kk = 0; kk < k; ++kk) {
+        acc += static_cast<double>(arow[kk]) * wrow[kk];
+      }
+      out_plane[p] = static_cast<float>(acc);
     }
-  }
+  });
   return result;
 }
 
@@ -92,6 +106,22 @@ Tensor relu(const Tensor& input) {
     out.at(i) = std::max(0.0f, input.at(i));
   }
   return out;
+}
+
+void affine_relu(Tensor& t, const ChannelAffine& bn) {
+  EPIM_CHECK(t.rank() == 3, "affine_relu expects a (C, H, W) tensor");
+  EPIM_CHECK(static_cast<std::int64_t>(bn.scale.size()) == t.dim(0) &&
+                 bn.scale.size() == bn.shift.size(),
+             "affine channel count must match the tensor");
+  const std::int64_t c = t.dim(0), plane = t.dim(1) * t.dim(2);
+  for (std::int64_t ci = 0; ci < c; ++ci) {
+    float* p = t.data() + ci * plane;
+    const float s = bn.scale[static_cast<std::size_t>(ci)];
+    const float b = bn.shift[static_cast<std::size_t>(ci)];
+    for (std::int64_t i = 0; i < plane; ++i) {
+      p[i] = std::max(0.0f, s * p[i] + b);
+    }
+  }
 }
 
 }  // namespace epim

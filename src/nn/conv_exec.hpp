@@ -29,4 +29,16 @@ Tensor global_avg_pool(const Tensor& input);
 /// Elementwise ReLU.
 Tensor relu(const Tensor& input);
 
+/// Per-channel affine transform y = scale[c] * x + shift[c]; what an
+/// eval-mode BatchNorm folds down to for deployment.
+struct ChannelAffine {
+  std::vector<float> scale;
+  std::vector<float> shift;
+};
+
+/// Apply a folded BatchNorm affine + ReLU to a (C, H, W) tensor in place --
+/// the post-conv epilogue shared by the PIM runtime and the float reference
+/// path.
+void affine_relu(Tensor& t, const ChannelAffine& bn);
+
 }  // namespace epim

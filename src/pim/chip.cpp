@@ -8,6 +8,11 @@
 
 namespace epim {
 
+std::int64_t noc_act_bytes(int act_bits) {
+  EPIM_CHECK(act_bits >= 1 && act_bits <= 32, "act_bits out of range");
+  return ceil_div(act_bits == 32 ? 16 : act_bits, 8);
+}
+
 ChipCost ChipModel::eval(const NetworkAssignment& assignment,
                          const PrecisionConfig& precision) const {
   EPIM_CHECK(tiles_.crossbars_per_tile > 0,
@@ -28,11 +33,10 @@ ChipCost ChipModel::eval(const NetworkAssignment& assignment,
   chip.mesh_dim = static_cast<std::int64_t>(
       std::ceil(std::sqrt(static_cast<double>(chip.num_tiles))));
 
-  // NoC transport of every layer's OFM to the next layer's tiles.
+  // NoC transport of every layer's OFM to the next layer's tiles (FP32
+  // activations travel half-width; see noc_act_bytes).
   const double act_bytes =
-      static_cast<double>(ceil_div(precision.act_bits == 32 ? 16
-                                                            : precision.act_bits,
-                                   8));
+      static_cast<double>(noc_act_bytes(precision.act_bits));
   auto tile_xy = [&](std::int64_t t) {
     return std::pair<std::int64_t, std::int64_t>{t % chip.mesh_dim,
                                                  t / chip.mesh_dim};

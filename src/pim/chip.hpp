@@ -28,6 +28,16 @@ struct TileConfig {
   std::int64_t noc_flit_bytes = 32;
 };
 
+/// Bytes one activation occupies on the mesh NoC. Activations travel in
+/// their quantized integer width, except the "FP32" regime: floating point
+/// cannot leave a crossbar tile anyway (cells and ADCs are fixed-point, see
+/// CrossbarConfig::fp32_act_bits), so full-precision activations are
+/// transported as 16-bit values -- the same half-width transport assumption
+/// ISAAC-style designs make, and the transport twin of fp32_weight_bits=16.
+/// A 32-bit activation therefore costs 2 bytes of NoC traffic, not 4; the
+/// regression test pins this so the assumption cannot silently change.
+std::int64_t noc_act_bytes(int act_bits);
+
 struct ChipCost {
   NetworkCost compute;             ///< flat estimator result
   std::int64_t num_tiles = 0;

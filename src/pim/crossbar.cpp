@@ -32,11 +32,12 @@ CrossbarArray::CrossbarArray(const CrossbarConfig& config, int weight_bits,
   const double level_max = static_cast<double>(radix_mask);
   ideal_ = non_ideal.ideal();
   Rng rng(non_ideal.seed);
-  cells_.assign(static_cast<std::size_t>(slices_),
-                std::vector<std::vector<double>>(
-                    static_cast<std::size_t>(rows_),
-                    std::vector<double>(static_cast<std::size_t>(cols_),
-                                        0.0)));
+  const std::size_t plane = static_cast<std::size_t>(rows_ * cols_);
+  cells_.assign(static_cast<std::size_t>(slices_) * plane, 0.0);
+  if (ideal_) {
+    digits_.assign(cells_.size(), 0);
+    signed_weights_.assign(plane, 0);
+  }
   for (std::int64_t r = 0; r < rows_; ++r) {
     EPIM_CHECK(static_cast<std::int64_t>(weights[static_cast<std::size_t>(r)]
                                              .size()) == cols_,
@@ -49,7 +50,8 @@ CrossbarArray::CrossbarArray(const CrossbarConfig& config, int weight_bits,
                      "-bit encoding");
       std::int64_t stored = static_cast<std::int64_t>(w) + offset_;
       for (std::int64_t s = 0; s < slices_; ++s) {
-        double level = static_cast<double>(stored & radix_mask);
+        const std::int64_t digit = stored & radix_mask;
+        double level = static_cast<double>(digit);
         if (!ideal_) {
           // Write-time variation and hard faults, applied once per cell.
           if (non_ideal.stuck_at_zero_prob > 0.0 &&
@@ -64,44 +66,68 @@ CrossbarArray::CrossbarArray(const CrossbarConfig& config, int weight_bits,
                 level_max);
           }
         }
-        cells_[static_cast<std::size_t>(s)][static_cast<std::size_t>(r)]
-              [static_cast<std::size_t>(c)] = level;
+        const std::size_t idx =
+            static_cast<std::size_t>((s * rows_ + r) * cols_ + c);
+        cells_[idx] = level;
+        if (ideal_) digits_[idx] = static_cast<std::int32_t>(digit);
         stored >>= radix_bits;
+      }
+      if (ideal_) {
+        signed_weights_[static_cast<std::size_t>(r * cols_ + c)] = w;
       }
     }
   }
+  if (ideal_) {
+    // Worst-case per-cycle column current: every row enabled and driving a
+    // one bit. If even that fits the ADC, no input can ever clip and the
+    // whole bit-serial schedule collapses to one integer dot product.
+    const std::int64_t adc_max = (std::int64_t{1} << config_.adc_bits) - 1;
+    std::int64_t worst = 0;
+    for (std::int64_t s = 0; s < slices_; ++s) {
+      for (std::int64_t c = 0; c < cols_; ++c) {
+        std::int64_t sum = 0;
+        const std::int32_t* col = digits_.data() + s * rows_ * cols_ + c;
+        for (std::int64_t r = 0; r < rows_; ++r) sum += col[r * cols_];
+        worst = std::max(worst, sum);
+      }
+    }
+    never_clips_ = worst <= adc_max;
+  }
 }
 
-std::vector<std::int64_t> CrossbarArray::mvm(
-    const std::vector<std::uint32_t>& input,
-    const std::vector<bool>& row_enable, int act_bits) const {
-  EPIM_CHECK(static_cast<std::int64_t>(input.size()) == rows_,
-             "input length must equal logical rows");
-  EPIM_CHECK(static_cast<std::int64_t>(row_enable.size()) == rows_,
-             "row_enable length must equal logical rows");
-  EPIM_CHECK(act_bits >= 1 && act_bits <= 32, "act_bits out of range");
-  clip_count_ = 0;
+namespace {
+
+/// Per-thread scratch for mvm(): the kernel is called once per tile per
+/// round per output position, so these buffers must not be reallocated per
+/// call. Thread-local keeps the thread-safe overload allocation-free and
+/// race-free; every element is overwritten before use, so results stay
+/// deterministic.
+thread_local std::vector<std::int32_t> t_active;
+thread_local std::vector<double> t_current_analog;
+thread_local std::vector<std::int64_t> t_current_ideal;
+
+}  // namespace
+
+void CrossbarArray::mvm_analog(const std::vector<std::uint32_t>& input,
+                               const std::vector<std::int32_t>& active,
+                               int act_bits, std::int64_t* acc,
+                               std::int64_t& clips) const {
   const std::int64_t adc_max = (std::int64_t{1} << config_.adc_bits) - 1;
   const int radix_bits = config_.cell_bits;
-  std::vector<std::int64_t> acc(static_cast<std::size_t>(cols_), 0);
-  std::int64_t input_sum = 0;  // for the offset-binary correction
   // Bit-serial input streaming: cycle t drives input bit t on every enabled
   // word line; each slice's column current is digitized and shift-added.
-  // (Row-major accumulation: word lines whose input bit is zero draw no
-  // current and are skipped outright.)
-  std::vector<double> current(static_cast<std::size_t>(cols_));
+  // (Row-major accumulation in ascending row order: word lines whose input
+  // bit is zero draw no current and are skipped outright.)
+  std::vector<double>& current = t_current_analog;
+  current.assign(static_cast<std::size_t>(cols_), 0.0);
   for (int t = 0; t < act_bits; ++t) {
     for (std::int64_t s = 0; s < slices_; ++s) {
-      const auto& plane = cells_[static_cast<std::size_t>(s)];
+      const double* plane = cells_.data() + s * rows_ * cols_;
       std::fill(current.begin(), current.end(), 0.0);
-      for (std::int64_t r = 0; r < rows_; ++r) {
-        if (!row_enable[static_cast<std::size_t>(r)]) continue;
+      for (const std::int32_t r : active) {
         if (((input[static_cast<std::size_t>(r)] >> t) & 1u) == 0u) continue;
-        const auto& row = plane[static_cast<std::size_t>(r)];
-        for (std::int64_t c = 0; c < cols_; ++c) {
-          current[static_cast<std::size_t>(c)] +=
-              row[static_cast<std::size_t>(c)];
-        }
+        const double* row = plane + static_cast<std::int64_t>(r) * cols_;
+        for (std::int64_t c = 0; c < cols_; ++c) current[c] += row[c];
       }
       for (std::int64_t c = 0; c < cols_; ++c) {
         // The ADC digitizes the analog column current to an integer code.
@@ -109,24 +135,125 @@ std::vector<std::int64_t> CrossbarArray::mvm(
             std::llround(current[static_cast<std::size_t>(c)]));
         if (code > adc_max) {  // saturating ADC
           code = adc_max;
-          ++clip_count_;
+          ++clips;
         }
         if (code < 0) code = 0;
-        acc[static_cast<std::size_t>(c)] +=
-            code << (t + static_cast<int>(s) * radix_bits);
+        acc[c] += code << (t + static_cast<int>(s) * radix_bits);
       }
     }
   }
+}
+
+void CrossbarArray::mvm_ideal_serial(const std::vector<std::uint32_t>& input,
+                                     const std::vector<std::int32_t>& active,
+                                     int act_bits, std::int64_t* acc,
+                                     std::int64_t& clips) const {
+  // Same schedule as the analog path, but on exact integer digits: column
+  // sums of small non-negative integers are exactly representable, so this
+  // is bit-identical to digitizing the double-precision currents.
+  const std::int64_t adc_max = (std::int64_t{1} << config_.adc_bits) - 1;
+  const int radix_bits = config_.cell_bits;
+  std::vector<std::int64_t>& current = t_current_ideal;
+  current.assign(static_cast<std::size_t>(cols_), 0);
+  for (int t = 0; t < act_bits; ++t) {
+    for (std::int64_t s = 0; s < slices_; ++s) {
+      const std::int32_t* plane = digits_.data() + s * rows_ * cols_;
+      std::fill(current.begin(), current.end(), 0);
+      for (const std::int32_t r : active) {
+        if (((input[static_cast<std::size_t>(r)] >> t) & 1u) == 0u) continue;
+        const std::int32_t* row = plane + static_cast<std::int64_t>(r) * cols_;
+        for (std::int64_t c = 0; c < cols_; ++c) current[c] += row[c];
+      }
+      for (std::int64_t c = 0; c < cols_; ++c) {
+        std::int64_t code = current[static_cast<std::size_t>(c)];
+        if (code > adc_max) {  // saturating ADC
+          code = adc_max;
+          ++clips;
+        }
+        acc[c] += code << (t + static_cast<int>(s) * radix_bits);
+      }
+    }
+  }
+}
+
+void CrossbarArray::mvm(const std::vector<std::uint32_t>& input,
+                        const std::vector<bool>& row_enable, int act_bits,
+                        std::vector<std::int64_t>& acc,
+                        std::int64_t* clip_count) const {
+  EPIM_CHECK(static_cast<std::int64_t>(input.size()) == rows_,
+             "input length must equal logical rows");
+  EPIM_CHECK(static_cast<std::int64_t>(row_enable.size()) == rows_,
+             "row_enable length must equal logical rows");
+  EPIM_CHECK(act_bits >= 1 && act_bits <= 32, "act_bits out of range");
+  acc.assign(static_cast<std::size_t>(cols_), 0);
+
+  // Row gating as a dense index list: every path below walks only the
+  // enabled word lines.
+  std::vector<std::int32_t>& active = t_active;
+  active.clear();
+  active.reserve(static_cast<std::size_t>(rows_));
   for (std::int64_t r = 0; r < rows_; ++r) {
     if (row_enable[static_cast<std::size_t>(r)]) {
-      input_sum += input[static_cast<std::size_t>(r)];
+      active.push_back(static_cast<std::int32_t>(r));
     }
+  }
+
+  if (ideal_ && never_clips_) {
+    // Direct path: with exact digits and a wide ADC the shift-add over
+    // cycles and slices telescopes to sum_r in[r] * (w[r][c] + offset) with
+    // in[r] = input[r] truncated to act_bits, and the offset correction
+    // cancels against the truncated part of the bias -- so compute the
+    // signed product outright. For in-contract inputs the residual
+    // correction below is zero.
+    const std::uint32_t mask =
+        act_bits >= 32 ? 0xFFFF'FFFFu : (1u << act_bits) - 1u;
+    std::int64_t full_sum = 0, masked_sum = 0;
+    for (const std::int32_t r : active) {
+      full_sum += input[static_cast<std::size_t>(r)];
+      const std::int64_t in = input[static_cast<std::size_t>(r)] & mask;
+      masked_sum += in;
+      if (in == 0) continue;
+      const std::int64_t* row =
+          signed_weights_.data() + static_cast<std::int64_t>(r) * cols_;
+      for (std::int64_t c = 0; c < cols_; ++c) {
+        acc[static_cast<std::size_t>(c)] += in * row[c];
+      }
+    }
+    if (full_sum != masked_sum) {
+      // The bit-serial reference streams only act_bits input bits but
+      // corrects with the *full* input sum; mirror that bit-for-bit.
+      for (std::int64_t c = 0; c < cols_; ++c) {
+        acc[static_cast<std::size_t>(c)] -= offset_ * (full_sum - masked_sum);
+      }
+    }
+    return;  // no clipping by construction
+  }
+
+  std::int64_t clips = 0;
+  if (ideal_) {
+    mvm_ideal_serial(input, active, act_bits, acc.data(), clips);
+  } else {
+    mvm_analog(input, active, act_bits, acc.data(), clips);
   }
   // Remove the offset-binary bias: stored = w + offset, so the analog result
   // overcounts by offset * sum(enabled inputs).
+  std::int64_t input_sum = 0;
+  for (const std::int32_t r : active) {
+    input_sum += input[static_cast<std::size_t>(r)];
+  }
   for (std::int64_t c = 0; c < cols_; ++c) {
     acc[static_cast<std::size_t>(c)] -= offset_ * input_sum;
   }
+  if (clip_count != nullptr) *clip_count += clips;
+}
+
+std::vector<std::int64_t> CrossbarArray::mvm(
+    const std::vector<std::uint32_t>& input,
+    const std::vector<bool>& row_enable, int act_bits) const {
+  std::vector<std::int64_t> acc;
+  std::int64_t clips = 0;
+  mvm(input, row_enable, act_bits, acc, &clips);
+  clip_count_ = clips;
   return acc;
 }
 

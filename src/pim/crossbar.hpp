@@ -9,6 +9,15 @@
 // is exactly the integer matrix-vector product -- a property the test suite
 // verifies -- and with a starved ADC it degrades, which the ablation bench
 // sweeps.
+//
+// Storage is one contiguous buffer (slice-major, row-major planes) walked
+// with pointer arithmetic, and two fast paths cover the ideal-device case:
+//  * wide-ADC ideal arrays (no clipping possible for any input) collapse the
+//    whole bit-serial schedule into one int64 dot product per column;
+//  * narrow-ADC ideal arrays run the bit-serial schedule on integer digits,
+//    reproducing ADC saturation without double round-trips.
+// Both are bit-identical to the analog reference path, which non-ideal
+// arrays still take.
 #pragma once
 
 #include <cstdint>
@@ -66,22 +75,51 @@ class CrossbarArray {
   std::vector<std::int64_t> mvm(const std::vector<std::uint32_t>& input,
                                 int act_bits) const;
 
+  /// Thread-safe variant: identical output, but ADC clip events are reported
+  /// through *clip_count (accumulated, not reset) instead of the mutable
+  /// last_clip_count() diagnostic, so concurrent callers sharing one
+  /// programmed array never race.
+  void mvm(const std::vector<std::uint32_t>& input,
+           const std::vector<bool>& row_enable, int act_bits,
+           std::vector<std::int64_t>& acc, std::int64_t* clip_count) const;
+
   /// Number of ADC clippings observed in the last mvm() call (diagnostic for
-  /// the ADC-resolution ablation).
+  /// the ADC-resolution ablation). Undefined under concurrent mvm() -- use
+  /// the clip-out overload there.
   std::int64_t last_clip_count() const { return clip_count_; }
 
  private:
+  /// Analog reference path (always taken by non-ideal arrays).
+  void mvm_analog(const std::vector<std::uint32_t>& input,
+                  const std::vector<std::int32_t>& active, int act_bits,
+                  std::int64_t* acc, std::int64_t& clips) const;
+  /// Ideal array, ADC too narrow for the worst-case column current:
+  /// bit-serial on integer digits, bit-identical saturation behaviour.
+  void mvm_ideal_serial(const std::vector<std::uint32_t>& input,
+                        const std::vector<std::int32_t>& active, int act_bits,
+                        std::int64_t* acc, std::int64_t& clips) const;
+
   CrossbarConfig config_;
   int weight_bits_;
   std::int64_t rows_ = 0;
   std::int64_t cols_ = 0;
   std::int64_t slices_ = 0;
   std::int64_t offset_ = 0;  ///< offset-binary bias: stored = w + offset
-  /// cells_[slice][r][c]: programmed conductance in level units. Exactly the
-  /// digit of (w + offset) for an ideal array; perturbed by the non-ideality
-  /// model otherwise.
-  std::vector<std::vector<std::vector<double>>> cells_;
+  /// Programmed conductances in level units, one contiguous buffer:
+  /// cells_[(s * rows_ + r) * cols_ + c]. Exactly the digit of (w + offset)
+  /// for an ideal array; perturbed by the non-ideality model otherwise.
+  std::vector<double> cells_;
+  /// Ideal arrays only: the same digits as integers (same flat layout), the
+  /// operands of the bit-serial integer fast path.
+  std::vector<std::int32_t> digits_;
+  /// Ideal arrays only: the signed logical weights, row-major (rows x cols),
+  /// the operands of the direct int64 fast path.
+  std::vector<std::int64_t> signed_weights_;
   bool ideal_ = true;
+  /// True when no per-cycle column current can exceed the ADC range for any
+  /// input (precomputed worst case: all rows enabled, all input bits set);
+  /// licenses the direct integer path, which skips the ADC entirely.
+  bool never_clips_ = false;
   mutable std::int64_t clip_count_ = 0;
 };
 

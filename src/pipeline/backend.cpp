@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "common/error.hpp"
+#include "common/parallel.hpp"
 #include "common/rng.hpp"
 #include "core/epitome.hpp"
 #include "datapath/datapath_sim.hpp"
@@ -94,8 +95,12 @@ EpimSimulator::Evaluation DatapathBackend::evaluate(
     std::uint64_t seed) const {
   // Cross-check every distinct (conv, epitome) pair: the analytical
   // estimator's activity accounting must equal what the functional datapath
-  // actually does. Distinct pairs only -- ResNet stages repeat shapes.
+  // actually does. Distinct pairs only -- ResNet stages repeat shapes. The
+  // pairs are collected serially (order-dependent dedup) and then the
+  // datapath executions, the expensive part, fan out across threads; a
+  // disagreement on any layer still surfaces as InternalError.
   std::vector<std::pair<ConvSpec, EpitomeSpec>> checked;
+  std::vector<const ConvLayerInfo*> to_check;
   for (std::int64_t i = 0; i < assignment.num_layers(); ++i) {
     const auto& choice = assignment.choice(i);
     if (!choice.has_value()) continue;
@@ -106,11 +111,22 @@ EpimSimulator::Evaluation DatapathBackend::evaluate(
       continue;
     }
     checked.push_back(key);
-    const LayerActivity functional = layer_activity(layer, *choice, seed);
-    const LayerActivity analytical = analytical_activity(sim_, layer, *choice);
-    EPIM_ASSERT(functional == analytical,
-                "HW/SW activity disagreement on layer " + layer.name);
+    to_check.push_back(&layer);
   }
+  parallel_for(static_cast<std::int64_t>(to_check.size()),
+               [&](std::int64_t i) {
+                 const ConvLayerInfo& layer =
+                     *to_check[static_cast<std::size_t>(i)];
+                 const EpitomeSpec& spec =
+                     checked[static_cast<std::size_t>(i)].second;
+                 const LayerActivity functional =
+                     layer_activity(layer, spec, seed);
+                 const LayerActivity analytical =
+                     analytical_activity(sim_, layer, spec);
+                 EPIM_ASSERT(functional == analytical,
+                             "HW/SW activity disagreement on layer " +
+                                 layer.name);
+               });
   return sim_.evaluate(assignment, precision, scheme, projector, seed);
 }
 

@@ -4,24 +4,12 @@
 #include <cmath>
 
 #include "common/error.hpp"
+#include "common/parallel.hpp"
 #include "nn/conv_exec.hpp"
 
 namespace epim {
 
 namespace {
-
-/// Apply a folded BatchNorm affine + ReLU to a (C, H, W) tensor in place.
-void affine_relu(Tensor& t, const ChannelAffine& bn) {
-  const std::int64_t c = t.dim(0), plane = t.dim(1) * t.dim(2);
-  for (std::int64_t ci = 0; ci < c; ++ci) {
-    float* p = t.data() + ci * plane;
-    const float s = bn.scale[static_cast<std::size_t>(ci)];
-    const float b = bn.shift[static_cast<std::size_t>(ci)];
-    for (std::int64_t i = 0; i < plane; ++i) {
-      p[i] = std::max(0.0f, s * p[i] + b);
-    }
-  }
-}
 
 /// Float reference of one deployed block (for activation calibration).
 Tensor float_block(const Epitome& epitome, const ChannelAffine& bn,
@@ -74,6 +62,18 @@ PimNetworkRuntime::PimNetworkRuntime(const SmallEpitomeNet& model,
   blocks_[0].act_in = in_obs.params(config_.act_bits - 1);
   blocks_[1].act_in = mid2_obs.params(config_.act_bits);
   blocks_[2].act_in = mid3_obs.params(config_.act_bits);
+  // With input scales known, resolve the full per-channel dequantization
+  // factor once; run_block's inner loops index it directly.
+  for (CompiledBlock& block : blocks_) {
+    const std::int64_t cout = block.layer.conv.out_channels;
+    const std::int64_t cout_e = block.engine->spec().cout_e;
+    block.dequant.resize(static_cast<std::size_t>(cout));
+    for (std::int64_t co = 0; co < cout; ++co) {
+      block.dequant[static_cast<std::size_t>(co)] =
+          block.act_in.scale *
+          block.weight_scale[static_cast<std::size_t>(co % cout_e)];
+    }
+  }
 }
 
 PimNetworkRuntime::CompiledBlock PimNetworkRuntime::compile_block(
@@ -116,16 +116,15 @@ PimNetworkRuntime::CompiledBlock PimNetworkRuntime::compile_block(
   return block;
 }
 
-Tensor PimNetworkRuntime::run_block(CompiledBlock& block,
-                                    const Tensor& input) {
+Tensor PimNetworkRuntime::run_block(const CompiledBlock& block,
+                                    const Tensor& input, Workspace& ws,
+                                    std::int64_t& clips) const {
   const ConvSpec& conv = block.layer.conv;
-  const EpitomeSpec& spec = block.engine->spec();
   const std::int64_t oh = block.layer.ofm_h(), ow = block.layer.ofm_w();
   const double s_in = block.act_in.scale;
   const bool signed_input = &block == &blocks_.front();
 
-  auto to_codes = [&](auto select) {
-    IntImage img;
+  auto to_codes = [&](IntImage& img, auto select) -> const IntImage& {
     img.channels = input.dim(0);
     img.height = input.dim(1);
     img.width = input.dim(2);
@@ -146,33 +145,30 @@ Tensor PimNetworkRuntime::run_block(CompiledBlock& block,
   IntOutput acc;
   if (signed_input) {
     // Differential input encoding: x = x+ - x-, two crossbar passes.
-    const IntImage pos =
-        to_codes([&](float v) { return v > 0 ? quant(v) : 0u; });
-    const IntImage neg =
-        to_codes([&](float v) { return v < 0 ? quant(v) : 0u; });
-    acc = block.engine->run(pos, abits);
-    const IntOutput acc_neg = block.engine->run(neg, abits);
+    const IntImage& pos =
+        to_codes(ws.pos, [&](float v) { return v > 0 ? quant(v) : 0u; });
+    const IntImage& neg =
+        to_codes(ws.neg, [&](float v) { return v < 0 ? quant(v) : 0u; });
+    acc = block.engine->run(pos, abits, &clips);
+    const IntOutput acc_neg = block.engine->run(neg, abits, &clips);
     for (std::size_t i = 0; i < acc.data.size(); ++i) {
       acc.data[i] -= acc_neg.data[i];
     }
   } else {
-    acc = block.engine->run(to_codes([&](float v) { return quant(v); }),
-                            abits);
+    acc = block.engine->run(
+        to_codes(ws.pos, [&](float v) { return quant(v); }), abits, &clips);
   }
-  clip_count_ += block.engine->last_clip_count();
 
   // Digital dequantization (per-channel weight scale x activation scale),
   // then the folded BatchNorm + ReLU.
   Tensor out({conv.out_channels, oh, ow});
   const std::int64_t plane = oh * ow;
   for (std::int64_t co = 0; co < conv.out_channels; ++co) {
-    const double sw =
-        block.weight_scale[static_cast<std::size_t>(co % spec.cout_e)];
+    const double d = block.dequant[static_cast<std::size_t>(co)];
     for (std::int64_t p = 0; p < plane; ++p) {
       out.at(co * plane + p) = static_cast<float>(
-          s_in * sw *
-          static_cast<double>(acc.data[static_cast<std::size_t>(
-              co * plane + p)]));
+          d * static_cast<double>(
+                  acc.data[static_cast<std::size_t>(co * plane + p)]));
     }
   }
   affine_relu(out, block.bn);
@@ -185,12 +181,12 @@ std::int64_t PimNetworkRuntime::total_crossbars() const {
   return n;
 }
 
-Tensor PimNetworkRuntime::forward(const Tensor& image) {
+Tensor PimNetworkRuntime::forward_impl(const Tensor& image, Workspace& ws,
+                                       std::int64_t& clips) const {
   EPIM_CHECK(image.rank() == 3, "forward expects a (C, H, W) image");
-  clip_count_ = 0;
-  Tensor a1 = run_block(blocks_[0], image);
-  Tensor a2 = max_pool2d(run_block(blocks_[1], a1), 2, 2, 0);
-  Tensor a3 = max_pool2d(run_block(blocks_[2], a2), 2, 2, 0);
+  Tensor a1 = run_block(blocks_[0], image, ws, clips);
+  Tensor a2 = max_pool2d(run_block(blocks_[1], a1, ws, clips), 2, 2, 0);
+  Tensor a3 = max_pool2d(run_block(blocks_[2], a2, ws, clips), 2, 2, 0);
   const Tensor pooled = global_avg_pool(a3);  // (64)
   // Float classifier head (kept at full precision, as in training).
   const std::int64_t k = deploy_.dense_w.dim(0);
@@ -205,17 +201,46 @@ Tensor PimNetworkRuntime::forward(const Tensor& image) {
   return logits;
 }
 
+Tensor PimNetworkRuntime::forward(const Tensor& image) {
+  std::int64_t clips = 0;
+  Tensor logits = forward_impl(image, scratch_, clips);
+  clip_count_ = clips;
+  return logits;
+}
+
 double PimNetworkRuntime::evaluate(const Dataset& dataset) {
   EPIM_CHECK(dataset.size() > 0, "cannot evaluate on an empty dataset");
-  std::int64_t correct = 0;
-  for (std::int64_t i = 0; i < dataset.size(); ++i) {
-    const Tensor logits = forward(dataset.sample(i));
-    std::int64_t arg = 0;
-    for (std::int64_t j = 1; j < logits.numel(); ++j) {
-      if (logits.at(j) > logits.at(arg)) arg = j;
-    }
-    correct += arg == dataset.labels[static_cast<std::size_t>(i)] ? 1 : 0;
+  // Images fan out across threads; each chunk keeps its own workspace and
+  // integer tallies, combined in chunk order (exact integer sums, so the
+  // result is identical at any thread count).
+  struct Tally {
+    std::int64_t correct = 0;
+    std::int64_t clips = 0;
+  };
+  const int chunks = std::max(num_chunks(dataset.size()), 1);
+  std::vector<Tally> tallies(static_cast<std::size_t>(chunks));
+  parallel_for_chunks(
+      dataset.size(), chunks,
+      [&](int chunk, std::int64_t begin, std::int64_t end) {
+        Workspace ws;
+        Tally& tally = tallies[static_cast<std::size_t>(chunk)];
+        for (std::int64_t i = begin; i < end; ++i) {
+          const Tensor logits = forward_impl(dataset.sample(i), ws,
+                                             tally.clips);
+          std::int64_t arg = 0;
+          for (std::int64_t j = 1; j < logits.numel(); ++j) {
+            if (logits.at(j) > logits.at(arg)) arg = j;
+          }
+          tally.correct +=
+              arg == dataset.labels[static_cast<std::size_t>(i)] ? 1 : 0;
+        }
+      });
+  std::int64_t correct = 0, clips = 0;
+  for (const Tally& t : tallies) {
+    correct += t.correct;
+    clips += t.clips;
   }
+  clip_count_ = clips;
   return static_cast<double>(correct) / static_cast<double>(dataset.size());
 }
 

@@ -12,6 +12,11 @@
 // Because every MAC goes through the bit-sliced crossbar model, the
 // accuracy this runtime measures is the accuracy the simulated chip would
 // deliver -- the quantity behind the paper's "deployed" numbers.
+//
+// evaluate() fans images out across threads (see common/parallel.hpp); every
+// image's forward pass is pure against the programmed crossbars and scratch
+// state lives in per-chunk workspaces, so accuracy and clip counts are
+// bit-identical at any thread count.
 #pragma once
 
 #include <cstdint>
@@ -51,13 +56,15 @@ class PimNetworkRuntime {
   /// Crossbars programmed across all on-chip layers.
   std::int64_t total_crossbars() const;
 
-  /// ADC clip events during the most recent forward (diagnostics).
+  /// ADC clip events during the most recent forward() (or, after
+  /// evaluate(), summed over the whole dataset). Diagnostics only.
   std::int64_t last_clip_count() const { return clip_count_; }
 
   /// Run one (C, H, W) image fully on the simulated chip; returns logits.
   Tensor forward(const Tensor& image);
 
-  /// Top-1 accuracy over a dataset, everything executed on-chip.
+  /// Top-1 accuracy over a dataset, everything executed on-chip. Images are
+  /// evaluated in parallel; the result is thread-count independent.
   double evaluate(const Dataset& dataset);
 
  private:
@@ -65,19 +72,35 @@ class PimNetworkRuntime {
     ConvLayerInfo layer;
     std::unique_ptr<PimLayerEngine> engine;
     std::vector<double> weight_scale;  ///< per output channel
+    /// Fully-resolved dequantization factor per output channel:
+    /// act_in.scale * weight_scale[co % cout_e], hoisted out of run_block's
+    /// pixel loops.
+    std::vector<double> dequant;
     ChannelAffine bn;
     QuantParams act_in;  ///< quantizer for this block's input activations
+  };
+
+  /// Reusable per-thread scratch for one forward pass (quantized input
+  /// codes); avoids reallocating the integer images for every block of
+  /// every image.
+  struct Workspace {
+    IntImage pos, neg;
   };
 
   /// Quantize an epitome's weights per output channel and build the engine.
   CompiledBlock compile_block(const Epitome& epitome, const ChannelAffine& bn,
                               std::int64_t ifm, const std::string& name);
 
-  Tensor run_block(CompiledBlock& block, const Tensor& input);
+  /// Pure against the compiled model: all mutable state is in `ws`/`clips`.
+  Tensor run_block(const CompiledBlock& block, const Tensor& input,
+                   Workspace& ws, std::int64_t& clips) const;
+  Tensor forward_impl(const Tensor& image, Workspace& ws,
+                      std::int64_t& clips) const;
 
   RuntimeConfig config_;
   SmallEpitomeNet::Deploy deploy_;
   std::vector<CompiledBlock> blocks_;  // block1..3 in order
+  Workspace scratch_;                  // forward()'s serial-path workspace
   std::int64_t clip_count_ = 0;
 };
 

@@ -5,6 +5,7 @@
 
 #include "common/error.hpp"
 #include "common/logging.hpp"
+#include "common/parallel.hpp"
 
 namespace epim {
 
@@ -98,7 +99,7 @@ EvoSearchResult EvolutionSearch::run() {
   Rng rng(config_.seed);
   struct Scored {
     Genome genome;
-    double reward;
+    double reward = 0.0;
   };
 
   // Initial population: random genomes plus warm starts -- one uniform
@@ -166,19 +167,30 @@ EvoSearchResult EvolutionSearch::run() {
   result.search_space_size = space;
 
   std::vector<Scored> scored;
+  std::vector<NetworkCost> costs;
   for (int iter = 0; iter < config_.iterations; ++iter) {
-    scored.clear();
-    for (const Genome& g : population) {
-      const NetworkAssignment assignment = to_assignment(g);
-      const NetworkCost cost =
-          estimator_->eval_network(assignment, config_.precision);
+    // Candidate scoring fans out across threads: the estimator is pure, and
+    // every genome writes its own slot, so the scores -- and therefore the
+    // winner -- are identical at any thread count.
+    scored.assign(population.size(), Scored{});
+    costs.assign(population.size(), NetworkCost{});
+    parallel_for(static_cast<std::int64_t>(population.size()),
+                 [&](std::int64_t i) {
+                   const std::size_t s = static_cast<std::size_t>(i);
+                   const NetworkAssignment assignment =
+                       to_assignment(population[s]);
+                   costs[s] =
+                       estimator_->eval_network(assignment, config_.precision);
+                   scored[s] = {population[s], reward_of(costs[s])};
+                 });
+    // Best-so-far update stays sequential in population order (first
+    // strict improvement wins), exactly as the serial loop behaved.
+    for (std::size_t i = 0; i < scored.size(); ++i) {
       ++result.evaluations;
-      const double reward = reward_of(cost);
-      scored.push_back({g, reward});
-      if (reward > result.best_reward) {
-        result.best_reward = reward;
-        result.best = assignment;
-        result.best_cost = cost;
+      if (scored[i].reward > result.best_reward) {
+        result.best_reward = scored[i].reward;
+        result.best = to_assignment(scored[i].genome);
+        result.best_cost = costs[i];
       }
     }
     result.reward_history.push_back(result.best_reward);

@@ -2,7 +2,13 @@
 
 #include <cmath>
 
+#include "common/parallel.hpp"
+
 namespace epim {
+
+// The matmuls parallelize over output rows: every row of the result is
+// computed by exactly one thread with a fixed inner-loop order, so outputs
+// are bit-identical at any thread count.
 
 Tensor matmul(const Tensor& a, const Tensor& b) {
   EPIM_CHECK(a.rank() == 2 && b.rank() == 2, "matmul requires rank-2 inputs");
@@ -12,7 +18,7 @@ Tensor matmul(const Tensor& a, const Tensor& b) {
   const float* pa = a.data();
   const float* pb = b.data();
   float* pc = c.data();
-  for (std::int64_t i = 0; i < m; ++i) {
+  parallel_for(m, [&](std::int64_t i) {
     for (std::int64_t kk = 0; kk < k; ++kk) {
       const float av = pa[i * k + kk];
       if (av == 0.0f) continue;
@@ -20,7 +26,7 @@ Tensor matmul(const Tensor& a, const Tensor& b) {
       float* crow = pc + i * n;
       for (std::int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
     }
-  }
+  });
   return c;
 }
 
@@ -43,7 +49,7 @@ Tensor matmul_nt(const Tensor& a, const Tensor& b) {
   const float* pa = a.data();
   const float* pb = b.data();
   float* pc = c.data();
-  for (std::int64_t i = 0; i < m; ++i) {
+  parallel_for(m, [&](std::int64_t i) {
     for (std::int64_t j = 0; j < n; ++j) {
       const float* arow = pa + i * k;
       const float* brow = pb + j * k;
@@ -53,7 +59,7 @@ Tensor matmul_nt(const Tensor& a, const Tensor& b) {
       }
       pc[i * n + j] = static_cast<float>(acc);
     }
-  }
+  });
   return c;
 }
 
@@ -139,7 +145,7 @@ Tensor im2col(const Tensor& input, std::int64_t kh, std::int64_t kw,
   Tensor cols({oh * ow, c * kh * kw});
   float* pc = cols.data();
   const float* pi = input.data();
-  for (std::int64_t oy = 0; oy < oh; ++oy) {
+  parallel_for(oh, [&](std::int64_t oy) {
     for (std::int64_t ox = 0; ox < ow; ++ox) {
       float* row = pc + (oy * ow + ox) * (c * kh * kw);
       for (std::int64_t ci = 0; ci < c; ++ci) {
@@ -156,7 +162,7 @@ Tensor im2col(const Tensor& input, std::int64_t kh, std::int64_t kw,
         }
       }
     }
-  }
+  });
   return cols;
 }
 

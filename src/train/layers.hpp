@@ -14,6 +14,7 @@
 
 #include "common/rng.hpp"
 #include "core/epitome.hpp"
+#include "nn/conv_exec.hpp"  // ChannelAffine, the folded-BN deploy target
 #include "nn/layer.hpp"
 #include "tensor/tensor.hpp"
 
@@ -75,13 +76,6 @@ class EpitomeConvLayer {
   SgdParam weight_;  // mirrors epitome_.weights()
   std::vector<Tensor> cols_cache_;
   std::int64_t in_h_ = 0, in_w_ = 0;
-};
-
-/// Per-channel affine transform y = scale[c] * x + shift[c]; what an
-/// eval-mode BatchNorm folds down to for deployment.
-struct ChannelAffine {
-  std::vector<float> scale;
-  std::vector<float> shift;
 };
 
 /// Per-channel batch normalization over (N, H, W).

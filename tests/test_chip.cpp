@@ -2,6 +2,7 @@
 // weight-duplication throughput planner.
 #include <gtest/gtest.h>
 
+#include "common/error.hpp"
 #include "nn/resnet.hpp"
 #include "pim/chip.hpp"
 #include "pim/duplication.hpp"
@@ -39,6 +40,30 @@ TEST(Chip, NocCostsArePositiveButSecondary) {
   // On-chip analog compute dominates; the NoC is an overhead, not the bulk.
   EXPECT_LT(cost.noc_latency_ms, cost.compute.latency_ms);
   EXPECT_LT(cost.noc_energy_mj, cost.compute.energy_mj());
+}
+
+TEST(Chip, NocActBytesPinsFp16TransportAssumption) {
+  // Activations travel the mesh in their quantized integer width -- except
+  // "FP32", which is transported as 16 bits (fixed-point transport twin of
+  // fp32_weight_bits; floating point never leaves a tile). This pins the
+  // documented assumption: a 32-bit activation costs 2 NoC bytes, not 4.
+  EXPECT_EQ(noc_act_bytes(1), 1);
+  EXPECT_EQ(noc_act_bytes(8), 1);
+  EXPECT_EQ(noc_act_bytes(9), 2);
+  EXPECT_EQ(noc_act_bytes(16), 2);
+  EXPECT_EQ(noc_act_bytes(32), 2);
+  EXPECT_THROW(noc_act_bytes(0), InvalidArgument);
+  EXPECT_THROW(noc_act_bytes(33), InvalidArgument);
+
+  // End to end: W9A32 and W9A16 move identical NoC byte volumes.
+  const auto est = make_estimator();
+  ChipModel chip(est, TileConfig{});
+  const Network net = mini_resnet();
+  const auto a32 = chip.eval(NetworkAssignment::baseline(net),
+                             PrecisionConfig::uniform(9, 32));
+  const auto a16 = chip.eval(NetworkAssignment::baseline(net),
+                             PrecisionConfig::uniform(9, 16));
+  EXPECT_DOUBLE_EQ(a32.noc_energy_mj, a16.noc_energy_mj);
 }
 
 TEST(Chip, PipeliningBoundedBySlowestLayer) {
