@@ -1,0 +1,250 @@
+// Serving throughput suite -- continues the BENCH_*.json perf trajectory.
+//
+// Workloads, each recorded as one JSON row ({op, threads, wall_ms,
+// items_per_sec, items_per_op}, schema epim-bench-v1):
+//
+//   artifact_save / artifact_load   durable-artifact round-trip
+//                                   (items_per_op = artifact bytes)
+//   serve_single                    one request at a time through the
+//                                   service, awaiting each future (pays the
+//                                   flush deadline per request)
+//   serve_batch<k>                  submit_batch bursts of k
+//   direct_evaluate                 PimNetworkRuntime::evaluate, the
+//                                   unbatched in-process reference
+//
+// The acceptance gate of PR 3: serve_batch throughput >= 2x serve_single on
+// the same thread budget. On a many-core host the gap also reflects batch
+// fan-out across the pool; on a 1-core container it isolates the dynamic
+// batching effect (deadline amortization).
+//
+// Usage: bench_serve [output.json] [--commit=HASH]
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/parallel.hpp"
+#include "pipeline/pipeline.hpp"
+#include "serve/artifact.hpp"
+#include "serve/service.hpp"
+#include "train/trainer.hpp"
+
+namespace epim {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+struct Record {
+  std::string op;
+  int threads = 1;
+  double wall_ms = 0.0;  ///< per operation
+  double items_per_sec = 0.0;
+  double items_per_op = 0.0;
+};
+
+Record record(std::string op, int threads, double wall_ms,
+              double items_per_op) {
+  Record r;
+  r.op = std::move(op);
+  r.threads = threads;
+  r.wall_ms = wall_ms;
+  r.items_per_op = items_per_op;
+  r.items_per_sec = items_per_op / (wall_ms * 1e-3);
+  return r;
+}
+
+template <typename Fn>
+double measure_ms(Fn&& fn, double min_ms = 300.0) {
+  fn();  // warmup
+  std::int64_t iters = 0;
+  const auto start = Clock::now();
+  double elapsed_ms = 0.0;
+  do {
+    fn();
+    ++iters;
+    elapsed_ms =
+        std::chrono::duration<double, std::milli>(Clock::now() - start)
+            .count();
+  } while (elapsed_ms < min_ms);
+  return elapsed_ms / static_cast<double>(iters);
+}
+
+std::int64_t file_bytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  return in.good() ? static_cast<std::int64_t>(in.tellg()) : 0;
+}
+
+void write_json(const std::vector<Record>& records, const std::string& path,
+                const std::string& commit) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s for writing\n", path.c_str());
+    std::exit(1);
+  }
+  std::fprintf(f, "{\n  \"schema\": \"epim-bench-v1\",\n");
+  std::fprintf(f, "  \"commit\": \"%s\",\n", commit.c_str());
+  std::fprintf(f, "  \"benchmarks\": [\n");
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    const Record& r = records[i];
+    std::fprintf(f,
+                 "    {\"op\": \"%s\", \"threads\": %d, \"wall_ms\": %.4f, "
+                 "\"items_per_sec\": %.1f, \"items_per_op\": %.0f}%s\n",
+                 r.op.c_str(), r.threads, r.wall_ms, r.items_per_sec,
+                 r.items_per_op, i + 1 < records.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+}
+
+std::vector<Record> run_suite() {
+  std::vector<Record> records;
+
+  // Fixed workload: a trained small net deployed at W6A8 (accuracy is
+  // irrelevant here; the forward pass cost is what we serve). 8x8 inputs
+  // keep one request in the low-millisecond range -- the regime where
+  // per-request dispatch cost and the flush deadline dominate, i.e. where
+  // dynamic batching earns its keep.
+  SyntheticSpec dspec;
+  dspec.num_classes = 4;
+  dspec.image_size = 8;
+  dspec.train_per_class = 12;
+  dspec.test_per_class = 32;
+  const SyntheticData data = make_synthetic_data(dspec);
+  SmallNetConfig nc;
+  nc.num_classes = 4;
+  nc.image_size = 8;
+  SmallEpitomeNet net(nc);
+  TrainConfig tcfg;
+  tcfg.epochs = 2;
+  train_model(net, data, tcfg);
+
+  PipelineConfig cfg;
+  cfg.serve.max_batch = 16;
+  cfg.serve.flush_deadline_ms = 2.0;
+  Pipeline pipeline(cfg);
+
+  set_num_threads(1);
+  const std::string path = "bench_serve.epim";
+  {
+    DeployedModel chip = pipeline.deploy(net, data.train);
+    chip.save(path);  // materialize once so the size is known up front
+    const double bytes = static_cast<double>(file_bytes(path));
+    records.push_back(record(
+        "artifact_save", 1, measure_ms([&] { chip.save(path); }, 100.0),
+        bytes));
+    records.push_back(record(
+        "artifact_load", 1,
+        measure_ms([&] { (void)Pipeline::load_deployed(path); }, 100.0),
+        bytes));
+  }
+
+  // Pre-extract the request stream once.
+  std::vector<Tensor> stream;
+  for (std::int64_t i = 0; i < data.test.size(); ++i) {
+    stream.push_back(data.test.sample(i));
+  }
+  const double n_items = static_cast<double>(stream.size());
+
+  for (int threads : {1, 2, 4}) {
+    set_num_threads(threads);
+
+    // In-process reference: direct unbatched evaluation.
+    {
+      DeployedModel chip = Pipeline::load_deployed(path);
+      records.push_back(record(
+          "direct_evaluate", threads,
+          measure_ms([&] { chip.evaluate(data.test); }), n_items));
+    }
+
+    // One request at a time: every request waits out the flush deadline
+    // alone -- the cost dynamic batching exists to amortize.
+    {
+      InferenceService service =
+          std::move(Pipeline::load_deployed(path)).serve(cfg.serve);
+      records.push_back(record(
+          "serve_single", threads,
+          measure_ms([&] {
+            for (Tensor& image : stream) {
+              (void)service.submit(image).get();
+            }
+          }),
+          n_items));
+    }
+
+    // Bursts: full batches flush immediately and fan out across the pool.
+    for (int burst : {4, 16}) {
+      InferenceService service =
+          std::move(Pipeline::load_deployed(path)).serve(cfg.serve);
+      records.push_back(record(
+          "serve_batch" + std::to_string(burst), threads,
+          measure_ms([&] {
+            std::vector<std::future<InferenceResult>> pending;
+            for (std::size_t i = 0; i < stream.size();
+                 i += static_cast<std::size_t>(burst)) {
+              std::vector<Tensor> chunk(
+                  stream.begin() + static_cast<std::ptrdiff_t>(i),
+                  stream.begin() +
+                      static_cast<std::ptrdiff_t>(std::min(
+                          stream.size(),
+                          i + static_cast<std::size_t>(burst))));
+              for (auto& f : service.submit_batch(std::move(chunk))) {
+                pending.push_back(std::move(f));
+              }
+            }
+            for (auto& f : pending) (void)f.get();
+          }),
+          n_items));
+    }
+  }
+  set_num_threads(1);
+  std::remove(path.c_str());
+  return records;
+}
+
+}  // namespace
+}  // namespace epim
+
+int main(int argc, char** argv) {
+  std::string out = "BENCH_pr3.json";
+  std::string commit = "unknown";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--commit=", 9) == 0) {
+      commit = argv[i] + 9;
+    } else {
+      out = argv[i];
+    }
+  }
+  const auto records = epim::run_suite();
+  // Gate ratio per thread budget (batched vs single under the *same*
+  // thread count); the reported figure is the worst budget's ratio, so
+  // thread scaling can never mask a batching regression.
+  std::map<int, double> single_by_threads, batch_by_threads;
+  for (const auto& r : records) {
+    std::printf("%-18s threads=%d  %10.4f ms/op  %12.1f items/s\n",
+                r.op.c_str(), r.threads, r.wall_ms, r.items_per_sec);
+    if (r.op == "serve_single") {
+      single_by_threads[r.threads] = r.items_per_sec;
+    }
+    if (r.op.rfind("serve_batch", 0) == 0) {
+      double& best = batch_by_threads[r.threads];
+      best = std::max(best, r.items_per_sec);
+    }
+  }
+  double worst_ratio = 0.0;
+  for (const auto& [threads, single] : single_by_threads) {
+    const auto it = batch_by_threads.find(threads);
+    if (it == batch_by_threads.end() || single <= 0.0) continue;
+    const double ratio = it->second / single;
+    std::printf("batched/single @ %d thread(s): %.2fx\n", threads, ratio);
+    worst_ratio = worst_ratio == 0.0 ? ratio : std::min(worst_ratio, ratio);
+  }
+  std::printf("worst same-budget batched/single: %.2fx (gate: >= 2x)\n",
+              worst_ratio);
+  epim::write_json(records, out, commit);
+  std::printf("wrote %s\n", out.c_str());
+  return 0;
+}

@@ -21,11 +21,12 @@ thread_local bool t_in_parallel_region = false;
 
 int default_thread_count() {
   if (const char* env = std::getenv("EPIM_THREADS")) {
-    const int n = std::atoi(env);
+    const int n = detail::parse_thread_env(env);
     if (n >= 1) return n;
   }
   const unsigned hw = std::thread::hardware_concurrency();
-  return hw > 0 ? static_cast<int>(hw) : 1;
+  if (hw == 0) return 1;
+  return std::min(static_cast<int>(hw), detail::kMaxThreads);
 }
 
 /// One parallel region in flight. Heap-allocated and shared with workers so
@@ -56,7 +57,7 @@ class ThreadPool {
   }
 
   void resize(int n) {
-    n = std::max(1, n);
+    n = std::clamp(n, 1, detail::kMaxThreads);
     EPIM_CHECK(!t_in_parallel_region,
                "set_num_threads inside a parallel region");
     std::unique_lock<std::mutex> lock(mutex_);
@@ -160,6 +161,20 @@ class ThreadPool {
 };
 
 }  // namespace
+
+namespace detail {
+
+int parse_thread_env(const char* value) {
+  if (value == nullptr || *value == '\0') return 0;
+  char* end = nullptr;
+  const long n = std::strtol(value, &end, 10);
+  if (end == value || *end != '\0') return 0;  // "abc", "4x", " "
+  if (n < 1) return 0;  // "0", "-1", negative overflow (LONG_MIN)
+  // Huge values (including positive overflow saturating at LONG_MAX) clamp.
+  return static_cast<int>(std::min<long>(n, kMaxThreads));
+}
+
+}  // namespace detail
 
 int num_threads() { return ThreadPool::instance().threads(); }
 

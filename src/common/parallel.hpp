@@ -25,12 +25,27 @@
 
 namespace epim {
 
+namespace detail {
+
+/// Hard ceiling on the pool size; EPIM_THREADS and set_num_threads() both
+/// clamp here so a stray "999999999" cannot fork-bomb the process.
+inline constexpr int kMaxThreads = 256;
+
+/// Parse an EPIM_THREADS-style value: returns the thread count clamped to
+/// [1, kMaxThreads], or 0 when the value is not a positive integer ("0",
+/// "-1", "abc", "") -- the caller falls back to hardware concurrency.
+int parse_thread_env(const char* value);
+
+}  // namespace detail
+
 /// Threads the pool currently runs work on (>= 1; 1 means serial execution
-/// on the calling thread). First call reads EPIM_THREADS.
+/// on the calling thread). First call reads EPIM_THREADS (garbage or
+/// non-positive values fall back to hardware concurrency; huge values clamp
+/// to detail::kMaxThreads).
 int num_threads();
 
-/// Resize the pool. n < 1 is clamped to 1. Safe to call between parallel
-/// regions; must not be called from inside one.
+/// Resize the pool. Clamped to [1, detail::kMaxThreads]. Safe to call
+/// between parallel regions; must not be called from inside one.
 void set_num_threads(int n);
 
 /// Run fn(i) for every i in [0, n). Iterations are grouped into at most

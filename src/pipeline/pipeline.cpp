@@ -62,10 +62,15 @@ std::string precision_description(const PrecisionPlan& plan) {
 
 DeployedModel::DeployedModel(RuntimeConfig config,
                              const SmallEpitomeNet& model,
-                             const Dataset& calibration)
+                             const Dataset& calibration, ServeConfig serve)
     : config_(config),
+      serve_config_(serve),
       runtime_(std::make_unique<PimNetworkRuntime>(model, calibration,
                                                    config)) {}
+
+DeployedModel::DeployedModel(RuntimeConfig config,
+                             std::unique_ptr<PimNetworkRuntime> runtime)
+    : config_(config), runtime_(std::move(runtime)) {}
 
 std::int64_t DeployedModel::total_crossbars() const {
   return runtime_->total_crossbars();
@@ -77,6 +82,16 @@ std::int64_t DeployedModel::last_clip_count() const {
 
 Tensor DeployedModel::forward(const Tensor& image) {
   return runtime_->forward(image);
+}
+
+std::vector<Tensor> DeployedModel::forward_batch(
+    const std::vector<Tensor>& images,
+    std::vector<std::int64_t>* per_image_clips) const {
+  return runtime_->forward_batch(images, per_image_clips);
+}
+
+const SmallNetConfig& DeployedModel::model_config() const {
+  return runtime_->deploy_state().config;
 }
 
 double DeployedModel::evaluate(const Dataset& dataset) {
@@ -152,7 +167,8 @@ EvoSearchResult CompiledModel::search() {
 
 DeployedModel CompiledModel::deploy(const SmallEpitomeNet& model,
                                     const Dataset& calibration) const {
-  return DeployedModel(derive_runtime_config(*config_), model, calibration);
+  return DeployedModel(derive_runtime_config(*config_), model, calibration,
+                       config_->serve);
 }
 
 TextTable CompiledModel::to_table() const {
@@ -225,7 +241,8 @@ CompiledModel Pipeline::compile(const Network& net,
 
 DeployedModel Pipeline::deploy(const SmallEpitomeNet& model,
                                const Dataset& calibration) const {
-  return DeployedModel(derive_runtime_config(*config_), model, calibration);
+  return DeployedModel(derive_runtime_config(*config_), model, calibration,
+                       config_->serve);
 }
 
 QuantEvalResult Pipeline::evaluate_quantized(SmallEpitomeNet& model,

@@ -34,6 +34,9 @@
 
 namespace epim {
 
+class ArtifactCodec;
+class InferenceService;
+
 /// A trained model programmed onto the simulated chip: thin façade over
 /// PimNetworkRuntime so callers never wire RuntimeConfig by hand.
 class DeployedModel {
@@ -53,16 +56,46 @@ class DeployedModel {
   /// Run one (C, H, W) image fully on the simulated chip; returns logits.
   Tensor forward(const Tensor& image);
 
+  /// Thread-safe batched forward: logits[i] is bit-identical to
+  /// forward(images[i]) at any batch size and thread count; per-image clip
+  /// counts are reported through `per_image_clips` when non-null.
+  std::vector<Tensor> forward_batch(
+      const std::vector<Tensor>& images,
+      std::vector<std::int64_t>* per_image_clips = nullptr) const;
+
+  /// Geometry of the deployed model's inputs (what submit() validates
+  /// against): channels x image_size x image_size.
+  const SmallNetConfig& model_config() const;
+
   /// Top-1 accuracy over a dataset, everything executed on-chip.
   double evaluate(const Dataset& dataset);
+
+  /// Serialize to a `.epim` artifact (see serve/artifact.hpp). A later
+  /// Pipeline::load_deployed(path) answers bit-identically to this model.
+  void save(const std::string& path) const;
+
+  /// Batching policy serve() uses: the pipeline's ServeConfig when this
+  /// model came from deploy(), defaults after an artifact load.
+  const ServeConfig& serve_config() const { return serve_config_; }
+
+  /// Move this model into a batched InferenceService (serve/service.hpp).
+  /// Rvalue-qualified: the service takes ownership of the programmed chip,
+  /// e.g. `auto svc = std::move(chip).serve();`.
+  InferenceService serve() &&;
+  InferenceService serve(const ServeConfig& config) &&;
 
  private:
   friend class Pipeline;
   friend class CompiledModel;
+  friend class ArtifactCodec;
   DeployedModel(RuntimeConfig config, const SmallEpitomeNet& model,
-                const Dataset& calibration);
+                const Dataset& calibration, ServeConfig serve = {});
+  /// Restore path (artifact load): adopt an already-programmed runtime.
+  DeployedModel(RuntimeConfig config,
+                std::unique_ptr<PimNetworkRuntime> runtime);
 
   RuntimeConfig config_;
+  ServeConfig serve_config_{};
   std::unique_ptr<PimNetworkRuntime> runtime_;
 };
 
@@ -108,8 +141,15 @@ class CompiledModel {
   /// to_table() rendered with a title -- the report a hardware team reviews.
   std::string summary() const;
 
+  /// Serialize to a `.epim` artifact: full PipelineConfig, network topology,
+  /// assignment (including any search() refinement) and the resolved
+  /// per-layer precision plan. Pipeline::load(path) round-trips it with
+  /// byte-identical estimator numbers.
+  void save(const std::string& path) const;
+
  private:
   friend class Pipeline;
+  friend class ArtifactCodec;
   CompiledModel(std::shared_ptr<const PipelineConfig> config,
                 std::shared_ptr<const EvaluationBackend> backend,
                 std::shared_ptr<const PimEstimator> estimator,
@@ -169,6 +209,15 @@ class Pipeline {
   /// and measure real accuracy (the trainer-level PTQ path).
   QuantEvalResult evaluate_quantized(SmallEpitomeNet& model,
                                      const Dataset& dataset) const;
+
+  /// Load a CompiledModel artifact saved by CompiledModel::save(). The
+  /// artifact embeds its PipelineConfig, so no Pipeline instance is needed.
+  static CompiledModel load(const std::string& path);
+
+  /// Load a DeployedModel artifact saved by DeployedModel::save();
+  /// re-programs the crossbars bit-identically (non-ideality draws replay
+  /// from the stored seed).
+  static DeployedModel load_deployed(const std::string& path);
 
  private:
   std::shared_ptr<const PipelineConfig> config_;

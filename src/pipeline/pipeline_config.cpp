@@ -129,6 +129,11 @@ void PipelineConfig::validate() const {
                  deploy.non_ideal.stuck_at_max_prob <= 1.0,
              "non-ideality parameters out of range");
   check_weight_fits_crossbar(xbar, resolved_deploy_weight_bits(), "deploy");
+
+  // --- serving ---
+  EPIM_CHECK(serve.max_batch >= 1, "serve.max_batch must be positive");
+  EPIM_CHECK(serve.flush_deadline_ms > 0.0,
+             "serve.flush_deadline_ms must be positive");
 }
 
 }  // namespace epim

@@ -114,6 +114,19 @@ struct DeployConfig {
   NonIdealityConfig non_ideal{};
 };
 
+/// Dynamic batching policy of an InferenceService (serve/service.hpp).
+/// Requests queue until either `max_batch` of them are pending or the oldest
+/// has waited `flush_deadline_ms`; each flushed batch fans out across the
+/// shared thread pool. Results are bit-identical to unbatched evaluation at
+/// any batch size or thread count -- batching only changes throughput.
+struct ServeConfig {
+  /// Largest batch one flush executes (must be positive).
+  int max_batch = 32;
+  /// Longest a queued request waits for batch-mates, in milliseconds (must
+  /// be positive; the latency price of throughput).
+  double flush_deadline_ms = 2.0;
+};
+
 /// Which EvaluationBackend Pipeline constructs by default.
 enum class BackendKind {
   kAnalytical,  ///< behaviour-level estimator + accuracy projection
@@ -135,6 +148,7 @@ struct PipelineConfig {
   QuantConfig quant{};
   SearchConfig search{};
   DeployConfig deploy{};
+  ServeConfig serve{};
   /// Accuracy anchors of the target model family (paper FP32 points).
   AccuracyAnchors anchors = AccuracyAnchors::resnet50();
   BackendKind backend = BackendKind::kAnalytical;

@@ -51,17 +51,36 @@ PimNetworkRuntime::PimNetworkRuntime(const SmallEpitomeNet& model,
     mid3_obs.observe(a2);
   }
 
-  // --- compile the three on-chip blocks ---
+  // Input quantizers: block1 symmetric (signed, one bit spent on sign via
+  // the +/- split); blocks 2-3 unsigned post-ReLU.
+  compile_network({in_obs.params(config_.act_bits - 1),
+                   mid2_obs.params(config_.act_bits),
+                   mid3_obs.params(config_.act_bits)});
+}
+
+PimNetworkRuntime::PimNetworkRuntime(SmallEpitomeNet::Deploy deploy,
+                                     const ActivationParams& act_params,
+                                     RuntimeConfig config)
+    : config_(config), deploy_(std::move(deploy)) {
+  EPIM_CHECK(config_.weight_bits >= 2 && config_.weight_bits <= 16,
+             "weight bits out of range");
+  EPIM_CHECK(config_.act_bits >= 2 && config_.act_bits <= 16,
+             "act bits out of range");
+  for (const QuantParams& p : act_params) {
+    EPIM_CHECK(p.scale > 0.0, "activation quantizer scale must be positive");
+  }
+  compile_network(act_params);
+}
+
+void PimNetworkRuntime::compile_network(const ActivationParams& act_params) {
   const std::int64_t s = deploy_.config.image_size;
   blocks_.push_back(compile_block(deploy_.block1, deploy_.bn1, s, "block1"));
   blocks_.push_back(compile_block(deploy_.block2, deploy_.bn2, s, "block2"));
   blocks_.push_back(
       compile_block(deploy_.block3, deploy_.bn3, s / 2, "block3"));
-  // Input quantizers: block1 symmetric (signed, one bit spent on sign via
-  // the +/- split); blocks 2-3 unsigned post-ReLU.
-  blocks_[0].act_in = in_obs.params(config_.act_bits - 1);
-  blocks_[1].act_in = mid2_obs.params(config_.act_bits);
-  blocks_[2].act_in = mid3_obs.params(config_.act_bits);
+  for (std::size_t b = 0; b < blocks_.size(); ++b) {
+    blocks_[b].act_in = act_params[b];
+  }
   // With input scales known, resolve the full per-channel dequantization
   // factor once; run_block's inner loops index it directly.
   for (CompiledBlock& block : blocks_) {
@@ -74,6 +93,11 @@ PimNetworkRuntime::PimNetworkRuntime(const SmallEpitomeNet& model,
           block.weight_scale[static_cast<std::size_t>(co % cout_e)];
     }
   }
+}
+
+PimNetworkRuntime::ActivationParams PimNetworkRuntime::activation_params()
+    const {
+  return {blocks_[0].act_in, blocks_[1].act_in, blocks_[2].act_in};
 }
 
 PimNetworkRuntime::CompiledBlock PimNetworkRuntime::compile_block(
@@ -205,6 +229,39 @@ Tensor PimNetworkRuntime::forward(const Tensor& image) {
   std::int64_t clips = 0;
   Tensor logits = forward_impl(image, scratch_, clips);
   clip_count_ = clips;
+  return logits;
+}
+
+Tensor PimNetworkRuntime::forward(const Tensor& image,
+                                  std::int64_t* clips) const {
+  Workspace ws;
+  std::int64_t c = 0;
+  Tensor logits = forward_impl(image, ws, c);
+  if (clips != nullptr) *clips = c;
+  return logits;
+}
+
+std::vector<Tensor> PimNetworkRuntime::forward_batch(
+    const std::vector<Tensor>& images,
+    std::vector<std::int64_t>* per_image_clips) const {
+  const std::int64_t n = static_cast<std::int64_t>(images.size());
+  std::vector<Tensor> logits(images.size());
+  if (per_image_clips != nullptr) {
+    per_image_clips->assign(images.size(), 0);
+  }
+  // Every image's forward is pure against the programmed crossbars; results
+  // land in per-image slots, so placement cannot affect the output.
+  parallel_for_chunks(n, [&](int, std::int64_t begin, std::int64_t end) {
+    Workspace ws;
+    for (std::int64_t i = begin; i < end; ++i) {
+      std::int64_t clips = 0;
+      logits[static_cast<std::size_t>(i)] =
+          forward_impl(images[static_cast<std::size_t>(i)], ws, clips);
+      if (per_image_clips != nullptr) {
+        (*per_image_clips)[static_cast<std::size_t>(i)] = clips;
+      }
+    }
+  });
   return logits;
 }
 

@@ -19,6 +19,7 @@
 // bit-identical at any thread count.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <vector>
 
@@ -47,11 +48,33 @@ struct RuntimeConfig {
 
 class PimNetworkRuntime {
  public:
+  /// Calibrated input quantizers of the three on-chip blocks, in block
+  /// order -- the state the activation-calibration pass produces and a
+  /// deploy artifact persists.
+  using ActivationParams = std::array<QuantParams, 3>;
+
   /// Compile the trained model: quantize, calibrate on `calibration`
   /// (forwarding it through the float model to observe activation ranges),
   /// and program the crossbars.
   PimNetworkRuntime(const SmallEpitomeNet& model, const Dataset& calibration,
                     RuntimeConfig config);
+
+  /// Restore path (artifact load): rebuild from a deploy snapshot plus
+  /// already-calibrated activation quantizers -- no calibration set needed.
+  /// Weight quantization and crossbar programming are deterministic (the
+  /// non-ideality RNG replays from config.non_ideal.seed), so the restored
+  /// runtime is bit-identical to the one the snapshot was taken from.
+  PimNetworkRuntime(SmallEpitomeNet::Deploy deploy,
+                    const ActivationParams& act_params, RuntimeConfig config);
+
+  const RuntimeConfig& config() const { return config_; }
+
+  /// The float-side model state this runtime was compiled from (what a
+  /// deploy artifact persists alongside config() and activation_params()).
+  const SmallEpitomeNet::Deploy& deploy_state() const { return deploy_; }
+
+  /// The calibrated input quantizers, block1..3.
+  ActivationParams activation_params() const;
 
   /// Crossbars programmed across all on-chip layers.
   std::int64_t total_crossbars() const;
@@ -62,6 +85,19 @@ class PimNetworkRuntime {
 
   /// Run one (C, H, W) image fully on the simulated chip; returns logits.
   Tensor forward(const Tensor& image);
+
+  /// Thread-safe variant: identical logits, clip events reported through
+  /// *clips (set, not accumulated) instead of last_clip_count(), so
+  /// concurrent callers sharing one programmed runtime never race.
+  Tensor forward(const Tensor& image, std::int64_t* clips) const;
+
+  /// Run a batch of (C, H, W) images, fanning out across the shared thread
+  /// pool with per-chunk workspaces. logits[i] is bit-identical to
+  /// forward(images[i]) at any batch size and thread count; when
+  /// `per_image_clips` is non-null it receives one clip count per image.
+  std::vector<Tensor> forward_batch(
+      const std::vector<Tensor>& images,
+      std::vector<std::int64_t>* per_image_clips = nullptr) const;
 
   /// Top-1 accuracy over a dataset, everything executed on-chip. Images are
   /// evaluated in parallel; the result is thread-count independent.
@@ -90,6 +126,10 @@ class PimNetworkRuntime {
   /// Quantize an epitome's weights per output channel and build the engine.
   CompiledBlock compile_block(const Epitome& epitome, const ChannelAffine& bn,
                               std::int64_t ifm, const std::string& name);
+
+  /// Shared tail of both constructors: compile the three blocks, install the
+  /// activation quantizers and hoist the per-channel dequant factors.
+  void compile_network(const ActivationParams& act_params);
 
   /// Pure against the compiled model: all mutable state is in `ws`/`clips`.
   Tensor run_block(const CompiledBlock& block, const Tensor& input,

@@ -1,0 +1,227 @@
+#include "serve/service.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <utility>
+
+#include "common/error.hpp"
+#include "runtime/pim_runtime.hpp"
+
+namespace epim {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double ms_between(Clock::time_point a, Clock::time_point b) {
+  return std::chrono::duration<double, std::milli>(b - a).count();
+}
+
+/// Nearest-rank percentile of an already-sorted latency vector.
+double percentile(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  const auto rank = static_cast<std::size_t>(
+      std::ceil(q * static_cast<double>(sorted.size())));
+  return sorted[std::min(sorted.size() - 1, std::max<std::size_t>(rank, 1) -
+                                                1)];
+}
+
+}  // namespace
+
+InferenceService::InferenceService(DeployedModel model, ServeConfig config)
+    : model_(std::move(model)), config_(config) {
+  EPIM_CHECK(config_.max_batch >= 1, "serve.max_batch must be positive");
+  EPIM_CHECK(config_.flush_deadline_ms > 0.0,
+             "serve.flush_deadline_ms must be positive");
+  dispatcher_ = std::thread([this] { dispatcher_loop(); });
+}
+
+InferenceService::~InferenceService() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  dispatcher_.join();
+}
+
+std::future<InferenceResult> InferenceService::submit(Tensor image) {
+  std::vector<Tensor> one;
+  one.push_back(std::move(image));
+  return std::move(submit_batch(std::move(one)).front());
+}
+
+std::vector<std::future<InferenceResult>> InferenceService::submit_batch(
+    std::vector<Tensor> images) {
+  // Validate every shape before anything is enqueued: a malformed request
+  // fails fast at the submission site and can never take down batch-mates.
+  const SmallNetConfig& net = model_.model_config();
+  for (const Tensor& image : images) {
+    EPIM_CHECK(image.rank() == 3, "submit expects a (C, H, W) image");
+    EPIM_CHECK(image.dim(0) == net.in_channels &&
+                   image.dim(1) == net.image_size &&
+                   image.dim(2) == net.image_size,
+               "submitted image shape does not match the deployed model");
+  }
+
+  std::vector<std::future<InferenceResult>> futures;
+  if (images.empty()) return futures;
+  futures.reserve(images.size());
+  const auto now = Clock::now();
+  // Record the throughput-window start *before* the requests become visible
+  // to the dispatcher: once any of them is counted in completed_, the
+  // window start is guaranteed set.
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    if (!saw_first_submit_) {
+      saw_first_submit_ = true;
+      first_submit_ = now;
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    EPIM_CHECK(!stop_, "submit on a stopped InferenceService");
+    for (Tensor& image : images) {
+      Request request;
+      request.image = std::move(image);
+      request.enqueued = now;
+      futures.push_back(request.promise.get_future());
+      queue_.push_back(std::move(request));
+    }
+  }
+  cv_.notify_all();
+  return futures;
+}
+
+void InferenceService::dispatcher_loop() {
+  const auto deadline_dur =
+      std::chrono::duration_cast<Clock::duration>(
+          std::chrono::duration<double, std::milli>(
+              config_.flush_deadline_ms));
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    cv_.wait(lock, [&] { return stop_ || !queue_.empty(); });
+    if (queue_.empty()) {
+      if (stop_) return;
+      continue;
+    }
+    // Dynamic batching: hold for batch-mates until the oldest request's
+    // deadline, a full batch, or shutdown (which flushes immediately).
+    const auto deadline = queue_.front().enqueued + deadline_dur;
+    while (!stop_ &&
+           static_cast<int>(queue_.size()) < config_.max_batch &&
+           cv_.wait_until(lock, deadline) != std::cv_status::timeout) {
+    }
+    std::vector<Request> batch;
+    const std::size_t n = std::min<std::size_t>(
+        queue_.size(), static_cast<std::size_t>(config_.max_batch));
+    batch.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      batch.push_back(std::move(queue_.front()));
+      queue_.pop_front();
+    }
+    lock.unlock();
+    run_batch(batch);
+    lock.lock();
+  }
+}
+
+void InferenceService::run_batch(std::vector<Request>& batch) {
+  std::vector<Tensor> images;
+  images.reserve(batch.size());
+  for (Request& r : batch) images.push_back(std::move(r.image));
+
+  std::vector<Tensor> logits;
+  std::vector<std::int64_t> clips;
+  try {
+    logits = model_.forward_batch(images, &clips);
+  } catch (...) {
+    // Shapes were validated at submit, so this is unexpected; fail the
+    // whole batch rather than wedge its futures, and keep serving.
+    const std::exception_ptr error = std::current_exception();
+    for (Request& r : batch) r.promise.set_exception(error);
+    return;
+  }
+
+  const auto done = Clock::now();
+  std::vector<InferenceResult> results(batch.size());
+  std::int64_t batch_clips = 0;
+  std::vector<double> batch_latencies;
+  batch_latencies.reserve(batch.size());
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    InferenceResult& result = results[i];
+    result.logits = std::move(logits[i]);
+    result.clip_count = clips[i];
+    for (std::int64_t j = 1; j < result.logits.numel(); ++j) {
+      if (result.logits.at(j) > result.logits.at(result.predicted)) {
+        result.predicted = j;
+      }
+    }
+    batch_clips += clips[i];
+    batch_latencies.push_back(ms_between(batch[i].enqueued, done));
+  }
+
+  // Record stats before fulfilling any promise, so a stats() snapshot taken
+  // right after a future resolves already counts that request.
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    completed_ += static_cast<std::int64_t>(batch.size());
+    batches_ += 1;
+    clip_events_ += batch_clips;
+    last_done_ = done;
+    for (const double latency : batch_latencies) {
+      if (latencies_ms_.size() < kLatencyWindow) {
+        latencies_ms_.push_back(latency);
+      } else {
+        latencies_ms_[latency_next_] = latency;
+        latency_next_ = (latency_next_ + 1) % kLatencyWindow;
+      }
+    }
+  }
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    batch[i].promise.set_value(std::move(results[i]));
+  }
+}
+
+ServiceStats InferenceService::stats() const {
+  ServiceStats s;
+  std::vector<double> latencies;
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    s.requests = completed_;
+    s.batches = batches_;
+    s.clip_events = clip_events_;
+    latencies = latencies_ms_;
+    if (completed_ > 0) {
+      s.mean_batch_size = static_cast<double>(completed_) /
+                          static_cast<double>(batches_);
+      const double wall_s =
+          std::chrono::duration<double>(last_done_ - first_submit_).count();
+      s.items_per_sec =
+          wall_s > 0.0 ? static_cast<double>(completed_) / wall_s : 0.0;
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    s.queued = static_cast<std::int64_t>(queue_.size());
+  }
+  std::sort(latencies.begin(), latencies.end());
+  s.p50_latency_ms = percentile(latencies, 0.50);
+  s.p99_latency_ms = percentile(latencies, 0.99);
+  return s;
+}
+
+// DeployedModel::serve lives here so pipeline.hpp only needs a forward
+// declaration of InferenceService.
+
+InferenceService DeployedModel::serve() && {
+  const ServeConfig config = serve_config_;
+  return InferenceService(std::move(*this), config);
+}
+
+InferenceService DeployedModel::serve(const ServeConfig& config) && {
+  return InferenceService(std::move(*this), config);
+}
+
+}  // namespace epim

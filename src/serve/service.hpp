@@ -1,0 +1,131 @@
+// Throughput-oriented serving front-end over a DeployedModel.
+//
+// An InferenceService owns a programmed chip (a DeployedModel, typically
+// loaded from a `.epim` artifact) plus a dispatcher thread that implements
+// dynamic batching: submitted requests queue until either `max_batch` of
+// them are pending or the oldest has waited `flush_deadline_ms`, then the
+// whole batch fans out across the shared thread pool
+// (PimNetworkRuntime::forward_batch). This is the compiled-artifact +
+// batched-executor split of TVM/MLPerf-style serving stacks, applied to the
+// simulated PIM chip.
+//
+// Determinism contract: every image's forward pass is pure against the
+// programmed crossbars, so the logits (and per-request clip counts) a
+// service returns are bit-identical to direct PimNetworkRuntime::evaluate /
+// forward at ANY batch size and thread count -- batching changes throughput
+// and latency, never values. tests/test_serve.cpp asserts this.
+//
+// Thread safety: submit()/submit_batch()/stats() may be called from any
+// number of threads. The destructor drains the queue (every returned future
+// is fulfilled) before joining the dispatcher.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "pipeline/pipeline.hpp"
+
+namespace epim {
+
+/// One completed inference.
+struct InferenceResult {
+  Tensor logits;
+  /// argmax over the logits (top-1 class).
+  std::int64_t predicted = 0;
+  /// ADC clip events this image caused (0 = bit-exact digitization).
+  std::int64_t clip_count = 0;
+};
+
+/// Monotonic counters + latency digest, snapshotted under the stats lock.
+struct ServiceStats {
+  std::int64_t requests = 0;       ///< completed requests
+  std::int64_t batches = 0;        ///< flushes executed
+  double mean_batch_size = 0.0;    ///< requests / batches
+  /// Completed requests per second of wall time between the first submit
+  /// and the most recent completion (0 until something completed).
+  double items_per_sec = 0.0;
+  /// Request latency (submit -> result ready), simulated-request terms:
+  /// wall clock of the simulator, not of modelled PIM hardware. Computed
+  /// over the most recent kLatencyWindow completed requests, so a
+  /// long-lived service stays O(1) memory.
+  double p50_latency_ms = 0.0;
+  double p99_latency_ms = 0.0;
+  /// ADC clip events summed over all completed requests.
+  std::int64_t clip_events = 0;
+  /// Requests currently queued (not yet flushed into a batch).
+  std::int64_t queued = 0;
+};
+
+class InferenceService {
+ public:
+  /// Takes ownership of the programmed chip. `config` is validated here
+  /// (same rules as PipelineConfig::validate()).
+  InferenceService(DeployedModel model, ServeConfig config);
+  explicit InferenceService(DeployedModel model)
+      : InferenceService(std::move(model), ServeConfig{}) {}
+
+  InferenceService(const InferenceService&) = delete;
+  InferenceService& operator=(const InferenceService&) = delete;
+
+  /// Drains every pending request, then stops the dispatcher.
+  ~InferenceService();
+
+  const RuntimeConfig& runtime_config() const {
+    return model_.runtime_config();
+  }
+
+  /// Enqueue one (C, H, W) image. The shape is validated against the
+  /// deployed model here (throws InvalidArgument), so a malformed request
+  /// can never poison a batch. The future is fulfilled when the batch
+  /// containing this request completes.
+  std::future<InferenceResult> submit(Tensor image);
+
+  /// Enqueue a burst atomically: the dispatcher sees all images at once, so
+  /// full batches flush immediately instead of waiting out the deadline.
+  std::vector<std::future<InferenceResult>> submit_batch(
+      std::vector<Tensor> images);
+
+  /// Consistent snapshot of the counters.
+  ServiceStats stats() const;
+
+  /// Latency percentiles cover the most recent this-many requests.
+  static constexpr std::size_t kLatencyWindow = 4096;
+
+ private:
+  struct Request {
+    Tensor image;
+    std::promise<InferenceResult> promise;
+    std::chrono::steady_clock::time_point enqueued;
+  };
+
+  void dispatcher_loop();
+  void run_batch(std::vector<Request>& batch);
+
+  DeployedModel model_;
+  ServeConfig config_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<Request> queue_;
+  bool stop_ = false;
+
+  mutable std::mutex stats_mu_;
+  /// Ring buffer of the last kLatencyWindow request latencies.
+  std::vector<double> latencies_ms_;
+  std::size_t latency_next_ = 0;  ///< ring write position once saturated
+  std::int64_t completed_ = 0;
+  std::int64_t batches_ = 0;
+  std::int64_t clip_events_ = 0;
+  bool saw_first_submit_ = false;
+  std::chrono::steady_clock::time_point first_submit_;
+  std::chrono::steady_clock::time_point last_done_;
+
+  std::thread dispatcher_;  ///< last member: joins before state tears down
+};
+
+}  // namespace epim

@@ -135,6 +135,105 @@ TEST(Parallel, SetNumThreadsClampsAndReports) {
   EXPECT_EQ(num_threads(), 3);
   set_num_threads(0);
   EXPECT_EQ(num_threads(), 1);
+  // Huge requests clamp to the hard ceiling instead of fork-bombing.
+  set_num_threads(1 << 28);
+  EXPECT_EQ(num_threads(), detail::kMaxThreads);
+}
+
+TEST(Parallel, ThreadEnvParsingRejectsGarbage) {
+  // EPIM_THREADS is read once at pool creation, so the parser is exercised
+  // directly: 0 means "invalid, fall back to hardware concurrency".
+  EXPECT_EQ(detail::parse_thread_env("0"), 0);
+  EXPECT_EQ(detail::parse_thread_env("-1"), 0);
+  EXPECT_EQ(detail::parse_thread_env("-999999999999999999"), 0);
+  EXPECT_EQ(detail::parse_thread_env("abc"), 0);
+  EXPECT_EQ(detail::parse_thread_env("4x"), 0);
+  EXPECT_EQ(detail::parse_thread_env(""), 0);
+  EXPECT_EQ(detail::parse_thread_env(" "), 0);
+  EXPECT_EQ(detail::parse_thread_env(nullptr), 0);
+}
+
+TEST(Parallel, ThreadEnvParsingAcceptsAndClampsNumbers) {
+  EXPECT_EQ(detail::parse_thread_env("1"), 1);
+  EXPECT_EQ(detail::parse_thread_env("16"), 16);
+  EXPECT_EQ(detail::parse_thread_env(std::to_string(detail::kMaxThreads)
+                                         .c_str()),
+            detail::kMaxThreads);
+  // Huge (including values that overflow long) clamp to the ceiling.
+  EXPECT_EQ(detail::parse_thread_env("1000000"), detail::kMaxThreads);
+  EXPECT_EQ(detail::parse_thread_env("999999999999999999999999"),
+            detail::kMaxThreads);
+}
+
+TEST(Parallel, NegativeTripCountsAreEmpty) {
+  ThreadGuard guard;
+  set_num_threads(4);
+  int calls = 0;
+  parallel_for(-5, [&](std::int64_t) { ++calls; });
+  parallel_for_chunks(-5, [&](int, std::int64_t, std::int64_t) { ++calls; });
+  parallel_for_chunks(10, /*chunks=*/0,
+                      [&](int, std::int64_t, std::int64_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+  EXPECT_EQ(num_chunks(-5), 0);
+}
+
+TEST(Parallel, FirstFailingChunkWinsExceptionPropagation) {
+  ThreadGuard guard;
+  set_num_threads(4);
+  // Chunks 1 and 3 both throw; the caller must see chunk 1's exception --
+  // exactly what serial execution would have thrown first.
+  try {
+    parallel_for_chunks(
+        4, 4, [&](int chunk, std::int64_t, std::int64_t) {
+          if (chunk == 3) throw InvalidArgument("chunk 3 failed");
+          if (chunk == 1) throw InvalidArgument("chunk 1 failed");
+        });
+    FAIL() << "expected InvalidArgument";
+  } catch (const InvalidArgument& e) {
+    EXPECT_STREQ(e.what(), "chunk 1 failed");
+  }
+}
+
+TEST(Parallel, NestedRegionExceptionsPropagateThroughOuterRegion) {
+  ThreadGuard guard;
+  set_num_threads(4);
+  // The service's nesting shape: an outer region (batch fan-out) whose
+  // chunks issue inner regions (per-image engine loops). An inner failure
+  // must surface through both levels, lowest outer chunk first.
+  std::atomic<int> completed{0};
+  try {
+    parallel_for_chunks(8, 8, [&](int chunk, std::int64_t, std::int64_t) {
+      parallel_for(4, [&](std::int64_t i) {
+        if (chunk >= 5 && i == 2) {
+          throw InvalidArgument("inner failure in outer chunk " +
+                                std::to_string(chunk));
+        }
+      });
+      completed.fetch_add(1, std::memory_order_relaxed);
+    });
+    FAIL() << "expected InvalidArgument";
+  } catch (const InvalidArgument& e) {
+    EXPECT_STREQ(e.what(), "inner failure in outer chunk 5");
+  }
+  // Chunks before the failing one all completed (chunk order guarantee for
+  // the inline nested path is per-chunk, not global, but at least the
+  // non-throwing chunks ran).
+  EXPECT_EQ(completed.load(), 5);
+}
+
+TEST(Parallel, PoolSurvivesExceptionAndKeepsWorking) {
+  ThreadGuard guard;
+  set_num_threads(4);
+  EXPECT_THROW(parallel_for(16, [&](std::int64_t i) {
+                 EPIM_CHECK(i != 3, "boom");
+               }),
+               InvalidArgument);
+  // The pool must remain usable for the next region.
+  std::atomic<std::int64_t> sum{0};
+  parallel_for(100, [&](std::int64_t i) {
+    sum.fetch_add(i, std::memory_order_relaxed);
+  });
+  EXPECT_EQ(sum.load(), 4950);
 }
 
 TEST(Parallel, MatmulIsThreadCountInvariant) {

@@ -78,6 +78,158 @@ TEST(PipelineConfig, RejectsInvertedHawqBits) {
   EXPECT_THROW(cfg.validate(), InvalidArgument);
 }
 
+TEST(PipelineConfig, RejectsBadCrossbarGeometry) {
+  PipelineConfig cfg;
+  cfg.hardware.crossbar.rows = 0;
+  EXPECT_THROW(cfg.validate(), InvalidArgument);
+  cfg = PipelineConfig{};
+  cfg.hardware.crossbar.cols = -4;
+  EXPECT_THROW(cfg.validate(), InvalidArgument);
+}
+
+TEST(PipelineConfig, RejectsBadAdcSettings) {
+  PipelineConfig cfg;
+  cfg.hardware.crossbar.adc_bits = 0;
+  EXPECT_THROW(cfg.validate(), InvalidArgument);
+  cfg = PipelineConfig{};
+  cfg.hardware.crossbar.adc_bits = 33;
+  EXPECT_THROW(cfg.validate(), InvalidArgument);
+  cfg = PipelineConfig{};
+  cfg.hardware.crossbar.adc_share = 0;
+  EXPECT_THROW(cfg.validate(), InvalidArgument);
+}
+
+TEST(PipelineConfig, RejectsBadFp32Equivalents) {
+  PipelineConfig cfg;
+  cfg.hardware.crossbar.fp32_weight_bits = 0;
+  EXPECT_THROW(cfg.validate(), InvalidArgument);
+  cfg = PipelineConfig{};
+  cfg.hardware.crossbar.fp32_act_bits = -1;
+  EXPECT_THROW(cfg.validate(), InvalidArgument);
+}
+
+TEST(PipelineConfig, RejectsBadDeployAdcBits) {
+  PipelineConfig cfg;
+  cfg.hardware.deploy_adc_bits = 0;
+  EXPECT_THROW(cfg.validate(), InvalidArgument);
+  cfg.hardware.deploy_adc_bits = 64;
+  EXPECT_THROW(cfg.validate(), InvalidArgument);
+}
+
+TEST(PipelineConfig, RejectsBadUniformDesign) {
+  PipelineConfig cfg;
+  cfg.design.uniform.target_rows = 0;
+  EXPECT_THROW(cfg.validate(), InvalidArgument);
+  cfg = PipelineConfig{};
+  cfg.design.uniform.target_cout = -1;
+  EXPECT_THROW(cfg.validate(), InvalidArgument);
+  cfg = PipelineConfig{};
+  cfg.design.uniform.crossbar_size = 0;
+  EXPECT_THROW(cfg.validate(), InvalidArgument);
+  cfg = PipelineConfig{};
+  cfg.design.uniform.spatial_slack = -1;
+  EXPECT_THROW(cfg.validate(), InvalidArgument);
+  // The same limits are irrelevant under the baseline policy.
+  cfg.design.policy = DesignPolicy::kBaseline;
+  EXPECT_NO_THROW(cfg.validate());
+}
+
+TEST(PipelineConfig, RejectsBadActivationBits) {
+  PipelineConfig cfg;
+  cfg.precision.act_bits = 0;
+  EXPECT_THROW(cfg.validate(), InvalidArgument);
+  cfg.precision.act_bits = 33;
+  EXPECT_THROW(cfg.validate(), InvalidArgument);
+}
+
+TEST(PipelineConfig, RejectsBadHawqBudgetFraction) {
+  PipelineConfig cfg;
+  cfg.precision = PrecisionPlan::hawq_mixed();
+  cfg.precision.mixed.budget_fraction = -0.1;
+  EXPECT_THROW(cfg.validate(), InvalidArgument);
+  cfg.precision.mixed.budget_fraction = 1.5;
+  EXPECT_THROW(cfg.validate(), InvalidArgument);
+}
+
+TEST(PipelineConfig, RejectsBadQuantScheme) {
+  PipelineConfig cfg;
+  cfg.quant.bits = 0;
+  EXPECT_THROW(cfg.validate(), InvalidArgument);
+  cfg = PipelineConfig{};
+  cfg.quant.bits = 17;
+  EXPECT_THROW(cfg.validate(), InvalidArgument);
+  cfg = PipelineConfig{};
+  cfg.quant.w1 = -0.5;
+  EXPECT_THROW(cfg.validate(), InvalidArgument);
+  cfg = PipelineConfig{};
+  cfg.quant.xbar_rows = 0;
+  EXPECT_THROW(cfg.validate(), InvalidArgument);
+  cfg = PipelineConfig{};
+  cfg.quant.xbar_cols = 0;
+  EXPECT_THROW(cfg.validate(), InvalidArgument);
+}
+
+TEST(PipelineConfig, RejectsBadSearchSettings) {
+  PipelineConfig cfg;
+  cfg.search.enabled = true;
+  cfg.search.evo.crossbar_budget = 100;
+  cfg.search.evo.parents = 4;
+  cfg.search.evo.population = 0;
+  EXPECT_THROW(cfg.validate(), InvalidArgument);
+  cfg.search.evo.population = 8;
+  cfg.search.evo.iterations = 0;
+  EXPECT_THROW(cfg.validate(), InvalidArgument);
+  cfg.search.evo.iterations = 4;
+  cfg.search.evo.mutation_rate = 1.5;
+  EXPECT_THROW(cfg.validate(), InvalidArgument);
+  cfg.search.evo.mutation_rate = 0.2;
+  cfg.search.evo.candidates.row_targets.clear();
+  EXPECT_THROW(cfg.validate(), InvalidArgument);
+  cfg.search.evo.candidates = CandidateConfig{};
+  cfg.search.evo.candidates.crossbar_size = 0;
+  EXPECT_THROW(cfg.validate(), InvalidArgument);
+  cfg.search.evo.candidates = CandidateConfig{};
+  EXPECT_NO_THROW(cfg.validate());
+}
+
+TEST(PipelineConfig, RejectsBadDeployOverrides) {
+  PipelineConfig cfg;
+  cfg.deploy.weight_bits = -1;
+  EXPECT_THROW(cfg.validate(), InvalidArgument);
+  cfg = PipelineConfig{};
+  cfg.deploy.act_bits = 33;
+  EXPECT_THROW(cfg.validate(), InvalidArgument);
+}
+
+TEST(PipelineConfig, RejectsBadNonIdealities) {
+  PipelineConfig cfg;
+  cfg.deploy.non_ideal.conductance_sigma = -0.1;
+  EXPECT_THROW(cfg.validate(), InvalidArgument);
+  cfg = PipelineConfig{};
+  cfg.deploy.non_ideal.stuck_at_zero_prob = 1.5;
+  EXPECT_THROW(cfg.validate(), InvalidArgument);
+  cfg = PipelineConfig{};
+  cfg.deploy.non_ideal.stuck_at_max_prob = -0.2;
+  EXPECT_THROW(cfg.validate(), InvalidArgument);
+}
+
+TEST(PipelineConfig, RejectsNonPositiveServeLimits) {
+  PipelineConfig cfg;
+  cfg.serve.max_batch = 0;
+  EXPECT_THROW(cfg.validate(), InvalidArgument);
+  cfg.serve.max_batch = -3;
+  EXPECT_THROW(cfg.validate(), InvalidArgument);
+  cfg = PipelineConfig{};
+  cfg.serve.flush_deadline_ms = 0.0;
+  EXPECT_THROW(cfg.validate(), InvalidArgument);
+  cfg.serve.flush_deadline_ms = -1.0;
+  EXPECT_THROW(cfg.validate(), InvalidArgument);
+  cfg = PipelineConfig{};
+  cfg.serve.max_batch = 1;
+  cfg.serve.flush_deadline_ms = 0.01;
+  EXPECT_NO_THROW(cfg.validate());
+}
+
 TEST(PipelineConfig, ResolvesDeployBits) {
   PipelineConfig cfg;
   cfg.precision = PrecisionPlan::uniform(5, 7);

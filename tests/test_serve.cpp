@@ -1,0 +1,599 @@
+// Tests for the serving subsystem (serve/artifact.hpp, serve/service.hpp):
+// property-based artifact round-trips over randomized configs, corruption
+// rejection with pinned error messages, and the InferenceService determinism
+// contract (bit-identical to direct runtime evaluation at any batch size
+// and thread count).
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <future>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/parallel.hpp"
+#include "common/rng.hpp"
+#include "nn/resnet.hpp"
+#include "nn/vgg.hpp"
+#include "pipeline/pipeline.hpp"
+#include "serve/artifact.hpp"
+#include "serve/service.hpp"
+#include "train/trainer.hpp"
+
+namespace epim {
+namespace {
+
+std::string temp_path(const std::string& name) {
+  return ::testing::TempDir() + name;
+}
+
+/// Restore the 1-thread default after a test that resizes the pool.
+struct ThreadGuard {
+  ~ThreadGuard() { set_num_threads(1); }
+};
+
+void expect_same_evaluation(const EpimSimulator::Evaluation& a,
+                            const EpimSimulator::Evaluation& b) {
+  EXPECT_EQ(a.cost.num_crossbars, b.cost.num_crossbars);
+  EXPECT_EQ(a.cost.latency_ms, b.cost.latency_ms);
+  EXPECT_EQ(a.cost.dynamic_energy_mj, b.cost.dynamic_energy_mj);
+  EXPECT_EQ(a.cost.static_energy_mj, b.cost.static_energy_mj);
+  EXPECT_EQ(a.cost.utilization, b.cost.utilization);
+  EXPECT_EQ(a.cost.params, b.cost.params);
+  EXPECT_EQ(a.projected_accuracy, b.projected_accuracy);
+  EXPECT_EQ(a.weighted_mse, b.weighted_mse);
+  EXPECT_EQ(a.weight_power, b.weight_power);
+}
+
+void expect_same_assignment(const NetworkAssignment& a,
+                            const NetworkAssignment& b) {
+  ASSERT_EQ(a.num_layers(), b.num_layers());
+  for (std::int64_t i = 0; i < a.num_layers(); ++i) {
+    EXPECT_EQ(a.choice(i), b.choice(i)) << "layer " << i;
+  }
+}
+
+// ---- compiled-model artifacts ----
+
+TEST(ArtifactCompiled, RoundTripsDefaultConfigByteIdentically) {
+  const std::string path = temp_path("compiled_default.epim");
+  const CompiledModel model = Pipeline{PipelineConfig{}}.compile(resnet18());
+  model.save(path);
+
+  const CompiledModel loaded = Pipeline::load(path);
+  EXPECT_EQ(loaded.network().name(), "ResNet18");
+  expect_same_assignment(loaded.assignment(), model.assignment());
+  expect_same_evaluation(loaded.estimate(), model.estimate());
+  EXPECT_EQ(loaded.summary(), model.summary());
+  std::remove(path.c_str());
+}
+
+TEST(ArtifactCompiled, ProbeReportsKindAndVersion) {
+  const std::string path = temp_path("compiled_probe.epim");
+  Pipeline{PipelineConfig{}}.compile(mini_resnet()).save(path);
+  const artifact::Info info = artifact::probe(path);
+  EXPECT_EQ(info.version, artifact::kSchemaVersion);
+  EXPECT_EQ(info.kind, artifact::Kind::kCompiledModel);
+  std::remove(path.c_str());
+}
+
+TEST(ArtifactCompiled, PreservesSearchRefinedAssignment) {
+  Network net = mini_resnet();
+  PipelineConfig cfg;
+  cfg.search.enabled = true;
+  cfg.search.evo.population = 6;
+  cfg.search.evo.iterations = 3;
+  cfg.search.evo.parents = 2;
+  cfg.search.evo.crossbar_budget = 2000;
+  CompiledModel model = Pipeline(cfg).compile(net);
+  model.search();
+
+  const std::string path = temp_path("compiled_searched.epim");
+  model.save(path);
+  const CompiledModel loaded = Pipeline::load(path);
+  // The stored choices must reproduce the *searched* assignment, which the
+  // design policy alone would not.
+  expect_same_assignment(loaded.assignment(), model.assignment());
+  expect_same_evaluation(loaded.estimate(), model.estimate());
+  EXPECT_EQ(loaded.summary(), model.summary());
+  std::remove(path.c_str());
+}
+
+/// Draw a random-but-valid PipelineConfig (the property-test generator).
+PipelineConfig random_config(Rng& rng) {
+  PipelineConfig cfg;
+  cfg.hardware.crossbar.rows = 64 << rng.index(3);
+  cfg.hardware.crossbar.cols = 64 << rng.index(3);
+  cfg.hardware.crossbar.cell_bits = std::vector<int>{1, 2, 4}[static_cast<
+      std::size_t>(rng.index(3))];
+  cfg.hardware.crossbar.adc_bits = rng.uniform_int(6, 14);
+  cfg.hardware.crossbar.adc_share = std::int64_t{1} << rng.uniform_int(2, 4);
+  cfg.hardware.lut.adc_pj = rng.uniform(4.0, 12.0);
+  cfg.hardware.lut.xbar_ns = rng.uniform(10.0, 50.0);
+  cfg.hardware.deploy_adc_bits = rng.uniform_int(12, 16);
+
+  cfg.design.policy =
+      rng.flip(0.8) ? DesignPolicy::kUniform : DesignPolicy::kBaseline;
+  cfg.design.uniform.target_rows = 256 << rng.index(3);
+  cfg.design.uniform.target_cout = 64 << rng.index(3);
+  cfg.design.uniform.spatial_slack = rng.index(2);
+  cfg.design.wrap_output = rng.flip();
+
+  switch (rng.index(3)) {
+    case 0:
+      cfg.precision = PrecisionPlan::uniform(rng.uniform_int(3, 9),
+                                             rng.uniform_int(4, 10));
+      break;
+    case 1:
+      cfg.precision = PrecisionPlan::fp32();
+      break;
+    default:
+      cfg.precision = PrecisionPlan::hawq_mixed();
+      cfg.precision.mixed.budget_fraction = rng.uniform(0.1, 0.9);
+      break;
+  }
+
+  cfg.quant.bits = rng.uniform_int(3, 9);
+  cfg.quant.scheme = std::vector<RangeScheme>{
+      RangeScheme::kMinMax, RangeScheme::kPerCrossbar,
+      RangeScheme::kOverlapWeighted}[static_cast<std::size_t>(rng.index(3))];
+  cfg.quant.w1 = rng.uniform(0.3, 0.9);
+  cfg.quant.w2 = 1.0 - cfg.quant.w1;
+
+  cfg.deploy.act_percentile = rng.flip() ? 1.0 : 0.999;
+  cfg.serve.max_batch = rng.uniform_int(1, 64);
+  cfg.serve.flush_deadline_ms = rng.uniform(0.5, 5.0);
+  cfg.anchors =
+      rng.flip() ? AccuracyAnchors::resnet50() : AccuracyAnchors::resnet101();
+  cfg.seed = static_cast<std::uint64_t>(rng.uniform_int(1, 1 << 30));
+  return cfg;
+}
+
+TEST(ArtifactCompiled, PropertyRandomConfigsRoundTripByteIdentically) {
+  Rng rng(0xA27'1FAC7u);
+  const Network net = mini_resnet();
+  for (int draw = 0; draw < 8; ++draw) {
+    SCOPED_TRACE("draw " + std::to_string(draw));
+    PipelineConfig cfg = random_config(rng);
+    ASSERT_NO_THROW(cfg.validate());
+    const CompiledModel model = Pipeline(cfg).compile(net);
+
+    const std::string path = temp_path("compiled_prop.epim");
+    model.save(path);
+    const CompiledModel loaded = Pipeline::load(path);
+
+    // Byte-identical estimator numbers and report, not merely close.
+    expect_same_assignment(loaded.assignment(), model.assignment());
+    EXPECT_EQ(loaded.precision().weight_bits, model.precision().weight_bits);
+    EXPECT_EQ(loaded.precision().act_bits, model.precision().act_bits);
+    expect_same_evaluation(loaded.estimate(), model.estimate());
+    EXPECT_EQ(loaded.summary(), model.summary());
+    // The embedded config survives, including serving policy.
+    EXPECT_EQ(loaded.config().serve.max_batch, cfg.serve.max_batch);
+    EXPECT_EQ(loaded.config().serve.flush_deadline_ms,
+              cfg.serve.flush_deadline_ms);
+    EXPECT_EQ(loaded.config().seed, cfg.seed);
+    std::remove(path.c_str());
+  }
+}
+
+// ---- deployed-model artifacts ----
+
+struct DeployedFixture {
+  SyntheticData data;
+  SmallEpitomeNet net;
+
+  DeployedFixture()
+      : data(make_synthetic_data([] {
+          SyntheticSpec spec;
+          spec.num_classes = 4;
+          spec.train_per_class = 12;
+          spec.test_per_class = 8;
+          return spec;
+        }())),
+        net([] {
+          SmallNetConfig nc;
+          nc.num_classes = 4;
+          return nc;
+        }()) {
+    TrainConfig tcfg;
+    tcfg.epochs = 2;
+    train_model(net, data, tcfg);
+  }
+
+  static DeployedFixture& instance() {
+    static DeployedFixture fixture;
+    return fixture;
+  }
+};
+
+void expect_bit_identical_logits(DeployedModel& a, DeployedModel& b,
+                                 const Dataset& images) {
+  for (std::int64_t i = 0; i < images.size(); ++i) {
+    const Tensor la = a.forward(images.sample(i));
+    const std::int64_t clips_a = a.last_clip_count();
+    const Tensor lb = b.forward(images.sample(i));
+    ASSERT_EQ(la.shape(), lb.shape());
+    for (std::int64_t j = 0; j < la.numel(); ++j) {
+      EXPECT_EQ(la.at(j), lb.at(j)) << "image " << i << " logit " << j;
+    }
+    EXPECT_EQ(clips_a, b.last_clip_count()) << "image " << i;
+  }
+}
+
+TEST(ArtifactDeployed, RoundTripsBitIdentically) {
+  DeployedFixture& fx = DeployedFixture::instance();
+  PipelineConfig cfg;
+  cfg.precision = PrecisionPlan::uniform(6, 8);
+  Pipeline pipeline(cfg);
+  DeployedModel chip = pipeline.deploy(fx.net, fx.data.train);
+
+  const std::string path = temp_path("deployed.epim");
+  chip.save(path);
+  EXPECT_EQ(artifact::probe(path).kind, artifact::Kind::kDeployedModel);
+
+  DeployedModel loaded = Pipeline::load_deployed(path);
+  EXPECT_EQ(loaded.total_crossbars(), chip.total_crossbars());
+  EXPECT_EQ(loaded.runtime_config().weight_bits, 6);
+  EXPECT_EQ(loaded.runtime_config().act_bits, 8);
+  expect_bit_identical_logits(chip, loaded, fx.data.test);
+  EXPECT_EQ(loaded.evaluate(fx.data.test), chip.evaluate(fx.data.test));
+  std::remove(path.c_str());
+}
+
+TEST(ArtifactDeployed, PropertyRandomRuntimeConfigsRoundTripBitIdentically) {
+  DeployedFixture& fx = DeployedFixture::instance();
+  Rng rng(0xDE9'107u);
+  for (int draw = 0; draw < 4; ++draw) {
+    SCOPED_TRACE("draw " + std::to_string(draw));
+    PipelineConfig cfg;
+    cfg.precision = PrecisionPlan::uniform(rng.uniform_int(4, 8),
+                                           rng.uniform_int(6, 10));
+    cfg.hardware.deploy_adc_bits = rng.uniform_int(9, 14);
+    cfg.deploy.act_percentile = rng.flip() ? 1.0 : 0.999;
+    if (rng.flip()) {
+      // Non-idealities: load must replay the same programming-noise draws.
+      cfg.deploy.non_ideal.conductance_sigma = rng.uniform(0.05, 0.3);
+      cfg.deploy.non_ideal.stuck_at_zero_prob = rng.uniform(0.0, 0.02);
+      cfg.deploy.non_ideal.seed = static_cast<std::uint64_t>(
+          rng.uniform_int(1, 1 << 30));
+    }
+    DeployedModel chip = Pipeline(cfg).deploy(fx.net, fx.data.train);
+
+    const std::string path = temp_path("deployed_prop.epim");
+    chip.save(path);
+    DeployedModel loaded = Pipeline::load_deployed(path);
+    EXPECT_EQ(loaded.total_crossbars(), chip.total_crossbars());
+    expect_bit_identical_logits(chip, loaded, fx.data.test);
+    std::remove(path.c_str());
+  }
+}
+
+// ---- corruption rejection (exact messages pinned) ----
+
+std::vector<char> slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::vector<char>((std::istreambuf_iterator<char>(in)),
+                           std::istreambuf_iterator<char>());
+}
+
+void dump(const std::string& path, const std::vector<char>& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+void expect_load_error(const std::string& path, const char* message) {
+  try {
+    (void)Pipeline::load(path);
+    FAIL() << "expected InvalidArgument(\"" << message << "\")";
+  } catch (const InvalidArgument& e) {
+    EXPECT_NE(std::string(e.what()).find(message), std::string::npos)
+        << "actual: " << e.what();
+  }
+}
+
+struct CorruptionFixture : ::testing::Test {
+  // Per-test file names: gtest_discover_tests runs every TEST_F as its own
+  // ctest process and CI uses -j, so shared paths would race.
+  std::string good, bad;
+
+  void SetUp() override {
+    const std::string test = ::testing::UnitTest::GetInstance()
+                                 ->current_test_info()
+                                 ->name();
+    good = temp_path("corrupt_" + test + "_base.epim");
+    bad = temp_path("corrupt_" + test + "_case.epim");
+    Pipeline{PipelineConfig{}}.compile(mini_resnet()).save(good);
+  }
+  void TearDown() override {
+    std::remove(good.c_str());
+    std::remove(bad.c_str());
+  }
+};
+
+TEST_F(CorruptionFixture, RejectsTruncatedFiles) {
+  const std::vector<char> bytes = slurp(good);
+  // Cut inside the header, inside a section header, and inside a payload.
+  for (const std::size_t cut :
+       {std::size_t{4}, std::size_t{19}, std::size_t{21},
+        bytes.size() / 2, bytes.size() - 1}) {
+    SCOPED_TRACE("cut at " + std::to_string(cut));
+    dump(bad, std::vector<char>(bytes.begin(),
+                                bytes.begin() +
+                                    static_cast<std::ptrdiff_t>(cut)));
+    expect_load_error(bad, artifact::kErrTruncated);
+  }
+}
+
+TEST_F(CorruptionFixture, RejectsForeignFiles) {
+  std::vector<char> bytes = slurp(good);
+  bytes[0] = 'X';
+  dump(bad, bytes);
+  expect_load_error(bad, artifact::kErrBadMagic);
+
+  dump(bad, {'n', 'o', 't', ' ', 'e', 'p', 'i', 'm', ' ', 'a', 't', ' ',
+             'a', 'l', 'l', '!', '!', '!', '!', '!'});
+  expect_load_error(bad, artifact::kErrBadMagic);
+}
+
+TEST_F(CorruptionFixture, RejectsUnsupportedSchemaVersions) {
+  std::vector<char> bytes = slurp(good);
+  bytes[8] = 99;  // version lives right after the 8-byte magic
+  dump(bad, bytes);
+  expect_load_error(bad, artifact::kErrBadVersion);
+  bytes[8] = 0;
+  dump(bad, bytes);
+  expect_load_error(bad, artifact::kErrBadVersion);
+}
+
+TEST_F(CorruptionFixture, RejectsKindMismatch) {
+  std::vector<char> bytes = slurp(good);
+  EXPECT_EQ(bytes[12], 1);  // kind: compiled model
+  bytes[12] = 2;            // claim it is a deployed model
+  dump(bad, bytes);
+  expect_load_error(bad, artifact::kErrBadKind);
+  // And the symmetric direction through load_deployed.
+  try {
+    (void)Pipeline::load_deployed(good);
+    FAIL() << "expected kind mismatch";
+  } catch (const InvalidArgument& e) {
+    EXPECT_NE(std::string(e.what()).find(artifact::kErrBadKind),
+              std::string::npos);
+  }
+}
+
+TEST_F(CorruptionFixture, RejectsCorruptedSectionPayloads) {
+  const std::vector<char> bytes = slurp(good);
+  // Flip one bit in the middle and near the end (different sections).
+  for (const std::size_t victim : {bytes.size() / 2, bytes.size() - 2}) {
+    SCOPED_TRACE("flip at " + std::to_string(victim));
+    std::vector<char> corrupt = bytes;
+    corrupt[victim] = static_cast<char>(corrupt[victim] ^ 0x40);
+    dump(bad, corrupt);
+    expect_load_error(bad, artifact::kErrChecksum);
+  }
+}
+
+TEST_F(CorruptionFixture, RejectsCheckummedTrailingBytes) {
+  // A section that carries bytes past its last decoded field -- with a
+  // *valid* checksum -- is schema drift, not corruption, and must still be
+  // rejected. Grow the first section ("pipecfg") by one byte and recompute
+  // its FNV-1a so only the trailing-bytes guard can catch it.
+  std::vector<char> bytes = slurp(good);
+  const std::size_t size_at = 20 + 8;      // header + section tag
+  const std::size_t checksum_at = size_at + 8;
+  const std::size_t payload_at = checksum_at + 8;
+  std::uint64_t size = 0;
+  for (int i = 0; i < 8; ++i) {
+    size |= static_cast<std::uint64_t>(static_cast<unsigned char>(
+                bytes[size_at + static_cast<std::size_t>(i)]))
+            << (8 * i);
+  }
+  bytes.insert(bytes.begin() + static_cast<std::ptrdiff_t>(payload_at + size),
+               '\0');
+  ++size;
+  std::uint64_t checksum = 14695981039346656037ull;
+  for (std::uint64_t i = 0; i < size; ++i) {
+    checksum ^= static_cast<unsigned char>(
+        bytes[payload_at + static_cast<std::size_t>(i)]);
+    checksum *= 1099511628211ull;
+  }
+  for (int i = 0; i < 8; ++i) {
+    bytes[size_at + static_cast<std::size_t>(i)] =
+        static_cast<char>((size >> (8 * i)) & 0xff);
+    bytes[checksum_at + static_cast<std::size_t>(i)] =
+        static_cast<char>((checksum >> (8 * i)) & 0xff);
+  }
+  dump(bad, bytes);
+  expect_load_error(bad, "artifact section 'pipecfg' has trailing bytes");
+}
+
+TEST_F(CorruptionFixture, RejectsMissingFile) {
+  try {
+    (void)Pipeline::load(temp_path("does_not_exist.epim"));
+    FAIL() << "expected InvalidArgument";
+  } catch (const InvalidArgument& e) {
+    EXPECT_NE(std::string(e.what()).find("cannot open artifact"),
+              std::string::npos);
+  }
+}
+
+// ---- InferenceService ----
+
+TEST(InferenceService, ConfigIsValidated) {
+  DeployedFixture& fx = DeployedFixture::instance();
+  Pipeline pipeline{PipelineConfig{}};
+  ServeConfig bad;
+  bad.max_batch = 0;
+  EXPECT_THROW(InferenceService(pipeline.deploy(fx.net, fx.data.train), bad),
+               InvalidArgument);
+  bad.max_batch = 8;
+  bad.flush_deadline_ms = 0.0;
+  EXPECT_THROW(InferenceService(pipeline.deploy(fx.net, fx.data.train), bad),
+               InvalidArgument);
+}
+
+TEST(InferenceService, ServeConfigFlowsFromPipelineConfig) {
+  DeployedFixture& fx = DeployedFixture::instance();
+  PipelineConfig cfg;
+  cfg.serve.max_batch = 7;
+  cfg.serve.flush_deadline_ms = 3.5;
+  DeployedModel chip = Pipeline(cfg).deploy(fx.net, fx.data.train);
+  EXPECT_EQ(chip.serve_config().max_batch, 7);
+  EXPECT_EQ(chip.serve_config().flush_deadline_ms, 3.5);
+}
+
+TEST(InferenceService, ResultsBitIdenticalToDirectRuntime) {
+  ThreadGuard guard;
+  DeployedFixture& fx = DeployedFixture::instance();
+  PipelineConfig cfg;
+  cfg.precision = PrecisionPlan::uniform(6, 8);
+  Pipeline pipeline(cfg);
+
+  // Direct reference logits, computed once on the serial path.
+  DeployedModel reference = pipeline.deploy(fx.net, fx.data.train);
+  std::vector<Tensor> expected;
+  std::vector<std::int64_t> expected_clips;
+  for (std::int64_t i = 0; i < fx.data.test.size(); ++i) {
+    expected.push_back(reference.forward(fx.data.test.sample(i)));
+    expected_clips.push_back(reference.last_clip_count());
+  }
+
+  for (const int threads : {1, 3}) {
+    for (const int max_batch : {1, 5, 64}) {
+      SCOPED_TRACE("threads " + std::to_string(threads) + " max_batch " +
+                   std::to_string(max_batch));
+      set_num_threads(threads);
+      ServeConfig scfg;
+      scfg.max_batch = max_batch;
+      scfg.flush_deadline_ms = 1.0;
+      InferenceService service =
+          std::move(pipeline.deploy(fx.net, fx.data.train)).serve(scfg);
+
+      std::vector<Tensor> burst;
+      for (std::int64_t i = 0; i < fx.data.test.size(); ++i) {
+        burst.push_back(fx.data.test.sample(i));
+      }
+      auto futures = service.submit_batch(std::move(burst));
+      for (std::size_t i = 0; i < futures.size(); ++i) {
+        const InferenceResult r = futures[i].get();
+        ASSERT_EQ(r.logits.shape(), expected[i].shape());
+        for (std::int64_t j = 0; j < r.logits.numel(); ++j) {
+          EXPECT_EQ(r.logits.at(j), expected[i].at(j))
+              << "image " << i << " logit " << j;
+        }
+        EXPECT_EQ(r.clip_count, expected_clips[i]) << "image " << i;
+      }
+    }
+  }
+}
+
+TEST(InferenceService, SubmitValidatesShapesWithoutPoisoningTheQueue) {
+  DeployedFixture& fx = DeployedFixture::instance();
+  InferenceService service =
+      std::move(Pipeline{PipelineConfig{}}.deploy(fx.net, fx.data.train))
+          .serve();
+  EXPECT_THROW(service.submit(Tensor({2, 3})), InvalidArgument);
+  EXPECT_THROW(service.submit(Tensor({1, 16, 16})), InvalidArgument);
+  // A malformed image inside a burst rejects the whole burst atomically...
+  std::vector<Tensor> burst;
+  burst.push_back(fx.data.test.sample(0));
+  burst.push_back(Tensor({3, 4, 4}));
+  EXPECT_THROW(service.submit_batch(std::move(burst)), InvalidArgument);
+  EXPECT_EQ(service.stats().queued + service.stats().requests, 0);
+  // ...and the service keeps serving valid requests afterwards.
+  const InferenceResult r = service.submit(fx.data.test.sample(0)).get();
+  EXPECT_EQ(r.logits.numel(), 4);
+}
+
+TEST(InferenceService, PredictionMatchesArgmaxAndAccuracy) {
+  DeployedFixture& fx = DeployedFixture::instance();
+  Pipeline pipeline{PipelineConfig{}};
+  DeployedModel reference = pipeline.deploy(fx.net, fx.data.train);
+  const double direct_acc = reference.evaluate(fx.data.test);
+
+  InferenceService service =
+      std::move(pipeline.deploy(fx.net, fx.data.train)).serve();
+  std::int64_t correct = 0;
+  std::vector<std::future<InferenceResult>> pending;
+  for (std::int64_t i = 0; i < fx.data.test.size(); ++i) {
+    pending.push_back(service.submit(fx.data.test.sample(i)));
+  }
+  for (std::int64_t i = 0; i < fx.data.test.size(); ++i) {
+    const InferenceResult r = pending[static_cast<std::size_t>(i)].get();
+    std::int64_t arg = 0;
+    for (std::int64_t j = 1; j < r.logits.numel(); ++j) {
+      if (r.logits.at(j) > r.logits.at(arg)) arg = j;
+    }
+    EXPECT_EQ(r.predicted, arg);
+    correct += r.predicted == fx.data.test.labels[static_cast<std::size_t>(i)];
+  }
+  EXPECT_EQ(static_cast<double>(correct) /
+                static_cast<double>(fx.data.test.size()),
+            direct_acc);
+}
+
+TEST(InferenceService, StatsSnapshotIsConsistent) {
+  DeployedFixture& fx = DeployedFixture::instance();
+  ServeConfig scfg;
+  scfg.max_batch = 4;
+  scfg.flush_deadline_ms = 1.0;
+  InferenceService service =
+      std::move(Pipeline{PipelineConfig{}}.deploy(fx.net, fx.data.train))
+          .serve(scfg);
+
+  std::vector<Tensor> burst;
+  for (std::int64_t i = 0; i < fx.data.test.size(); ++i) {
+    burst.push_back(fx.data.test.sample(i));
+  }
+  for (auto& f : service.submit_batch(std::move(burst))) (void)f.get();
+
+  const ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.requests, fx.data.test.size());
+  EXPECT_GE(stats.batches, fx.data.test.size() / 4);  // max_batch = 4
+  EXPECT_GT(stats.mean_batch_size, 0.0);
+  EXPECT_LE(stats.mean_batch_size, 4.0);
+  EXPECT_GT(stats.items_per_sec, 0.0);
+  EXPECT_GT(stats.p50_latency_ms, 0.0);
+  EXPECT_LE(stats.p50_latency_ms, stats.p99_latency_ms);
+  EXPECT_GE(stats.clip_events, 0);
+  EXPECT_EQ(stats.queued, 0);
+}
+
+TEST(InferenceService, DestructorDrainsPendingRequests) {
+  DeployedFixture& fx = DeployedFixture::instance();
+  std::vector<std::future<InferenceResult>> pending;
+  {
+    ServeConfig scfg;
+    scfg.max_batch = 4;
+    scfg.flush_deadline_ms = 500.0;  // deadline far beyond the test runtime
+    InferenceService service =
+        std::move(Pipeline{PipelineConfig{}}.deploy(fx.net, fx.data.train))
+            .serve(scfg);
+    for (std::int64_t i = 0; i < 3; ++i) {  // below max_batch: no flush yet
+      pending.push_back(service.submit(fx.data.test.sample(i)));
+    }
+  }  // destructor must flush the partial batch, not abandon it
+  for (auto& f : pending) {
+    EXPECT_EQ(f.get().logits.numel(), 4);
+  }
+}
+
+TEST(InferenceService, ServesFromLoadedArtifact) {
+  DeployedFixture& fx = DeployedFixture::instance();
+  Pipeline pipeline{PipelineConfig{}};
+  DeployedModel chip = pipeline.deploy(fx.net, fx.data.train);
+  const Tensor expected = chip.forward(fx.data.test.sample(0));
+
+  const std::string path = temp_path("served_artifact.epim");
+  chip.save(path);
+  InferenceService service = std::move(Pipeline::load_deployed(path)).serve();
+  const InferenceResult r = service.submit(fx.data.test.sample(0)).get();
+  for (std::int64_t j = 0; j < expected.numel(); ++j) {
+    EXPECT_EQ(r.logits.at(j), expected.at(j));
+  }
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace epim
