@@ -1,0 +1,139 @@
+// Model-zoo workflow: many deployments behind one admission-controlled
+// front door.
+//
+//  1. Train once, deploy three variants (different precisions -- the same
+//     chip family at different design points) and persist each as a `.epim`
+//     artifact.
+//  2. Register all three in a ModelRegistry under `zoo@v1/v2/v3` with a
+//     resident budget of 2: the registry materializes services lazily and
+//     LRU-evicts past the budget, so the fleet never holds more than two
+//     programmed chips at once.
+//  3. Route production traffic through a Router: `zoo@prod` (alias -> v1),
+//     then a 90/10 canary split between v1 and v2.
+//  4. Promote the canary to 100% and hot-reload v1 from a fresh artifact
+//     while traffic keeps flowing -- in-flight requests drain on the old
+//     weights, new requests see the new ones.
+//  5. Print the fleet snapshot: per-model and fleet items/s, p50/p99,
+//     rejects, evictions.
+//
+// Build & run:   ./build/examples/model_zoo
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "pipeline/pipeline.hpp"
+#include "registry/registry.hpp"
+#include "serve/service.hpp"
+#include "train/trainer.hpp"
+
+namespace {
+
+void print_snapshot(const epim::ModelRegistry& registry, const char* title) {
+  const epim::RegistrySnapshot s = registry.stats();
+  std::printf("%s\n", title);
+  for (const epim::ModelSnapshot& m : s.models) {
+    std::printf("  %s@%-3s %-8s %6lld reqs  %8.0f items/s  p50 %.2f ms  "
+                "p99 %.2f ms  %lld rejected  %lld evictions\n",
+                m.name.c_str(), m.version.c_str(),
+                m.resident ? "resident" : "cold",
+                static_cast<long long>(m.stats.requests),
+                m.stats.items_per_sec, m.stats.p50_latency_ms,
+                m.stats.p99_latency_ms,
+                static_cast<long long>(m.stats.rejected),
+                static_cast<long long>(m.evictions));
+  }
+  std::printf("  fleet: %d resident, %lld reqs, %.0f items/s, p50 %.2f ms, "
+              "p99 %.2f ms, %lld rejected, %lld evictions\n",
+              s.resident, static_cast<long long>(s.requests), s.items_per_sec,
+              s.p50_latency_ms, s.p99_latency_ms,
+              static_cast<long long>(s.rejected),
+              static_cast<long long>(s.evictions));
+}
+
+}  // namespace
+
+int main() {
+  using namespace epim;
+
+  // 1. Train one small epitome CNN; deploy it at three design points.
+  SyntheticSpec dspec;
+  dspec.num_classes = 5;
+  dspec.train_per_class = 20;
+  dspec.test_per_class = 16;
+  const SyntheticData data = make_synthetic_data(dspec);
+  SmallNetConfig nspec;
+  nspec.num_classes = 5;
+  SmallEpitomeNet net(nspec);
+  TrainConfig tcfg;
+  tcfg.epochs = 4;
+  train_model(net, data, tcfg);
+
+  const std::vector<std::pair<int, int>> designs = {{8, 10}, {6, 8}, {4, 6}};
+  std::vector<std::string> paths;
+  for (std::size_t v = 0; v < designs.size(); ++v) {
+    PipelineConfig cfg;
+    cfg.precision =
+        PrecisionPlan::uniform(designs[v].first, designs[v].second);
+    const std::string path = "model_zoo_v" + std::to_string(v + 1) + ".epim";
+    Pipeline(cfg).deploy(net, data.train).save(path);
+    paths.push_back(path);
+    std::printf("saved W%dA%d variant -> %s\n", designs[v].first,
+                designs[v].second, path.c_str());
+  }
+
+  // 2. Registry: three versions, budget two -- lazy + LRU.
+  RegistryConfig rcfg;
+  rcfg.max_resident_models = 2;
+  rcfg.serve.max_batch = 16;
+  rcfg.serve.flush_deadline_ms = 1.0;
+  ModelRegistry registry(rcfg);
+  registry.register_artifact("zoo", "v1", paths[0]);
+  registry.register_artifact("zoo", "v2", paths[1]);
+  registry.register_artifact("zoo", "v3", paths[2]);
+  registry.set_alias("zoo", "prod", "v1");
+  Router router(registry, /*seed=*/0xD1CEu);
+
+  const auto push = [&](const std::string& target, int requests) {
+    std::vector<std::future<InferenceResult>> pending;
+    for (int i = 0; i < requests; ++i) {
+      pending.push_back(router.submit(
+          target, data.test.sample(i % data.test.size())));
+    }
+    std::int64_t correct = 0;
+    for (int i = 0; i < requests; ++i) {
+      correct += pending[static_cast<std::size_t>(i)].get().predicted ==
+                 data.test.labels[static_cast<std::size_t>(
+                     i % data.test.size())];
+    }
+    return static_cast<double>(correct) / requests;
+  };
+
+  // 3. Production traffic on the alias, then a 90/10 canary on v2.
+  std::printf("\nphase 1: 100%% of traffic to zoo@prod (alias -> v1)\n");
+  std::printf("  accuracy %.1f%%\n", 100.0 * push("zoo@prod", 64));
+  std::printf("phase 2: canary split 90%% v1 / 10%% v2 on bare 'zoo'\n");
+  registry.set_split("zoo", {{"v1", 0.9}, {"v2", 0.1}});
+  std::printf("  accuracy %.1f%%\n", 100.0 * push("zoo", 64));
+  print_snapshot(registry, "after canary phase:");
+
+  // 4. Promote the canary to 100%, repoint prod, and hot-swap v1's
+  //    artifact underneath live traffic (v3's weights stand in for a
+  //    "newly searched design").
+  std::printf("\nphase 3: canary promoted to 100%%, v1 hot-reloaded\n");
+  registry.set_split("zoo", {{"v2", 1.0}});
+  registry.set_alias("zoo", "prod", "v2");
+  registry.reload("zoo", "v1", paths[2]);
+  std::printf("  accuracy %.1f%% (all on v2)\n", 100.0 * push("zoo", 64));
+  std::printf("  accuracy %.1f%% (reloaded v1 now serves v3 weights)\n",
+              100.0 * push("zoo@v1", 32));
+  std::printf("phase 4: a burst on cold zoo@v3 -- the budget of 2 evicts "
+              "the LRU resident\n");
+  std::printf("  accuracy %.1f%%\n", 100.0 * push("zoo@v3", 32));
+
+  // 5. The fleet after churn: at most two residents ever, evictions where
+  //    the budget bit, all history retained.
+  print_snapshot(registry, "\nfinal fleet snapshot:");
+
+  for (const std::string& path : paths) std::remove(path.c_str());
+  return 0;
+}

@@ -23,6 +23,15 @@ class InvalidArgument : public Error {
   explicit InvalidArgument(const std::string& what) : Error(what) {}
 };
 
+/// Thrown when a request is refused because a resource is at capacity
+/// (admission control: a full service queue, an exhausted budget). Unlike
+/// InvalidArgument, nothing about the request itself is wrong -- the caller
+/// may retry the identical request later.
+class Unavailable : public Error {
+ public:
+  explicit Unavailable(const std::string& what) : Error(what) {}
+};
+
 /// Thrown when an internal invariant fails; indicates a bug in the library.
 class InternalError : public Error {
  public:

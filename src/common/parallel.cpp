@@ -32,6 +32,9 @@ int default_thread_count() {
 /// One parallel region in flight. Heap-allocated and shared with workers so
 /// a straggler waking up after the region retired only ever sees an
 /// exhausted dispenser -- it can never re-run a chunk of a newer job.
+/// Several jobs may be live at once (one per initiating thread): a serving
+/// fleet has one dispatcher per resident model, and all of them draw on this
+/// one pool instead of spawning private ones.
 struct Job {
   const std::function<void(int)>* fn = nullptr;
   int chunks = 0;
@@ -72,7 +75,11 @@ class ThreadPool {
   /// Execute chunk_fn(c) for every c in [0, chunks), blocking until all
   /// chunks finished. Chunks are handed out through an atomic dispenser, so
   /// which *thread* runs a chunk is unspecified -- determinism comes from
-  /// chunk boundaries, never from placement.
+  /// chunk boundaries, never from placement. Safe to call from any number
+  /// of threads concurrently: each caller enqueues its own job, workers
+  /// drain whichever live job still has chunks (FIFO across jobs), and the
+  /// initiating thread always participates in its own job, so a region
+  /// finishes even when every worker is busy elsewhere.
   void run(int chunks, const std::function<void(int)>& chunk_fn) {
     auto job = std::make_shared<Job>();
     job->fn = &chunk_fn;
@@ -81,8 +88,7 @@ class ThreadPool {
     job->errors.assign(static_cast<std::size_t>(chunks), nullptr);
     {
       std::lock_guard<std::mutex> lock(mutex_);
-      current_job_ = job;
-      ++generation_;
+      jobs_.push_back(job);
     }
     work_cv_.notify_all();
     t_in_parallel_region = true;
@@ -93,7 +99,7 @@ class ThreadPool {
       done_cv_.wait(lock, [&] {
         return job->pending.load(std::memory_order_acquire) == 0;
       });
-      current_job_.reset();
+      jobs_.erase(std::find(jobs_.begin(), jobs_.end(), job));
     }
     for (const std::exception_ptr& e : job->errors) {
       if (e) std::rethrow_exception(e);
@@ -135,19 +141,29 @@ class ThreadPool {
     }
   }
 
+  /// First live job whose dispenser still has chunks; caller holds mutex_.
+  std::shared_ptr<Job> next_available_locked() const {
+    for (const std::shared_ptr<Job>& job : jobs_) {
+      if (job->next.load(std::memory_order_relaxed) < job->chunks) return job;
+    }
+    return nullptr;
+  }
+
   void worker_loop() {
     t_in_parallel_region = true;  // workers only ever run inside a region
-    std::uint64_t seen = 0;
     for (;;) {
       std::shared_ptr<Job> job;
       {
         std::unique_lock<std::mutex> lock(mutex_);
-        work_cv_.wait(lock, [&] { return stop_ || generation_ != seen; });
+        work_cv_.wait(lock, [&] {
+          if (stop_) return true;
+          job = next_available_locked();
+          return job != nullptr;
+        });
         if (stop_) return;
-        seen = generation_;
-        job = current_job_;
       }
-      if (job) drain(*job);
+      drain(*job);
+      job.reset();  // drop the ref before blocking on the next wait
     }
   }
 
@@ -156,8 +172,10 @@ class ThreadPool {
   std::condition_variable done_cv_;
   std::vector<std::thread> workers_;
   bool stop_ = false;
-  std::uint64_t generation_ = 0;
-  std::shared_ptr<Job> current_job_;
+  /// Live jobs in submission order; erased by their initiating thread once
+  /// drained. A job stays listed (dispenser exhausted) until every chunk
+  /// *finished*, so stragglers can never resurrect it.
+  std::vector<std::shared_ptr<Job>> jobs_;
 };
 
 }  // namespace

@@ -13,6 +13,13 @@
 //  * Re-entrancy. A parallel_for issued from inside a worker (nested
 //    parallelism) runs inline on the calling thread instead of deadlocking on
 //    the pool.
+//  * Shared budget. Any number of threads may initiate parallel regions
+//    concurrently (e.g. one dispatcher per resident model in a serving
+//    fleet); their jobs queue on the ONE process-wide pool and workers drain
+//    them in submission order, so the machine-wide thread budget is
+//    num_threads() no matter how many subsystems are active. Each initiator
+//    always participates in its own region, so progress never depends on
+//    worker availability.
 //  * Zero configuration. The pool is lazily created with EPIM_THREADS threads
 //    (or std::thread::hardware_concurrency() when unset) and can be resized
 //    at runtime with set_num_threads() -- the knob the thread-scaling benches

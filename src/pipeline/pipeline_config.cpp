@@ -25,6 +25,16 @@ void check_weight_fits_crossbar(const CrossbarConfig& xbar, int bits,
 
 }  // namespace
 
+void validate_serve(const ServeConfig& serve) {
+  EPIM_CHECK(serve.max_batch >= 1, "serve.max_batch must be positive");
+  EPIM_CHECK(serve.flush_deadline_ms > 0.0,
+             "serve.flush_deadline_ms must be positive");
+  EPIM_CHECK(serve.latency_window >= 1,
+             "serve.latency_window must be positive");
+  EPIM_CHECK(serve.max_queue >= 0,
+             "serve.max_queue must be non-negative (0 = unbounded)");
+}
+
 void validate_design(const DesignConfig& design) {
   if (design.policy != DesignPolicy::kUniform) return;
   EPIM_CHECK(
@@ -131,9 +141,7 @@ void PipelineConfig::validate() const {
   check_weight_fits_crossbar(xbar, resolved_deploy_weight_bits(), "deploy");
 
   // --- serving ---
-  EPIM_CHECK(serve.max_batch >= 1, "serve.max_batch must be positive");
-  EPIM_CHECK(serve.flush_deadline_ms > 0.0,
-             "serve.flush_deadline_ms must be positive");
+  validate_serve(serve);
 }
 
 }  // namespace epim

@@ -125,6 +125,16 @@ struct ServeConfig {
   /// Longest a queued request waits for batch-mates, in milliseconds (must
   /// be positive; the latency price of throughput).
   double flush_deadline_ms = 2.0;
+  /// How many of the most recent completed requests the p50/p99 latency
+  /// digest covers (must be positive). Bounds ServiceStats memory to O(1)
+  /// for a long-lived service.
+  int latency_window = 4096;
+  /// Admission bound: largest number of requests allowed to sit queued
+  /// (not yet flushed into a batch). A submission that would exceed it is
+  /// rejected with epim::Unavailable instead of growing the queue -- the
+  /// backpressure a multi-model registry relies on. 0 = unbounded (the
+  /// historical single-service behaviour).
+  int max_queue = 0;
 };
 
 /// Which EvaluationBackend Pipeline constructs by default.
@@ -137,6 +147,11 @@ enum class BackendKind {
 /// Validates one design policy group (also used by Pipeline::compile's
 /// per-call design overrides); throws InvalidArgument.
 void validate_design(const DesignConfig& design);
+
+/// Validates one serving policy group (also used by InferenceService and
+/// the model registry, which accept standalone ServeConfigs); throws
+/// InvalidArgument.
+void validate_serve(const ServeConfig& serve);
 
 /// The aggregate. One PipelineConfig fully determines a Pipeline.
 struct PipelineConfig {

@@ -1,0 +1,452 @@
+#include "registry/registry.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "common/math_util.hpp"
+#include "serve/artifact.hpp"
+
+namespace epim {
+
+namespace {
+
+void check_target_component(const std::string& value, const char* what) {
+  EPIM_CHECK(!value.empty(), std::string(what) + " must be non-empty");
+  EPIM_CHECK(value.find('@') == std::string::npos,
+             std::string(what) + " must not contain '@', got '" + value + "'");
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// ModelRegistry: registration
+// ---------------------------------------------------------------------------
+
+ModelRegistry::ModelRegistry(RegistryConfig config)
+    : config_(std::move(config)) {
+  EPIM_CHECK(config_.max_resident_models >= 1,
+             "registry.max_resident_models must be positive");
+  // Fail at construction, not at the first materialization.
+  validate_serve(config_.serve);
+}
+
+ModelRegistry::~ModelRegistry() = default;
+
+ModelRegistry::Entry& ModelRegistry::add_entry_locked(
+    const std::string& name, const std::string& version,
+    const ServeConfig& serve) {
+  check_target_component(name, "model name");
+  check_target_component(version, "model version");
+  // Validate the per-entry policy NOW: a bad ServeConfig must fail the
+  // registration, not the first routed request (materialization moves the
+  // model into the service, so a ctor throw there would strand the entry).
+  validate_serve(serve);
+  Family& family = families_[name];
+  EPIM_CHECK(family.versions.find(version) == family.versions.end(),
+             "model '" + name + "@" + version + "' is already registered");
+  EPIM_CHECK(family.aliases.find(version) == family.aliases.end(),
+             "version '" + version + "' would shadow an alias of '" + name +
+                 "'");
+  Entry& entry = family.versions[version];
+  entry.serve = serve;
+  return entry;
+}
+
+void ModelRegistry::register_artifact(const std::string& name,
+                                      const std::string& version,
+                                      const std::string& path) {
+  register_artifact(name, version, path, config_.serve);
+}
+
+void ModelRegistry::register_artifact(const std::string& name,
+                                      const std::string& version,
+                                      const std::string& path,
+                                      const ServeConfig& serve) {
+  // Probe the header up front: a typo'd path or a compiled-model artifact
+  // should fail at registration, not at the first routed request.
+  const artifact::Info info = artifact::probe(path);
+  EPIM_CHECK(info.kind == artifact::Kind::kDeployedModel,
+             "registry artifacts must be deployed models: " + path);
+  std::lock_guard<std::mutex> lock(mu_);
+  Entry& entry = add_entry_locked(name, version, serve);
+  entry.artifact_path = path;
+}
+
+void ModelRegistry::register_model(const std::string& name,
+                                   const std::string& version,
+                                   DeployedModel model) {
+  register_model(name, version, std::move(model), config_.serve);
+}
+
+void ModelRegistry::register_model(const std::string& name,
+                                   const std::string& version,
+                                   DeployedModel model,
+                                   const ServeConfig& serve) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Entry& entry = add_entry_locked(name, version, serve);
+  entry.model.emplace(std::move(model));
+}
+
+void ModelRegistry::set_alias(const std::string& name,
+                              const std::string& alias,
+                              const std::string& version) {
+  check_target_component(alias, "alias");
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto family_it = families_.find(name);
+  EPIM_CHECK(family_it != families_.end(), "unknown model '" + name + "'");
+  Family& family = family_it->second;
+  EPIM_CHECK(family.versions.find(version) != family.versions.end(),
+             "alias target '" + name + "@" + version + "' is not registered");
+  EPIM_CHECK(family.versions.find(alias) == family.versions.end(),
+             "alias '" + alias + "' would shadow a version of '" + name +
+                 "'");
+  family.aliases[alias] = version;
+}
+
+void ModelRegistry::set_split(const std::string& name,
+                              std::vector<VersionWeight> split) {
+  EPIM_CHECK(!split.empty(),
+             "split must name at least one version (use clear_split)");
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto family_it = families_.find(name);
+  EPIM_CHECK(family_it != families_.end(), "unknown model '" + name + "'");
+  Family& family = family_it->second;
+  for (std::size_t i = 0; i < split.size(); ++i) {
+    EPIM_CHECK(family.versions.find(split[i].version) !=
+                   family.versions.end(),
+               "split target '" + name + "@" + split[i].version +
+                   "' is not registered");
+    EPIM_CHECK(split[i].weight > 0.0, "split weights must be positive");
+    for (std::size_t j = 0; j < i; ++j) {
+      EPIM_CHECK(split[j].version != split[i].version,
+                 "split names version '" + split[i].version + "' twice");
+    }
+  }
+  family.split = std::move(split);
+}
+
+void ModelRegistry::clear_split(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto family_it = families_.find(name);
+  EPIM_CHECK(family_it != families_.end(), "unknown model '" + name + "'");
+  family_it->second.split.clear();
+}
+
+// ---------------------------------------------------------------------------
+// ModelRegistry: lookup + resolution
+// ---------------------------------------------------------------------------
+
+ModelRegistry::Entry& ModelRegistry::find_entry_locked(
+    const std::string& name, const std::string& version) {
+  const auto family_it = families_.find(name);
+  EPIM_CHECK(family_it != families_.end(), "unknown model '" + name + "'");
+  const auto entry_it = family_it->second.versions.find(version);
+  EPIM_CHECK(entry_it != family_it->second.versions.end(),
+             "unknown version '" + version + "' of model '" + name + "'");
+  return entry_it->second;
+}
+
+const ModelRegistry::Entry& ModelRegistry::find_entry_locked(
+    const std::string& name, const std::string& version) const {
+  return const_cast<ModelRegistry*>(this)->find_entry_locked(name, version);
+}
+
+std::pair<std::string, std::string> ModelRegistry::resolve(
+    const std::string& target, double split_draw) const {
+  return resolve(target, std::function<double()>([split_draw] {
+                   return split_draw;
+                 }));
+}
+
+std::pair<std::string, std::string> ModelRegistry::resolve(
+    const std::string& target,
+    const std::function<double()>& split_draw) const {
+  const std::size_t at = target.find('@');
+  const std::string name = target.substr(0, at);
+  EPIM_CHECK(!name.empty(), "routing target must start with a model name");
+
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto family_it = families_.find(name);
+  EPIM_CHECK(family_it != families_.end(), "unknown model '" + name + "'");
+  const Family& family = family_it->second;
+
+  if (at != std::string::npos) {
+    const std::string suffix = target.substr(at + 1);
+    EPIM_CHECK(!suffix.empty(),
+               "routing target '" + target + "' has an empty version");
+    if (family.versions.find(suffix) != family.versions.end()) {
+      return {name, suffix};
+    }
+    const auto alias_it = family.aliases.find(suffix);
+    EPIM_CHECK(alias_it != family.aliases.end(),
+               "unknown version or alias '" + suffix + "' of model '" + name +
+                   "'");
+    return {name, alias_it->second};
+  }
+
+  // Bare name: split > "default" alias > sole version.
+  if (!family.split.empty()) {
+    const double draw = split_draw();
+    EPIM_CHECK(draw >= 0.0 && draw < 1.0,
+               "bare-name target '" + name +
+                   "' has a traffic split; resolve needs a uniform draw in "
+                   "[0, 1)");
+    double total = 0.0;
+    for (const VersionWeight& arm : family.split) total += arm.weight;
+    double cumulative = 0.0;
+    for (const VersionWeight& arm : family.split) {
+      cumulative += arm.weight / total;
+      if (draw < cumulative) return {name, arm.version};
+    }
+    return {name, family.split.back().version};  // guard rounding at 1.0
+  }
+  const auto default_it = family.aliases.find("default");
+  if (default_it != family.aliases.end()) return {name, default_it->second};
+  EPIM_CHECK(family.versions.size() == 1,
+             "bare-name target '" + name + "' is ambiguous: " +
+                 std::to_string(family.versions.size()) +
+                 " versions and no split or 'default' alias");
+  return {name, family.versions.begin()->first};
+}
+
+bool ModelRegistry::has_split(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto family_it = families_.find(name);
+  return family_it != families_.end() && !family_it->second.split.empty();
+}
+
+std::vector<std::string> ModelRegistry::versions(
+    const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto family_it = families_.find(name);
+  EPIM_CHECK(family_it != families_.end(), "unknown model '" + name + "'");
+  std::vector<std::string> out;
+  for (const auto& [version, entry] : family_it->second.versions) {
+    out.push_back(version);
+  }
+  return out;
+}
+
+bool ModelRegistry::resident(const std::string& name,
+                             const std::string& version) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return find_entry_locked(name, version).service != nullptr;
+}
+
+// ---------------------------------------------------------------------------
+// ModelRegistry: materialization + eviction + reload
+// ---------------------------------------------------------------------------
+
+int ModelRegistry::resident_count_locked() const {
+  int count = 0;
+  for (const auto& [name, family] : families_) {
+    for (const auto& [version, entry] : family.versions) {
+      count += entry.service != nullptr;
+    }
+  }
+  return count;
+}
+
+void ModelRegistry::evict_locked(Entry& entry) {
+  // detach() joins the dispatcher after it drains the queue: every future
+  // handed out for this service resolves before the service is retired.
+  // Eviction picks LRU victims, so the drain is typically empty.
+  DeployedModel recovered = entry.service->detach();
+  const ServiceStats final = entry.service->stats();
+  entry.retired.requests += final.requests;
+  entry.retired.batches += final.batches;
+  entry.retired.clip_events += final.clip_events;
+  entry.retired.rejected += final.rejected;
+  entry.service.reset();
+  entry.evictions += 1;
+  if (!entry.artifact_backed()) {
+    // No artifact to re-materialize from: keep the programmed model so the
+    // entry stays servable. The eviction still frees the dispatcher.
+    entry.model.emplace(std::move(recovered));
+  }
+}
+
+void ModelRegistry::materialize_locked(const std::string& name,
+                                       const std::string& version,
+                                       Entry& entry) {
+  if (entry.service != nullptr) return;
+  const bool from_memory = entry.model.has_value();
+  DeployedModel model = [&] {
+    if (from_memory) {
+      DeployedModel m = std::move(*entry.model);
+      entry.model.reset();
+      return m;
+    }
+    // Bit-identical by the artifact determinism contract, so an evicted
+    // model answers exactly as it did before eviction.
+    return Pipeline::load_deployed(entry.artifact_path);
+  }();
+  try {
+    entry.service = std::make_unique<InferenceService>(std::move(model),
+                                                       entry.serve);
+  } catch (...) {
+    // The serve config was validated at registration, so this is a
+    // resource failure (thread/memory). `model` was consumed by the
+    // attempted construction; an in-memory-only entry cannot recover it,
+    // so surface that plainly instead of leaving a husk that later fails
+    // with a misleading empty-path artifact error.
+    if (from_memory) {
+      throw InternalError(
+          "failed to materialize in-memory model '" + name + "@" + version +
+          "'; its DeployedModel was consumed by the failed service "
+          "construction and the entry has no artifact to restore from");
+    }
+    throw;
+  }
+  // Enforce the budget, never evicting the entry we just warmed.
+  while (resident_count_locked() > config_.max_resident_models) {
+    Entry* victim = nullptr;
+    for (auto& [fname, family] : families_) {
+      for (auto& [fversion, candidate] : family.versions) {
+        if (candidate.service == nullptr || &candidate == &entry) continue;
+        if (victim == nullptr || candidate.last_used < victim->last_used) {
+          victim = &candidate;
+        }
+      }
+    }
+    if (victim == nullptr) break;  // budget of 1 with only `entry` resident
+    evict_locked(*victim);
+  }
+  (void)name;
+  (void)version;
+}
+
+void ModelRegistry::retire(std::unique_ptr<InferenceService> service,
+                           const std::string& name,
+                           const std::string& version) {
+  if (service == nullptr) return;
+  // Drain outside the registry lock: in-flight requests finish on the old
+  // weights while new traffic already routes to the replacement.
+  (void)service->detach();
+  const ServiceStats final = service->stats();
+  service.reset();
+  std::lock_guard<std::mutex> lock(mu_);
+  // Entries are never removed, so the entry still exists.
+  Entry& entry = find_entry_locked(name, version);
+  entry.retired.requests += final.requests;
+  entry.retired.batches += final.batches;
+  entry.retired.clip_events += final.clip_events;
+  entry.retired.rejected += final.rejected;
+}
+
+void ModelRegistry::reload(const std::string& name,
+                           const std::string& version,
+                           const std::string& path) {
+  const artifact::Info info = artifact::probe(path);
+  EPIM_CHECK(info.kind == artifact::Kind::kDeployedModel,
+             "registry artifacts must be deployed models: " + path);
+  std::unique_ptr<InferenceService> old;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    Entry& entry = find_entry_locked(name, version);
+    old = std::move(entry.service);
+    entry.artifact_path = path;
+    entry.model.reset();  // the old in-memory source is superseded
+  }
+  retire(std::move(old), name, version);
+}
+
+// ---------------------------------------------------------------------------
+// ModelRegistry: traffic + stats
+// ---------------------------------------------------------------------------
+
+std::future<InferenceResult> ModelRegistry::submit(const std::string& name,
+                                                   const std::string& version,
+                                                   Tensor image) {
+  std::vector<Tensor> one;
+  one.push_back(std::move(image));
+  return std::move(submit_batch(name, version, std::move(one)).front());
+}
+
+std::vector<std::future<InferenceResult>> ModelRegistry::submit_batch(
+    const std::string& name, const std::string& version,
+    std::vector<Tensor> images) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Entry& entry = find_entry_locked(name, version);
+  materialize_locked(name, version, entry);
+  entry.last_used = ++tick_;
+  // Enqueue while holding the registry lock so a concurrent reload/eviction
+  // cannot destroy the service mid-submission; the enqueue itself is cheap
+  // (shape checks + queue push), all compute runs on dispatcher threads.
+  return entry.service->submit_batch(std::move(images));
+}
+
+RegistrySnapshot ModelRegistry::stats() const {
+  RegistrySnapshot snapshot;
+  std::vector<double> pooled;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [name, family] : families_) {
+    for (const auto& [version, entry] : family.versions) {
+      ModelSnapshot m;
+      m.name = name;
+      m.version = version;
+      m.resident = entry.service != nullptr;
+      m.evictions = entry.evictions;
+      if (entry.service != nullptr) {
+        m.stats = entry.service->stats();
+        const std::vector<double> window =
+            entry.service->recent_latencies_ms();
+        pooled.insert(pooled.end(), window.begin(), window.end());
+        snapshot.items_per_sec += m.stats.items_per_sec;
+        snapshot.queued += m.stats.queued;
+      }
+      m.stats.requests += entry.retired.requests;
+      m.stats.batches += entry.retired.batches;
+      m.stats.clip_events += entry.retired.clip_events;
+      m.stats.rejected += entry.retired.rejected;
+      snapshot.resident += m.resident;
+      snapshot.requests += m.stats.requests;
+      snapshot.rejected += m.stats.rejected;
+      snapshot.evictions += m.evictions;
+      snapshot.models.push_back(std::move(m));
+    }
+  }
+  std::sort(pooled.begin(), pooled.end());
+  snapshot.p50_latency_ms = nearest_rank_percentile(pooled, 0.50);
+  snapshot.p99_latency_ms = nearest_rank_percentile(pooled, 0.99);
+  return snapshot;
+}
+
+void ModelRegistry::reset_stats() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, family] : families_) {
+    for (auto& [version, entry] : family.versions) {
+      if (entry.service != nullptr) entry.service->reset();
+      entry.retired = RetiredCounters{};
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Router
+// ---------------------------------------------------------------------------
+
+std::pair<std::string, std::string> Router::route(const std::string& target) {
+  // Hold the rng lock across the resolve so the "is there a split?" check
+  // and the draw are one atomic step against concurrent set_split(), and
+  // concurrent routers still consume exactly one draw per split routing.
+  std::lock_guard<std::mutex> lock(mu_);
+  return registry_.resolve(target,
+                           std::function<double()>([&] {
+                             return rng_.uniform();
+                           }));
+}
+
+std::future<InferenceResult> Router::submit(const std::string& target,
+                                            Tensor image) {
+  const auto [name, version] = route(target);
+  return registry_.submit(name, version, std::move(image));
+}
+
+std::vector<std::future<InferenceResult>> Router::submit_batch(
+    const std::string& target, std::vector<Tensor> images) {
+  const auto [name, version] = route(target);
+  return registry_.submit_batch(name, version, std::move(images));
+}
+
+}  // namespace epim

@@ -1,0 +1,305 @@
+// Multi-model serving: a registry of named, versioned `.epim` deployments
+// and a routing front door over it -- the fleet layer above one
+// InferenceService.
+//
+// A ModelRegistry owns entries keyed `name@version`, each backed by either
+// a `.epim` artifact path (register_artifact) or an in-memory DeployedModel
+// (register_model). Entries are materialized LAZILY: the first request for
+// a version loads/adopts the model and stands up an InferenceService; until
+// then an entry costs a map node, so a registry can index a whole model zoo
+// while only the hot subset holds programmed crossbars. A configurable
+// resident-model budget bounds that hot subset: materializing past it
+// evicts the least-recently-used resident service (drained via
+// InferenceService::detach, so no future is ever abandoned). An
+// artifact-backed entry re-materializes from its file bit-identically (the
+// PR 3 artifact determinism contract); an in-memory-only entry keeps its
+// DeployedModel across eviction -- the eviction still frees its dispatcher
+// thread and queue.
+//
+// The Router resolves routing targets and forwards traffic:
+//
+//   "name@version"  exact version
+//   "name@alias"    alias indirection (set_alias, e.g. resnet50@prod)
+//   "name"          weighted split (set_split, canary rollout) when one is
+//                   configured, else the "default" alias, else the sole
+//                   registered version
+//
+// Split draws come from the Router's own seeded Rng, so a pinned request
+// sequence routes deterministically -- the same property the rest of the
+// repo enforces for kernels and search. Admission control is enforced by
+// the per-model service queue bound (ServeConfig::max_queue, set from
+// RegistryConfig): a full model rejects with epim::Unavailable instead of
+// queueing without bound, so one hot model can never OOM the fleet.
+//
+// Hot reload: reload(name, version, path) atomically repoints the version
+// at a new artifact. New traffic materializes the new artifact; requests
+// already queued on the old service drain to completion on the old weights
+// (outside the registry lock), and its counters fold into the entry's
+// retired totals so fleet stats never lose history.
+//
+// Thread budget: resident services share the one `common/parallel` pool --
+// an InferenceService owns only a blocking dispatcher thread; all compute
+// fans out across the process-wide pool, which accepts concurrent
+// initiators. The resident budget therefore caps dispatcher threads and
+// programmed-crossbar memory, not compute threads.
+//
+// Thread safety: every public method of ModelRegistry and Router may be
+// called from any number of threads. Known tradeoff: one registry mutex
+// guards all entries, and it is held across cold-entry materialization
+// (artifact load + crossbar programming) and across an eviction victim's
+// drain -- so a cold-start request briefly head-of-line blocks submissions
+// to OTHER models. Enqueue on a warm entry is cheap (shape checks + queue
+// push; all compute runs on dispatcher threads), which is the steady state
+// the fleet bench measures. Per-entry materialization states would lift
+// the cold-path stall and are the natural next step when model sizes grow.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <future>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "pipeline/pipeline.hpp"
+#include "serve/service.hpp"
+
+namespace epim {
+
+/// Fleet-level policy of a ModelRegistry.
+struct RegistryConfig {
+  /// Largest number of materialized services (programmed crossbars +
+  /// dispatcher thread) resident at once; must be positive. LRU beyond it.
+  int max_resident_models = 4;
+  /// Batching + admission policy for services the registry materializes;
+  /// a per-entry ServeConfig passed at registration overrides it. Note the
+  /// registry default BOUNDS the queue (max_queue = 1024) -- unbounded
+  /// growth is opt-in here, unlike a standalone InferenceService.
+  ServeConfig serve = default_serve();
+
+  static ServeConfig default_serve() {
+    ServeConfig s;
+    s.max_queue = 1024;
+    return s;
+  }
+};
+
+/// One arm of a weighted traffic split (canary rollout).
+struct VersionWeight {
+  std::string version;
+  double weight = 1.0;  ///< relative; must be positive
+};
+
+/// Per-model slice of a registry snapshot. Counters (requests, batches,
+/// clip_events, rejected) span the entry's whole life, including retired
+/// services (evicted or hot-swapped); rates and percentiles describe the
+/// live service only (zero while cold).
+struct ModelSnapshot {
+  std::string name;
+  std::string version;
+  bool resident = false;
+  ServiceStats stats{};
+  std::int64_t evictions = 0;
+};
+
+/// Registry-wide aggregate: per-model slices plus fleet totals.
+struct RegistrySnapshot {
+  std::vector<ModelSnapshot> models;  ///< sorted by (name, version)
+  int resident = 0;                   ///< materialized services right now
+  std::int64_t requests = 0;          ///< completed, fleet-wide
+  std::int64_t rejected = 0;          ///< admission rejections, fleet-wide
+  std::int64_t evictions = 0;         ///< LRU evictions, fleet-wide
+  std::int64_t queued = 0;            ///< currently queued, fleet-wide
+  /// Sum of the resident services' items/s (each measured over its own
+  /// submit->completion window).
+  double items_per_sec = 0.0;
+  /// Percentiles over the POOLED latency windows of all resident services
+  /// -- the fleet-wide digest a per-service p50/p99 cannot provide.
+  double p50_latency_ms = 0.0;
+  double p99_latency_ms = 0.0;
+};
+
+/// Named, versioned model store with lazy materialization, an LRU resident
+/// budget, and atomic hot reload. The Router below is the intended traffic
+/// entry point; the registry's own submit() is the version-explicit core it
+/// delegates to.
+class ModelRegistry {
+ public:
+  explicit ModelRegistry(RegistryConfig config = {});
+  ~ModelRegistry();
+
+  ModelRegistry(const ModelRegistry&) = delete;
+  ModelRegistry& operator=(const ModelRegistry&) = delete;
+
+  const RegistryConfig& config() const { return config_; }
+
+  /// Register `name@version` backed by a `.epim` deployed-model artifact.
+  /// The file's header is probed immediately (existence, magic, kind), the
+  /// payload is loaded on first request. Throws InvalidArgument if the
+  /// version already exists or the artifact is unusable.
+  void register_artifact(const std::string& name, const std::string& version,
+                         const std::string& path);
+  void register_artifact(const std::string& name, const std::string& version,
+                         const std::string& path, const ServeConfig& serve);
+
+  /// Register `name@version` backed by an already-deployed in-memory model
+  /// (e.g. fresh out of Pipeline::deploy, skipping the save/load cycle).
+  /// The service is still materialized lazily; eviction detaches the model
+  /// back into the entry instead of dropping it.
+  void register_model(const std::string& name, const std::string& version,
+                      DeployedModel model);
+  void register_model(const std::string& name, const std::string& version,
+                      DeployedModel model, const ServeConfig& serve);
+
+  /// Point `name@alias` at an existing version (re-pointing is allowed; an
+  /// alias equal to a version name is rejected as shadowing). The alias
+  /// "default" also resolves bare-name targets with no split.
+  void set_alias(const std::string& name, const std::string& alias,
+                 const std::string& version);
+
+  /// Weighted split over existing versions of `name`, applied to bare-name
+  /// targets (weights positive, versions distinct). Replaces any previous
+  /// split; an empty vector is rejected -- use clear_split().
+  void set_split(const std::string& name, std::vector<VersionWeight> split);
+  void clear_split(const std::string& name);
+
+  /// Hot swap: repoint an existing `name@version` at a new artifact. The
+  /// swap is atomic under the registry lock; the old service (if resident)
+  /// drains its in-flight requests outside the lock and folds its counters
+  /// into the entry's retired totals.
+  void reload(const std::string& name, const std::string& version,
+              const std::string& path);
+
+  /// Version-explicit submission: materializes the entry if cold (evicting
+  /// LRU residents past the budget), then enqueues on its service. Throws
+  /// InvalidArgument for unknown targets or bad shapes, Unavailable when
+  /// the model's queue is full.
+  std::future<InferenceResult> submit(const std::string& name,
+                                      const std::string& version,
+                                      Tensor image);
+  std::vector<std::future<InferenceResult>> submit_batch(
+      const std::string& name, const std::string& version,
+      std::vector<Tensor> images);
+
+  /// Resolve a routing target (see file header) to a concrete
+  /// (name, version). `split_draw` must be a uniform draw in [0, 1) when
+  /// the target is a bare name with a split configured; it is ignored
+  /// otherwise (pass a negative value to assert no split is consulted).
+  std::pair<std::string, std::string> resolve(const std::string& target,
+                                              double split_draw) const;
+
+  /// Same, but the draw is produced on demand: `split_draw` is invoked
+  /// (under the registry lock) only if the target actually routes through
+  /// a split. This is the race-free form the Router uses -- checking for a
+  /// split and drawing in two steps would let a concurrent set_split()
+  /// land in between.
+  std::pair<std::string, std::string> resolve(
+      const std::string& target,
+      const std::function<double()>& split_draw) const;
+
+  /// Whether bare-name targets for `name` currently route via a split.
+  bool has_split(const std::string& name) const;
+
+  /// Registered versions of `name`, sorted (InvalidArgument if unknown).
+  std::vector<std::string> versions(const std::string& name) const;
+
+  /// Whether `name@version` currently holds a materialized service.
+  bool resident(const std::string& name, const std::string& version) const;
+
+  /// Consistent fleet snapshot (see RegistrySnapshot).
+  RegistrySnapshot stats() const;
+
+  /// Start a new stats interval: reset() every resident service and zero
+  /// all retired counters. Structural counters (evictions) are kept --
+  /// they describe the registry, not an interval's traffic.
+  void reset_stats();
+
+ private:
+  struct RetiredCounters {
+    std::int64_t requests = 0;
+    std::int64_t batches = 0;
+    std::int64_t clip_events = 0;
+    std::int64_t rejected = 0;
+  };
+
+  struct Entry {
+    std::string artifact_path;          ///< empty for in-memory-only entries
+    std::optional<DeployedModel> model; ///< in-memory source while cold
+    std::unique_ptr<InferenceService> service;  ///< resident runtime
+    ServeConfig serve{};
+    std::uint64_t last_used = 0;        ///< LRU tick
+    std::int64_t evictions = 0;
+    RetiredCounters retired{};          ///< from evicted/swapped services
+
+    bool artifact_backed() const { return !artifact_path.empty(); }
+  };
+
+  struct Family {
+    std::map<std::string, Entry> versions;
+    std::map<std::string, std::string> aliases;
+    std::vector<VersionWeight> split;  ///< empty = no split
+  };
+
+  /// Insert a fresh entry; shared precondition checks for both register_*.
+  Entry& add_entry_locked(const std::string& name, const std::string& version,
+                          const ServeConfig& serve);
+  Entry& find_entry_locked(const std::string& name,
+                           const std::string& version);
+  const Entry& find_entry_locked(const std::string& name,
+                                 const std::string& version) const;
+  /// Stand up `entry`'s service if cold, then evict LRU residents (never
+  /// `entry` itself) until the budget holds.
+  void materialize_locked(const std::string& name, const std::string& version,
+                          Entry& entry);
+  /// Detach + retire one resident service (drains its queue; caller holds
+  /// the registry lock, acceptable because eviction picks cold services).
+  void evict_locked(Entry& entry);
+  /// Drain a swapped-out service outside the lock, then fold its final
+  /// counters into the (never-removed) entry's retired totals.
+  void retire(std::unique_ptr<InferenceService> service,
+              const std::string& name, const std::string& version);
+  int resident_count_locked() const;
+
+  RegistryConfig config_;
+  mutable std::mutex mu_;
+  std::map<std::string, Family> families_;
+  std::uint64_t tick_ = 0;
+};
+
+/// The front door: resolves aliases and weighted splits, then forwards to
+/// the registry. Owns the (seeded, mutex-guarded) Rng behind split draws,
+/// so two routers over one registry route independently and a fixed seed
+/// yields a pinned routing sequence.
+class Router {
+ public:
+  explicit Router(ModelRegistry& registry, std::uint64_t seed = 0xF1EE7u)
+      : registry_(registry), rng_(seed) {}
+
+  Router(const Router&) = delete;
+  Router& operator=(const Router&) = delete;
+
+  /// Resolve `target` to the (name, version) the next submission would use,
+  /// consuming one split draw iff the target is a bare name with a split.
+  std::pair<std::string, std::string> route(const std::string& target);
+
+  /// Resolve + submit. All split draws, admission rejections and shape
+  /// errors surface here exactly as documented on ModelRegistry::submit.
+  std::future<InferenceResult> submit(const std::string& target,
+                                      Tensor image);
+  /// A burst routes as ONE unit: a single draw picks the version for the
+  /// whole burst (a canary either sees an entire batch or none of it).
+  std::vector<std::future<InferenceResult>> submit_batch(
+      const std::string& target, std::vector<Tensor> images);
+
+ private:
+  ModelRegistry& registry_;
+  std::mutex mu_;  ///< guards rng_
+  Rng rng_;
+};
+
+}  // namespace epim

@@ -2,6 +2,7 @@
 
 #include <bit>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <utility>
 #include <vector>
@@ -400,6 +401,8 @@ void put_pipeline_config(Writer& w, const PipelineConfig& c) {
   put_non_ideal(w, c.deploy.non_ideal);
   w.i32(c.serve.max_batch);
   w.f64(c.serve.flush_deadline_ms);
+  w.i32(c.serve.latency_window);
+  w.i32(c.serve.max_queue);
   w.str(c.anchors.model);
   w.f64(c.anchors.conv_fp32);
   w.f64(c.anchors.epitome_fp32);
@@ -436,6 +439,8 @@ PipelineConfig get_pipeline_config(Reader& r) {
   c.deploy.non_ideal = get_non_ideal(r);
   c.serve.max_batch = r.i32();
   c.serve.flush_deadline_ms = r.f64();
+  c.serve.latency_window = r.i32();
+  c.serve.max_queue = r.i32();
   c.anchors.model = r.str();
   c.anchors.conv_fp32 = r.f64();
   c.anchors.epitome_fp32 = r.f64();
@@ -681,9 +686,24 @@ void write_container(const std::string& path, artifact::Kind kind,
   EPIM_CHECK(out.good(), "failed writing artifact: " + path);
 }
 
+/// Reject paths an ifstream would "open" but never read sensibly (a
+/// directory opens fine on POSIX and only fails at the first read, which
+/// would surface as a misleading kErrTruncated). Pinned messages:
+/// nonexistent -> kErrCannotOpen, directory/device -> kErrNotFile.
+void check_readable_file(const std::string& path) {
+  std::error_code ec;
+  const std::filesystem::file_status status =
+      std::filesystem::status(path, ec);
+  EPIM_CHECK(!ec && std::filesystem::exists(status),
+             std::string(artifact::kErrCannotOpen) + ": " + path);
+  EPIM_CHECK(std::filesystem::is_regular_file(status),
+             std::string(artifact::kErrNotFile) + ": " + path);
+}
+
 std::vector<std::uint8_t> read_file(const std::string& path) {
+  check_readable_file(path);
   std::ifstream in(path, std::ios::binary);
-  EPIM_CHECK(in.good(), "cannot open artifact: " + path);
+  EPIM_CHECK(in.good(), std::string(artifact::kErrCannotOpen) + ": " + path);
   std::vector<std::uint8_t> bytes((std::istreambuf_iterator<char>(in)),
                                   std::istreambuf_iterator<char>());
   return bytes;
@@ -701,8 +721,7 @@ std::vector<Section> read_container(const std::string& path,
   Reader header(bytes.data(), bytes.size());
   for (int i = 0; i < 8; ++i) header.u8();  // magic, already checked
   const std::uint32_t version = header.u32();
-  EPIM_CHECK(version >= 1 && version <= artifact::kSchemaVersion,
-             kErrBadVersion);
+  EPIM_CHECK(version == artifact::kSchemaVersion, kErrBadVersion);
   const std::uint32_t kind = header.u32();
   EPIM_CHECK(kind == static_cast<std::uint32_t>(expected_kind), kErrBadKind);
   const std::uint32_t count = header.u32();
@@ -903,8 +922,9 @@ namespace artifact {
 Info probe(const std::string& path) {
   // Header only -- probing a multi-megabyte deployed artifact must not
   // slurp the weights.
+  check_readable_file(path);
   std::ifstream in(path, std::ios::binary);
-  EPIM_CHECK(in.good(), "cannot open artifact: " + path);
+  EPIM_CHECK(in.good(), std::string(kErrCannotOpen) + ": " + path);
   std::vector<std::uint8_t> bytes(kHeaderBytes);
   in.read(reinterpret_cast<char*>(bytes.data()),
           static_cast<std::streamsize>(bytes.size()));

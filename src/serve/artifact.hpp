@@ -41,8 +41,11 @@ class DeployedModel;
 
 namespace artifact {
 
-/// Schema version written by save(); load() rejects anything newer.
-inline constexpr std::uint32_t kSchemaVersion = 1;
+/// Schema version written by save(); load() rejects anything else (the
+/// codec reads fields positionally, so older payloads cannot be decoded
+/// either -- they fail with a clean version error, never a misparse).
+/// History: v1 = PR 3; v2 = ServeConfig gained latency_window/max_queue.
+inline constexpr std::uint32_t kSchemaVersion = 2;
 
 /// Artifact kinds stored in the header.
 enum class Kind : std::uint32_t {
@@ -52,6 +55,9 @@ enum class Kind : std::uint32_t {
 
 // Exact rejection messages (EPIM_CHECK prepends "invalid argument: " and
 // appends the failing expression/location).
+inline constexpr const char* kErrCannotOpen = "cannot open artifact";
+inline constexpr const char* kErrNotFile =
+    "artifact path is not a regular file";
 inline constexpr const char* kErrTruncated = "truncated artifact";
 inline constexpr const char* kErrBadMagic = "not an EPIM artifact (bad magic)";
 inline constexpr const char* kErrBadVersion =

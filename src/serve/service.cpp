@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "common/error.hpp"
+#include "common/math_util.hpp"
 #include "runtime/pim_runtime.hpp"
 
 namespace epim {
@@ -18,22 +19,11 @@ double ms_between(Clock::time_point a, Clock::time_point b) {
   return std::chrono::duration<double, std::milli>(b - a).count();
 }
 
-/// Nearest-rank percentile of an already-sorted latency vector.
-double percentile(const std::vector<double>& sorted, double q) {
-  if (sorted.empty()) return 0.0;
-  const auto rank = static_cast<std::size_t>(
-      std::ceil(q * static_cast<double>(sorted.size())));
-  return sorted[std::min(sorted.size() - 1, std::max<std::size_t>(rank, 1) -
-                                                1)];
-}
-
 }  // namespace
 
 InferenceService::InferenceService(DeployedModel model, ServeConfig config)
     : model_(std::move(model)), config_(config) {
-  EPIM_CHECK(config_.max_batch >= 1, "serve.max_batch must be positive");
-  EPIM_CHECK(config_.flush_deadline_ms > 0.0,
-             "serve.flush_deadline_ms must be positive");
+  validate_serve(config_);
   dispatcher_ = std::thread([this] { dispatcher_loop(); });
 }
 
@@ -43,7 +33,19 @@ InferenceService::~InferenceService() {
     stop_ = true;
   }
   cv_.notify_all();
-  dispatcher_.join();
+  if (dispatcher_.joinable()) dispatcher_.join();  // no-op after detach()
+}
+
+DeployedModel InferenceService::detach() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  // The dispatcher's shutdown path flushes everything still queued, so
+  // every outstanding future resolves before the model changes hands.
+  if (dispatcher_.joinable()) dispatcher_.join();
+  return std::move(model_);
 }
 
 std::future<InferenceResult> InferenceService::submit(Tensor image) {
@@ -54,34 +56,54 @@ std::future<InferenceResult> InferenceService::submit(Tensor image) {
 
 std::vector<std::future<InferenceResult>> InferenceService::submit_batch(
     std::vector<Tensor> images) {
-  // Validate every shape before anything is enqueued: a malformed request
-  // fails fast at the submission site and can never take down batch-mates.
-  const SmallNetConfig& net = model_.model_config();
-  for (const Tensor& image : images) {
-    EPIM_CHECK(image.rank() == 3, "submit expects a (C, H, W) image");
-    EPIM_CHECK(image.dim(0) == net.in_channels &&
-                   image.dim(1) == net.image_size &&
-                   image.dim(2) == net.image_size,
-               "submitted image shape does not match the deployed model");
-  }
+  // An empty burst would either flush a zero-item batch or silently do
+  // nothing depending on dispatcher timing; pin it as a caller error.
+  EPIM_CHECK(!images.empty(), "submit_batch requires a non-empty batch");
 
   std::vector<std::future<InferenceResult>> futures;
-  if (images.empty()) return futures;
   futures.reserve(images.size());
   const auto now = Clock::now();
-  // Record the throughput-window start *before* the requests become visible
-  // to the dispatcher: once any of them is counted in completed_, the
-  // window start is guaranteed set.
-  {
-    std::lock_guard<std::mutex> lock(stats_mu_);
-    if (!saw_first_submit_) {
-      saw_first_submit_ = true;
-      first_submit_ = now;
-    }
-  }
   {
     std::lock_guard<std::mutex> lock(mu_);
+    // The stop check must precede any model_ access: detach() moves the
+    // model out (after setting stop_ under this lock), so a late submitter
+    // must bounce here and never touch the husk.
     EPIM_CHECK(!stop_, "submit on a stopped InferenceService");
+    // Validate every shape before anything is enqueued: a malformed
+    // request fails fast at the submission site and can never take down
+    // batch-mates.
+    const SmallNetConfig& net = model_.model_config();
+    for (const Tensor& image : images) {
+      EPIM_CHECK(image.rank() == 3, "submit expects a (C, H, W) image");
+      EPIM_CHECK(image.dim(0) == net.in_channels &&
+                     image.dim(1) == net.image_size &&
+                     image.dim(2) == net.image_size,
+                 "submitted image shape does not match the deployed model");
+    }
+    // Admission control: all-or-nothing for the burst, decided atomically
+    // with the enqueue so concurrent submitters can never overshoot the
+    // bound. Rejection is immediate -- never block, never grow the queue.
+    if (config_.max_queue > 0 &&
+        queue_.size() + images.size() >
+            static_cast<std::size_t>(config_.max_queue)) {
+      std::lock_guard<std::mutex> stats_lock(stats_mu_);
+      rejected_ += static_cast<std::int64_t>(images.size());
+      throw Unavailable(std::string(kErrQueueFull) + ": " +
+                        std::to_string(queue_.size()) + " queued + " +
+                        std::to_string(images.size()) + " submitted > " +
+                        std::to_string(config_.max_queue));
+    }
+    // Record the throughput-window start *before* the requests become
+    // visible to the dispatcher: once any of them is counted in completed_,
+    // the window start is guaranteed set. (Lock order mu_ -> stats_mu_ is
+    // used nowhere in reverse.)
+    {
+      std::lock_guard<std::mutex> stats_lock(stats_mu_);
+      if (!saw_first_submit_) {
+        saw_first_submit_ = true;
+        first_submit_ = now;
+      }
+    }
     for (Tensor& image : images) {
       Request request;
       request.image = std::move(image);
@@ -170,18 +192,40 @@ void InferenceService::run_batch(std::vector<Request>& batch) {
     batches_ += 1;
     clip_events_ += batch_clips;
     last_done_ = done;
+    const auto window = static_cast<std::size_t>(config_.latency_window);
     for (const double latency : batch_latencies) {
-      if (latencies_ms_.size() < kLatencyWindow) {
+      if (latencies_ms_.size() < window) {
         latencies_ms_.push_back(latency);
       } else {
         latencies_ms_[latency_next_] = latency;
-        latency_next_ = (latency_next_ + 1) % kLatencyWindow;
+        latency_next_ = (latency_next_ + 1) % window;
       }
     }
   }
   for (std::size_t i = 0; i < batch.size(); ++i) {
     batch[i].promise.set_value(std::move(results[i]));
   }
+}
+
+void InferenceService::reset() {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  latencies_ms_.clear();
+  latency_next_ = 0;
+  completed_ = 0;
+  batches_ = 0;
+  clip_events_ = 0;
+  rejected_ = 0;
+  saw_first_submit_ = false;
+  // Re-anchor the throughput window at the reset itself: requests that
+  // were in flight across the reset complete into the NEW interval, so
+  // their rate must be measured from now -- not from the old interval's
+  // first submit. (The next submit re-anchors again via saw_first_submit_.)
+  first_submit_ = Clock::now();
+}
+
+std::vector<double> InferenceService::recent_latencies_ms() const {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  return latencies_ms_;
 }
 
 ServiceStats InferenceService::stats() const {
@@ -192,6 +236,7 @@ ServiceStats InferenceService::stats() const {
     s.requests = completed_;
     s.batches = batches_;
     s.clip_events = clip_events_;
+    s.rejected = rejected_;
     latencies = latencies_ms_;
     if (completed_ > 0) {
       s.mean_batch_size = static_cast<double>(completed_) /
@@ -207,8 +252,8 @@ ServiceStats InferenceService::stats() const {
     s.queued = static_cast<std::int64_t>(queue_.size());
   }
   std::sort(latencies.begin(), latencies.end());
-  s.p50_latency_ms = percentile(latencies, 0.50);
-  s.p99_latency_ms = percentile(latencies, 0.99);
+  s.p50_latency_ms = nearest_rank_percentile(latencies, 0.50);
+  s.p99_latency_ms = nearest_rank_percentile(latencies, 0.99);
   return s;
 }
 

@@ -15,9 +15,12 @@
 // forward at ANY batch size and thread count -- batching changes throughput
 // and latency, never values. tests/test_serve.cpp asserts this.
 //
-// Thread safety: submit()/submit_batch()/stats() may be called from any
-// number of threads. The destructor drains the queue (every returned future
-// is fulfilled) before joining the dispatcher.
+// Thread safety: submit()/submit_batch()/stats()/reset() may be called from
+// any number of threads. The destructor (and detach()) drains the queue
+// (every returned future is fulfilled) before joining the dispatcher.
+// Admission control: with ServeConfig::max_queue set, a submission that
+// would push the queue past the bound throws epim::Unavailable immediately
+// instead of blocking or growing the queue without bound.
 #pragma once
 
 #include <condition_variable>
@@ -51,12 +54,15 @@ struct ServiceStats {
   double items_per_sec = 0.0;
   /// Request latency (submit -> result ready), simulated-request terms:
   /// wall clock of the simulator, not of modelled PIM hardware. Computed
-  /// over the most recent kLatencyWindow completed requests, so a
-  /// long-lived service stays O(1) memory.
+  /// over the most recent ServeConfig::latency_window completed requests,
+  /// so a long-lived service stays O(1) memory.
   double p50_latency_ms = 0.0;
   double p99_latency_ms = 0.0;
   /// ADC clip events summed over all completed requests.
   std::int64_t clip_events = 0;
+  /// Requests refused by admission control (ServeConfig::max_queue), i.e.
+  /// submissions that threw epim::Unavailable.
+  std::int64_t rejected = 0;
   /// Requests currently queued (not yet flushed into a batch).
   std::int64_t queued = 0;
 };
@@ -82,19 +88,45 @@ class InferenceService {
   /// Enqueue one (C, H, W) image. The shape is validated against the
   /// deployed model here (throws InvalidArgument), so a malformed request
   /// can never poison a batch. The future is fulfilled when the batch
-  /// containing this request completes.
+  /// containing this request completes. When ServeConfig::max_queue is set
+  /// and the queue is at the bound, throws epim::Unavailable immediately --
+  /// admission never blocks the caller or grows the queue.
   std::future<InferenceResult> submit(Tensor image);
 
   /// Enqueue a burst atomically: the dispatcher sees all images at once, so
   /// full batches flush immediately instead of waiting out the deadline.
+  /// An empty burst is rejected with InvalidArgument (a zero-item flush is
+  /// always a caller bug). Admission control applies to the whole burst:
+  /// either every image is admitted or none is.
   std::vector<std::future<InferenceResult>> submit_batch(
       std::vector<Tensor> images);
 
   /// Consistent snapshot of the counters.
   ServiceStats stats() const;
 
-  /// Latency percentiles cover the most recent this-many requests.
-  static constexpr std::size_t kLatencyWindow = 4096;
+  /// Zero every stats counter and clear the latency window, starting a new
+  /// measurement interval (a registry snapshots per-interval fleet stats
+  /// this way). Queued and in-flight requests are untouched: they complete
+  /// normally and count toward the NEW interval; the throughput window
+  /// restarts at the next submit after the reset.
+  void reset();
+
+  /// Copy of the recent-latency ring (unordered; at most
+  /// ServeConfig::latency_window entries). Lets a fleet aggregator compute
+  /// percentiles over the POOLED windows of many services, which cannot be
+  /// derived from the per-service p50/p99.
+  std::vector<double> recent_latencies_ms() const;
+
+  /// Drain every pending request, stop the dispatcher, and return the
+  /// deployed model -- the inverse of construction. The registry uses this
+  /// to evict a cold service without losing an in-memory model, and to let
+  /// in-flight traffic finish before a hot swap. Afterwards the service is
+  /// terminal: submissions throw, but stats() stays readable (final values).
+  DeployedModel detach();
+
+  /// Admission-rejection message prefix (pinned by tests).
+  static constexpr const char* kErrQueueFull =
+      "service queue is full (admission control)";
 
  private:
   struct Request {
@@ -115,12 +147,13 @@ class InferenceService {
   bool stop_ = false;
 
   mutable std::mutex stats_mu_;
-  /// Ring buffer of the last kLatencyWindow request latencies.
+  /// Ring buffer of the last ServeConfig::latency_window request latencies.
   std::vector<double> latencies_ms_;
   std::size_t latency_next_ = 0;  ///< ring write position once saturated
   std::int64_t completed_ = 0;
   std::int64_t batches_ = 0;
   std::int64_t clip_events_ = 0;
+  std::int64_t rejected_ = 0;
   bool saw_first_submit_ = false;
   std::chrono::steady_clock::time_point first_submit_;
   std::chrono::steady_clock::time_point last_done_;

@@ -8,6 +8,9 @@
 #include <cstdint>
 #include <mutex>
 #include <numeric>
+#include <stdexcept>
+#include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -163,6 +166,73 @@ TEST(Parallel, ThreadEnvParsingAcceptsAndClampsNumbers) {
   EXPECT_EQ(detail::parse_thread_env("1000000"), detail::kMaxThreads);
   EXPECT_EQ(detail::parse_thread_env("999999999999999999999999"),
             detail::kMaxThreads);
+}
+
+TEST(Parallel, ConcurrentInitiatorsShareOnePool) {
+  // Several threads (one dispatcher per resident model, in serving terms)
+  // may each initiate parallel regions at once; every region must still
+  // cover every index exactly once with correct results, and the process
+  // must never hold more than the configured pool. Repeated rounds shake
+  // out job-handoff races.
+  ThreadGuard guard;
+  set_num_threads(4);
+  constexpr int kInitiators = 3;
+  constexpr int kRounds = 20;
+  constexpr std::int64_t kN = 2000;
+  std::vector<std::string> failures(kInitiators);
+  std::vector<std::thread> initiators;
+  for (int t = 0; t < kInitiators; ++t) {
+    initiators.emplace_back([&, t] {
+      for (int round = 0; round < kRounds; ++round) {
+        std::vector<std::int64_t> out(static_cast<std::size_t>(kN), -1);
+        parallel_for(kN, [&](std::int64_t i) {
+          out[static_cast<std::size_t>(i)] = i * (t + 1) + round;
+        });
+        for (std::int64_t i = 0; i < kN; ++i) {
+          if (out[static_cast<std::size_t>(i)] != i * (t + 1) + round) {
+            failures[static_cast<std::size_t>(t)] =
+                "round " + std::to_string(round) + " index " +
+                std::to_string(i);
+            return;
+          }
+        }
+      }
+    });
+  }
+  for (std::thread& t : initiators) t.join();
+  for (int t = 0; t < kInitiators; ++t) {
+    EXPECT_EQ(failures[static_cast<std::size_t>(t)], "") << "initiator " << t;
+  }
+}
+
+TEST(Parallel, ConcurrentInitiatorExceptionsStayWithTheirRegion) {
+  // An exception thrown inside one initiator's region must propagate to
+  // that initiator only; the sibling region completes untouched.
+  ThreadGuard guard;
+  set_num_threads(4);
+  std::atomic<bool> ok_region_done{false};
+  std::atomic<bool> threw{false};
+  std::thread throwing([&] {
+    try {
+      parallel_for(64, [&](std::int64_t i) {
+        if (i == 13) throw std::runtime_error("boom");
+      });
+    } catch (const std::runtime_error&) {
+      threw = true;
+    }
+  });
+  std::thread clean([&] {
+    std::vector<int> hits(256, 0);
+    parallel_for(256, [&](std::int64_t i) {
+      ++hits[static_cast<std::size_t>(i)];
+    });
+    ok_region_done =
+        std::all_of(hits.begin(), hits.end(), [](int h) { return h == 1; });
+  });
+  throwing.join();
+  clean.join();
+  EXPECT_TRUE(threw.load());
+  EXPECT_TRUE(ok_region_done.load());
 }
 
 TEST(Parallel, NegativeTripCountsAreEmpty) {

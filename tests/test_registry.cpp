@@ -1,0 +1,477 @@
+// Tests for the multi-model registry + router (registry/registry.hpp):
+// bit-identical routing vs direct service submission under concurrent
+// mixed-model load, LRU eviction with bit-identical re-materialization
+// through `.epim` artifacts, deterministic seeded traffic splits, admission
+// control (reject, never block), aliases, hot reload, and fleet stats
+// aggregation.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <future>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/parallel.hpp"
+#include "common/rng.hpp"
+#include "nn/resnet.hpp"
+#include "pipeline/pipeline.hpp"
+#include "registry/registry.hpp"
+#include "serve/service.hpp"
+#include "train/trainer.hpp"
+
+namespace epim {
+namespace {
+
+std::string temp_path(const std::string& name) {
+  return ::testing::TempDir() + name;
+}
+
+/// Restore the 1-thread default after a test that resizes the pool.
+struct ThreadGuard {
+  ~ThreadGuard() { set_num_threads(1); }
+};
+
+/// One trained net + three deployment variants (distinct precisions, so
+/// their logits differ), shared across all tests in this file.
+struct ZooFixture {
+  SyntheticData data;
+  SmallEpitomeNet net;
+  std::vector<PipelineConfig> cfgs;
+
+  ZooFixture()
+      : data(make_synthetic_data([] {
+          SyntheticSpec spec;
+          spec.num_classes = 4;
+          spec.train_per_class = 12;
+          spec.test_per_class = 8;
+          return spec;
+        }())),
+        net([] {
+          SmallNetConfig nc;
+          nc.num_classes = 4;
+          return nc;
+        }()) {
+    TrainConfig tcfg;
+    tcfg.epochs = 2;
+    train_model(net, data, tcfg);
+    for (const auto& [w, a] : {std::pair{6, 8}, {5, 7}, {4, 6}}) {
+      PipelineConfig cfg;
+      cfg.precision = PrecisionPlan::uniform(w, a);
+      cfgs.push_back(cfg);
+    }
+  }
+
+  /// Deployment is deterministic, so every call with the same variant
+  /// yields a bit-identical model -- the reference trick all the routing
+  /// tests rely on.
+  DeployedModel deploy(std::size_t variant) const {
+    return Pipeline(cfgs.at(variant)).deploy(net, data.train);
+  }
+
+  std::vector<Tensor> stream() const {
+    std::vector<Tensor> images;
+    for (std::int64_t i = 0; i < data.test.size(); ++i) {
+      images.push_back(data.test.sample(i));
+    }
+    return images;
+  }
+
+  /// Reference logits of one variant, computed on the serial direct path.
+  std::vector<Tensor> reference_logits(std::size_t variant) const {
+    DeployedModel chip = deploy(variant);
+    std::vector<Tensor> logits;
+    for (std::int64_t i = 0; i < data.test.size(); ++i) {
+      logits.push_back(chip.forward(data.test.sample(i)));
+    }
+    return logits;
+  }
+
+  static ZooFixture& instance() {
+    static ZooFixture fixture;
+    return fixture;
+  }
+};
+
+void expect_same_logits(const Tensor& got, const Tensor& want,
+                        const std::string& context) {
+  ASSERT_EQ(got.shape(), want.shape()) << context;
+  for (std::int64_t j = 0; j < got.numel(); ++j) {
+    EXPECT_EQ(got.at(j), want.at(j)) << context << " logit " << j;
+  }
+}
+
+// ---- registration + resolution ----
+
+TEST(ModelRegistry, ValidatesRegistrationArguments) {
+  ZooFixture& fx = ZooFixture::instance();
+  ModelRegistry registry;
+  registry.register_model("m", "v1", fx.deploy(0));
+  // Duplicate version, '@' in components, empty components.
+  EXPECT_THROW(registry.register_model("m", "v1", fx.deploy(0)),
+               InvalidArgument);
+  EXPECT_THROW(registry.register_model("a@b", "v1", fx.deploy(0)),
+               InvalidArgument);
+  EXPECT_THROW(registry.register_model("m", "", fx.deploy(0)),
+               InvalidArgument);
+  // Artifact registration probes the path up front.
+  EXPECT_THROW(registry.register_artifact("m", "v2", temp_path("nope.epim")),
+               InvalidArgument);
+  // A compiled-model artifact is the wrong kind for serving.
+  const std::string compiled = temp_path("registry_compiled.epim");
+  Pipeline{PipelineConfig{}}.compile(mini_resnet()).save(compiled);
+  EXPECT_THROW(registry.register_artifact("m", "v2", compiled),
+               InvalidArgument);
+  std::remove(compiled.c_str());
+}
+
+TEST(ModelRegistry, ResolvesVersionsAliasesAndBareNames) {
+  ZooFixture& fx = ZooFixture::instance();
+  ModelRegistry registry;
+  registry.register_model("m", "v1", fx.deploy(0));
+
+  // Sole version resolves bare.
+  EXPECT_EQ(registry.resolve("m", -1.0).second, "v1");
+  registry.register_model("m", "v2", fx.deploy(1));
+  // Two versions, no split, no default alias: ambiguous.
+  EXPECT_THROW(registry.resolve("m", -1.0), InvalidArgument);
+
+  registry.set_alias("m", "prod", "v1");
+  EXPECT_EQ(registry.resolve("m@prod", -1.0).second, "v1");
+  registry.set_alias("m", "prod", "v2");  // re-pointing is allowed
+  EXPECT_EQ(registry.resolve("m@prod", -1.0).second, "v2");
+  registry.set_alias("m", "default", "v1");
+  EXPECT_EQ(registry.resolve("m", -1.0).second, "v1");
+
+  // Shadowing in either direction is rejected.
+  EXPECT_THROW(registry.set_alias("m", "v1", "v2"), InvalidArgument);
+  EXPECT_THROW(registry.register_model("m", "prod", fx.deploy(0)),
+               InvalidArgument);
+
+  EXPECT_THROW(registry.resolve("m@v9", -1.0), InvalidArgument);
+  EXPECT_THROW(registry.resolve("ghost@v1", -1.0), InvalidArgument);
+  EXPECT_THROW(registry.resolve("m@", -1.0), InvalidArgument);
+  EXPECT_EQ(registry.versions("m"), (std::vector<std::string>{"v1", "v2"}));
+}
+
+// ---- routing correctness ----
+
+TEST(Router, BitIdenticalToDirectServiceUnderConcurrentMixedModelLoad) {
+  ThreadGuard guard;
+  set_num_threads(2);  // exercise shared-pool fan-out under mixed load
+  ZooFixture& fx = ZooFixture::instance();
+
+  const std::vector<std::string> names = {"resnet_a", "resnet_b", "resnet_c"};
+  std::vector<std::vector<Tensor>> expected;
+  ModelRegistry registry;  // budget 4 > 3: no eviction in this test
+  for (std::size_t v = 0; v < names.size(); ++v) {
+    expected.push_back(fx.reference_logits(v));
+    registry.register_model(names[v], "v1", fx.deploy(v));
+  }
+  Router router(registry);
+
+  // One submitter thread per model, all pushing interleaved singles at
+  // once; every logit must match the serial direct-path reference bit for
+  // bit even though three dispatchers share one pool.
+  std::vector<std::thread> submitters;
+  std::vector<std::string> failures(names.size());
+  for (std::size_t v = 0; v < names.size(); ++v) {
+    submitters.emplace_back([&, v] {
+      std::vector<std::future<InferenceResult>> pending;
+      for (std::int64_t i = 0; i < fx.data.test.size(); ++i) {
+        pending.push_back(
+            router.submit(names[v] + "@v1", fx.data.test.sample(i)));
+      }
+      for (std::size_t i = 0; i < pending.size(); ++i) {
+        const InferenceResult r = pending[i].get();
+        const Tensor& want = expected[v][i];
+        if (r.logits.shape() != want.shape()) {
+          failures[v] = "shape mismatch at image " + std::to_string(i);
+          return;
+        }
+        for (std::int64_t j = 0; j < want.numel(); ++j) {
+          if (r.logits.at(j) != want.at(j)) {
+            failures[v] = "logit mismatch at image " + std::to_string(i) +
+                          " logit " + std::to_string(j);
+            return;
+          }
+        }
+      }
+    });
+  }
+  for (std::thread& t : submitters) t.join();
+  for (std::size_t v = 0; v < names.size(); ++v) {
+    EXPECT_EQ(failures[v], "") << names[v];
+  }
+
+  const RegistrySnapshot snapshot = registry.stats();
+  EXPECT_EQ(snapshot.resident, 3);
+  EXPECT_EQ(snapshot.requests, 3 * fx.data.test.size());
+  EXPECT_EQ(snapshot.rejected, 0);
+  EXPECT_EQ(snapshot.evictions, 0);
+}
+
+TEST(ModelRegistry, LazyMaterializationAndLruEvictionRoundTripArtifacts) {
+  ZooFixture& fx = ZooFixture::instance();
+  const std::string path_a = temp_path("registry_evict_a.epim");
+  const std::string path_b = temp_path("registry_evict_b.epim");
+  fx.deploy(0).save(path_a);
+  fx.deploy(1).save(path_b);
+  const std::vector<Tensor> expected_a = fx.reference_logits(0);
+  const std::vector<Tensor> expected_b = fx.reference_logits(1);
+
+  RegistryConfig rcfg;
+  rcfg.max_resident_models = 1;
+  ModelRegistry registry(rcfg);
+  registry.register_artifact("a", "v1", path_a);
+  registry.register_artifact("b", "v1", path_b);
+  EXPECT_FALSE(registry.resident("a", "v1"));  // registration is lazy
+  EXPECT_FALSE(registry.resident("b", "v1"));
+
+  const auto check = [&](const std::string& name,
+                         const std::vector<Tensor>& expected) {
+    for (std::int64_t i = 0; i < fx.data.test.size(); ++i) {
+      const InferenceResult r =
+          registry.submit(name, "v1", fx.data.test.sample(i)).get();
+      expect_same_logits(r.logits, expected[static_cast<std::size_t>(i)],
+                         name + " image " + std::to_string(i));
+    }
+  };
+
+  check("a", expected_a);  // materializes a
+  EXPECT_TRUE(registry.resident("a", "v1"));
+  check("b", expected_b);  // budget 1: evicts a
+  EXPECT_FALSE(registry.resident("a", "v1"));
+  EXPECT_TRUE(registry.resident("b", "v1"));
+  check("a", expected_a);  // re-materializes a from its artifact, bit-identical
+  EXPECT_TRUE(registry.resident("a", "v1"));
+  EXPECT_FALSE(registry.resident("b", "v1"));
+
+  const RegistrySnapshot snapshot = registry.stats();
+  EXPECT_EQ(snapshot.resident, 1);
+  EXPECT_EQ(snapshot.evictions, 2);  // a once, b once
+  // Retired counters survive eviction: every completed request is counted.
+  EXPECT_EQ(snapshot.requests, 3 * fx.data.test.size());
+  std::remove(path_a.c_str());
+  std::remove(path_b.c_str());
+}
+
+TEST(ModelRegistry, EvictionKeepsInMemoryModelsServable) {
+  ZooFixture& fx = ZooFixture::instance();
+  const std::vector<Tensor> expected_a = fx.reference_logits(0);
+  const std::vector<Tensor> expected_b = fx.reference_logits(1);
+
+  RegistryConfig rcfg;
+  rcfg.max_resident_models = 1;
+  ModelRegistry registry(rcfg);
+  registry.register_model("a", "v1", fx.deploy(0));  // no artifact backing
+  registry.register_model("b", "v1", fx.deploy(1));
+
+  const Tensor probe = fx.data.test.sample(0);
+  expect_same_logits(registry.submit("a", "v1", probe).get().logits,
+                     expected_a[0], "a warm");
+  expect_same_logits(registry.submit("b", "v1", probe).get().logits,
+                     expected_b[0], "b evicts a");
+  EXPECT_FALSE(registry.resident("a", "v1"));
+  // The detached model moved back into the entry; serving it again works
+  // and stays bit-identical.
+  expect_same_logits(registry.submit("a", "v1", probe).get().logits,
+                     expected_a[0], "a re-materialized from memory");
+}
+
+// ---- weighted splits ----
+
+TEST(Router, WeightedSplitRoutesPinnedSequenceDeterministically) {
+  ZooFixture& fx = ZooFixture::instance();
+  ModelRegistry registry;
+  registry.register_model("m", "v1", fx.deploy(0));
+  registry.register_model("m", "v2", fx.deploy(1));
+  registry.set_split("m", {{"v1", 0.7}, {"v2", 0.3}});
+  EXPECT_TRUE(registry.has_split("m"));
+
+  // The expected sequence is exactly what the router's seeded Rng dictates:
+  // draw < 0.7 -> v1, else v2.
+  constexpr std::uint64_t kSeed = 0xC0FFEEu;
+  Rng mirror(kSeed);
+  std::vector<std::string> expected;
+  for (int i = 0; i < 32; ++i) {
+    expected.push_back(mirror.uniform() < 0.7 ? "v1" : "v2");
+  }
+
+  Router router(registry, kSeed);
+  std::vector<std::string> routed;
+  for (int i = 0; i < 32; ++i) routed.push_back(router.route("m").second);
+  EXPECT_EQ(routed, expected);
+
+  // Same seed, fresh router: identical sequence (determinism, not luck).
+  Router replay(registry, kSeed);
+  for (int i = 0; i < 32; ++i) {
+    EXPECT_EQ(replay.route("m").second, expected[static_cast<std::size_t>(i)])
+        << "draw " << i;
+  }
+
+  // Explicit targets never consume a draw: the split sequence of a third
+  // router is unperturbed by interleaved version-pinned traffic.
+  Router mixed(registry, kSeed);
+  for (int i = 0; i < 32; ++i) {
+    EXPECT_EQ(mixed.route("m@v1").second, "v1");
+    EXPECT_EQ(mixed.route("m").second, expected[static_cast<std::size_t>(i)])
+        << "draw " << i;
+  }
+
+  // And the split actually steers traffic: submit along the pinned
+  // sequence, then check per-version request counts.
+  Router traffic(registry, kSeed);
+  std::vector<std::future<InferenceResult>> pending;
+  for (int i = 0; i < 32; ++i) {
+    pending.push_back(traffic.submit("m", fx.data.test.sample(0)));
+  }
+  for (auto& f : pending) (void)f.get();
+  std::int64_t want_v1 = 0;
+  for (const std::string& v : expected) want_v1 += v == "v1";
+  for (const ModelSnapshot& m : registry.stats().models) {
+    EXPECT_EQ(m.stats.requests, m.version == "v1" ? want_v1 : 32 - want_v1)
+        << m.version;
+  }
+}
+
+TEST(ModelRegistry, ValidatesSplits) {
+  ZooFixture& fx = ZooFixture::instance();
+  ModelRegistry registry;
+  registry.register_model("m", "v1", fx.deploy(0));
+  EXPECT_THROW(registry.set_split("m", {}), InvalidArgument);
+  EXPECT_THROW(registry.set_split("m", {{"ghost", 1.0}}), InvalidArgument);
+  EXPECT_THROW(registry.set_split("m", {{"v1", 0.0}}), InvalidArgument);
+  EXPECT_THROW(registry.set_split("m", {{"v1", 0.5}, {"v1", 0.5}}),
+               InvalidArgument);
+  EXPECT_THROW(registry.set_split("ghost", {{"v1", 1.0}}), InvalidArgument);
+
+  registry.set_split("m", {{"v1", 2.0}});
+  EXPECT_TRUE(registry.has_split("m"));
+  // resolve() on a split target insists on a real draw.
+  EXPECT_THROW(registry.resolve("m", -1.0), InvalidArgument);
+  EXPECT_EQ(registry.resolve("m", 0.999).second, "v1");
+  registry.clear_split("m");
+  EXPECT_FALSE(registry.has_split("m"));
+  EXPECT_EQ(registry.resolve("m", -1.0).second, "v1");  // sole version again
+}
+
+// ---- admission control ----
+
+TEST(ModelRegistry, AdmissionControlRejectsInsteadOfBlocking) {
+  ZooFixture& fx = ZooFixture::instance();
+  ServeConfig scfg;
+  scfg.max_batch = 64;               // never fills from 4 requests
+  scfg.flush_deadline_ms = 10000.0;  // no deadline flush during the test
+  scfg.max_queue = 4;
+  std::vector<std::future<InferenceResult>> admitted;
+  {
+    ModelRegistry registry;
+    registry.register_model("m", "v1", fx.deploy(0), scfg);
+    Router router(registry);
+    for (int i = 0; i < 4; ++i) {
+      admitted.push_back(router.submit("m", fx.data.test.sample(0)));
+    }
+    // Queue is at the bound: the next submission must fail fast with
+    // Unavailable -- not block until the deadline, not grow the queue.
+    try {
+      (void)router.submit("m", fx.data.test.sample(0));
+      FAIL() << "expected Unavailable";
+    } catch (const Unavailable& e) {
+      EXPECT_NE(std::string(e.what()).find(InferenceService::kErrQueueFull),
+                std::string::npos)
+          << e.what();
+    }
+    // Burst admission is all-or-nothing: 2 more would fit only partially.
+    std::vector<Tensor> burst(3, fx.data.test.sample(0));
+    EXPECT_THROW(router.submit_batch("m", std::move(burst)), Unavailable);
+
+    RegistrySnapshot snapshot = registry.stats();
+    EXPECT_EQ(snapshot.rejected, 1 + 3);
+    EXPECT_EQ(snapshot.queued, 4);
+  }  // teardown drains the queue without waiting out the 10 s deadline
+  // The admitted requests were unharmed by the rejections.
+  for (auto& f : admitted) {
+    EXPECT_EQ(f.get().logits.numel(), 4);
+  }
+}
+
+// ---- hot reload ----
+
+TEST(ModelRegistry, ReloadHotSwapsAndDrainsInFlightOnOldVersion) {
+  ZooFixture& fx = ZooFixture::instance();
+  const std::string path_a = temp_path("registry_reload_a.epim");
+  const std::string path_b = temp_path("registry_reload_b.epim");
+  fx.deploy(0).save(path_a);
+  fx.deploy(1).save(path_b);
+  const std::vector<Tensor> expected_a = fx.reference_logits(0);
+  const std::vector<Tensor> expected_b = fx.reference_logits(1);
+
+  ModelRegistry registry;
+  registry.register_artifact("m", "v1", path_a);
+  const Tensor probe = fx.data.test.sample(0);
+  expect_same_logits(registry.submit("m", "v1", probe).get().logits,
+                     expected_a[0], "before reload");
+
+  // Submit but do not await: the reload must drain this in-flight request
+  // on the OLD weights (its future resolves with old-model logits).
+  std::future<InferenceResult> in_flight = registry.submit("m", "v1", probe);
+  registry.reload("m", "v1", path_b);
+  expect_same_logits(in_flight.get().logits, expected_a[0],
+                     "in-flight drained on old weights");
+
+  // New traffic sees the new artifact.
+  expect_same_logits(registry.submit("m", "v1", probe).get().logits,
+                     expected_b[0], "after reload");
+  // History survives the swap: 2 old + 1 new completed requests.
+  const RegistrySnapshot snapshot = registry.stats();
+  EXPECT_EQ(snapshot.requests, 3);
+
+  EXPECT_THROW(registry.reload("m", "ghost", path_b), InvalidArgument);
+  EXPECT_THROW(registry.reload("ghost", "v1", path_b), InvalidArgument);
+  std::remove(path_a.c_str());
+  std::remove(path_b.c_str());
+}
+
+// ---- stats ----
+
+TEST(ModelRegistry, SnapshotAggregatesAndResetStartsNewInterval) {
+  ZooFixture& fx = ZooFixture::instance();
+  ModelRegistry registry;
+  registry.register_model("a", "v1", fx.deploy(0));
+  registry.register_model("b", "v1", fx.deploy(1));
+
+  std::vector<std::future<InferenceResult>> pending;
+  for (std::int64_t i = 0; i < fx.data.test.size(); ++i) {
+    pending.push_back(registry.submit("a", "v1", fx.data.test.sample(i)));
+    pending.push_back(registry.submit("b", "v1", fx.data.test.sample(i)));
+  }
+  for (auto& f : pending) (void)f.get();
+
+  const RegistrySnapshot snapshot = registry.stats();
+  EXPECT_EQ(snapshot.models.size(), 2u);
+  EXPECT_EQ(snapshot.resident, 2);
+  EXPECT_EQ(snapshot.requests, 2 * fx.data.test.size());
+  EXPECT_GT(snapshot.items_per_sec, 0.0);
+  EXPECT_GT(snapshot.p50_latency_ms, 0.0);
+  EXPECT_LE(snapshot.p50_latency_ms, snapshot.p99_latency_ms);
+  for (const ModelSnapshot& m : snapshot.models) {
+    EXPECT_EQ(m.version, "v1");
+    EXPECT_TRUE(m.resident);
+    EXPECT_EQ(m.stats.requests, fx.data.test.size()) << m.name;
+  }
+
+  registry.reset_stats();
+  const RegistrySnapshot fresh = registry.stats();
+  EXPECT_EQ(fresh.requests, 0);
+  EXPECT_EQ(fresh.p50_latency_ms, 0.0);
+  EXPECT_EQ(fresh.resident, 2);  // reset is about traffic, not residency
+
+  // The next interval counts from zero.
+  (void)registry.submit("a", "v1", fx.data.test.sample(0)).get();
+  EXPECT_EQ(registry.stats().requests, 1);
+}
+
+}  // namespace
+}  // namespace epim

@@ -5,6 +5,7 @@
 // and thread count).
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <cstdio>
 #include <fstream>
 #include <future>
@@ -143,6 +144,8 @@ PipelineConfig random_config(Rng& rng) {
   cfg.deploy.act_percentile = rng.flip() ? 1.0 : 0.999;
   cfg.serve.max_batch = rng.uniform_int(1, 64);
   cfg.serve.flush_deadline_ms = rng.uniform(0.5, 5.0);
+  cfg.serve.latency_window = rng.uniform_int(1, 8192);
+  cfg.serve.max_queue = rng.flip() ? 0 : rng.uniform_int(1, 2048);
   cfg.anchors =
       rng.flip() ? AccuracyAnchors::resnet50() : AccuracyAnchors::resnet101();
   cfg.seed = static_cast<std::uint64_t>(rng.uniform_int(1, 1 << 30));
@@ -172,6 +175,9 @@ TEST(ArtifactCompiled, PropertyRandomConfigsRoundTripByteIdentically) {
     EXPECT_EQ(loaded.config().serve.max_batch, cfg.serve.max_batch);
     EXPECT_EQ(loaded.config().serve.flush_deadline_ms,
               cfg.serve.flush_deadline_ms);
+    EXPECT_EQ(loaded.config().serve.latency_window,
+              cfg.serve.latency_window);
+    EXPECT_EQ(loaded.config().serve.max_queue, cfg.serve.max_queue);
     EXPECT_EQ(loaded.config().seed, cfg.seed);
     std::remove(path.c_str());
   }
@@ -344,6 +350,12 @@ TEST_F(CorruptionFixture, RejectsUnsupportedSchemaVersions) {
   bytes[8] = 0;
   dump(bad, bytes);
   expect_load_error(bad, artifact::kErrBadVersion);
+  // Superseded versions are rejected cleanly too: the positional codec
+  // cannot decode a v1 payload (ServeConfig grew in v2), so it must fail
+  // with the version message, never a misparse deeper in.
+  bytes[8] = 1;
+  dump(bad, bytes);
+  expect_load_error(bad, artifact::kErrBadVersion);
 }
 
 TEST_F(CorruptionFixture, RejectsKindMismatch) {
@@ -416,6 +428,53 @@ TEST_F(CorruptionFixture, RejectsMissingFile) {
     EXPECT_NE(std::string(e.what()).find("cannot open artifact"),
               std::string::npos);
   }
+}
+
+// Both façade loaders, against both bad-path shapes, with the messages
+// pinned: a nonexistent path reports kErrCannotOpen and a directory reports
+// kErrNotFile (NOT a misleading "truncated artifact", which is what naively
+// ifstream-reading a directory would produce).
+TEST(ArtifactErrors, LoadersRejectNonexistentPathsWithPinnedMessage) {
+  const std::string missing = temp_path("no_such_artifact.epim");
+  for (const bool deployed : {false, true}) {
+    SCOPED_TRACE(deployed ? "load_deployed" : "load");
+    try {
+      if (deployed) {
+        (void)Pipeline::load_deployed(missing);
+      } else {
+        (void)Pipeline::load(missing);
+      }
+      FAIL() << "expected InvalidArgument";
+    } catch (const InvalidArgument& e) {
+      EXPECT_NE(std::string(e.what()).find(artifact::kErrCannotOpen),
+                std::string::npos)
+          << e.what();
+      EXPECT_NE(std::string(e.what()).find(missing), std::string::npos)
+          << e.what();
+    }
+  }
+}
+
+TEST(ArtifactErrors, LoadersRejectDirectoriesWithPinnedMessage) {
+  // TempDir itself is a convenient directory that certainly exists.
+  const std::string dir = ::testing::TempDir();
+  for (const bool deployed : {false, true}) {
+    SCOPED_TRACE(deployed ? "load_deployed" : "load");
+    try {
+      if (deployed) {
+        (void)Pipeline::load_deployed(dir);
+      } else {
+        (void)Pipeline::load(dir);
+      }
+      FAIL() << "expected InvalidArgument";
+    } catch (const InvalidArgument& e) {
+      EXPECT_NE(std::string(e.what()).find(artifact::kErrNotFile),
+                std::string::npos)
+          << e.what();
+    }
+  }
+  // probe() guards the same way (the registry probes at registration).
+  EXPECT_THROW(artifact::probe(dir), InvalidArgument);
 }
 
 // ---- InferenceService ----
@@ -577,6 +636,152 @@ TEST(InferenceService, DestructorDrainsPendingRequests) {
   for (auto& f : pending) {
     EXPECT_EQ(f.get().logits.numel(), 4);
   }
+}
+
+TEST(InferenceService, SubmitBatchRejectsEmptyBurst) {
+  DeployedFixture& fx = DeployedFixture::instance();
+  InferenceService service =
+      std::move(Pipeline{PipelineConfig{}}.deploy(fx.net, fx.data.train))
+          .serve();
+  try {
+    (void)service.submit_batch({});
+    FAIL() << "expected InvalidArgument";
+  } catch (const InvalidArgument& e) {
+    EXPECT_NE(
+        std::string(e.what()).find("submit_batch requires a non-empty batch"),
+        std::string::npos)
+        << e.what();
+  }
+  // A rejected empty burst is not traffic: nothing queued, nothing counted,
+  // and the service keeps serving.
+  EXPECT_EQ(service.stats().queued + service.stats().requests, 0);
+  EXPECT_EQ(service.submit(fx.data.test.sample(0)).get().logits.numel(), 4);
+}
+
+TEST(InferenceService, LatencyWindowSizeComesFromServeConfig) {
+  DeployedFixture& fx = DeployedFixture::instance();
+  ServeConfig scfg;
+  scfg.max_batch = 1;  // one completion per request: window fills request-wise
+  scfg.flush_deadline_ms = 0.5;
+  scfg.latency_window = 4;
+  InferenceService service =
+      std::move(Pipeline{PipelineConfig{}}.deploy(fx.net, fx.data.train))
+          .serve(scfg);
+
+  for (std::int64_t i = 0; i < 3; ++i) {
+    (void)service.submit(fx.data.test.sample(i)).get();
+  }
+  // Below the window: every latency is retained.
+  EXPECT_EQ(service.recent_latencies_ms().size(), 3u);
+  for (std::int64_t i = 3; i < 10; ++i) {
+    (void)service.submit(fx.data.test.sample(i)).get();
+  }
+  // Saturated: the ring holds exactly latency_window entries, so the
+  // percentile digest covers the most recent 4 requests only.
+  EXPECT_EQ(service.recent_latencies_ms().size(), 4u);
+  EXPECT_EQ(service.stats().requests, 10);
+
+  // The window size is validated like every other serve knob.
+  ServeConfig bad;
+  bad.latency_window = 0;
+  EXPECT_THROW(InferenceService(
+                   Pipeline{PipelineConfig{}}.deploy(fx.net, fx.data.train),
+                   bad),
+               InvalidArgument);
+}
+
+TEST(InferenceService, ResetStartsAFreshStatsInterval) {
+  DeployedFixture& fx = DeployedFixture::instance();
+  InferenceService service =
+      std::move(Pipeline{PipelineConfig{}}.deploy(fx.net, fx.data.train))
+          .serve();
+  for (std::int64_t i = 0; i < 4; ++i) {
+    (void)service.submit(fx.data.test.sample(i)).get();
+  }
+  ASSERT_EQ(service.stats().requests, 4);
+
+  service.reset();
+  // Everything traffic-shaped is zeroed...
+  const ServiceStats zeroed = service.stats();
+  EXPECT_EQ(zeroed.requests, 0);
+  EXPECT_EQ(zeroed.batches, 0);
+  EXPECT_EQ(zeroed.clip_events, 0);
+  EXPECT_EQ(zeroed.rejected, 0);
+  EXPECT_EQ(zeroed.mean_batch_size, 0.0);
+  EXPECT_EQ(zeroed.items_per_sec, 0.0);
+  EXPECT_EQ(zeroed.p50_latency_ms, 0.0);
+  EXPECT_EQ(zeroed.p99_latency_ms, 0.0);
+  EXPECT_EQ(service.recent_latencies_ms().size(), 0u);
+
+  // ...and the next interval counts from zero with a fresh throughput
+  // window, exactly like a brand-new service.
+  for (std::int64_t i = 0; i < 2; ++i) {
+    (void)service.submit(fx.data.test.sample(i)).get();
+  }
+  const ServiceStats next = service.stats();
+  EXPECT_EQ(next.requests, 2);
+  EXPECT_GT(next.items_per_sec, 0.0);
+  EXPECT_GT(next.p50_latency_ms, 0.0);
+}
+
+TEST(InferenceService, AdmissionControlIsAtomicWithEnqueue) {
+  DeployedFixture& fx = DeployedFixture::instance();
+  ServeConfig scfg;
+  scfg.max_batch = 64;
+  scfg.flush_deadline_ms = 10000.0;  // hold everything queued
+  scfg.max_queue = 2;
+  InferenceService service =
+      std::move(Pipeline{PipelineConfig{}}.deploy(fx.net, fx.data.train))
+          .serve(scfg);
+
+  auto f0 = service.submit(fx.data.test.sample(0));
+  auto f1 = service.submit(fx.data.test.sample(1));
+  EXPECT_THROW((void)service.submit(fx.data.test.sample(2)), Unavailable);
+  EXPECT_EQ(service.stats().rejected, 1);
+  EXPECT_EQ(service.stats().queued, 2);
+  // max_queue = 0 keeps the historical unbounded behaviour (validated as
+  // non-negative).
+  ServeConfig bad;
+  bad.max_queue = -1;
+  EXPECT_THROW(InferenceService(
+                   Pipeline{PipelineConfig{}}.deploy(fx.net, fx.data.train),
+                   bad),
+               InvalidArgument);
+  // Drain without waiting out the 10 s deadline; the admitted requests
+  // were unharmed by the rejection.
+  (void)service.detach();
+  EXPECT_EQ(f0.get().logits.numel(), 4);
+  EXPECT_EQ(f1.get().logits.numel(), 4);
+}
+
+TEST(InferenceService, DetachDrainsAndReturnsTheModel) {
+  DeployedFixture& fx = DeployedFixture::instance();
+  Pipeline pipeline{PipelineConfig{}};
+  DeployedModel reference = pipeline.deploy(fx.net, fx.data.train);
+  const Tensor expected = reference.forward(fx.data.test.sample(0));
+
+  ServeConfig scfg;
+  scfg.max_batch = 8;
+  scfg.flush_deadline_ms = 500.0;
+  InferenceService service =
+      std::move(pipeline.deploy(fx.net, fx.data.train)).serve(scfg);
+  // Pending (undeadlined) requests must drain before the model is handed
+  // back.
+  auto pending = service.submit(fx.data.test.sample(1));
+  DeployedModel model = service.detach();
+  EXPECT_EQ(pending.wait_for(std::chrono::seconds(0)),
+            std::future_status::ready);
+  (void)pending.get();
+
+  // The returned model is the programmed chip, still bit-identical.
+  const Tensor logits = model.forward(fx.data.test.sample(0));
+  for (std::int64_t j = 0; j < expected.numel(); ++j) {
+    EXPECT_EQ(logits.at(j), expected.at(j));
+  }
+  // The service is terminal: submissions throw, stats stay readable.
+  EXPECT_THROW((void)service.submit(fx.data.test.sample(0)),
+               InvalidArgument);
+  EXPECT_EQ(service.stats().requests, 1);
 }
 
 TEST(InferenceService, ServesFromLoadedArtifact) {
