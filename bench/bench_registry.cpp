@@ -12,6 +12,11 @@
 //                          model bursting its own stream concurrently;
 //                          items/s counts ALL models' completions (fleet
 //                          throughput at the same total thread budget)
+//   registry_fleet3_w4     same fleet, every service running 4
+//                          continuous-batching workers (PR 5 sweep: the
+//                          fleet's batch formation overlaps compute; the
+//                          shared compute pool still caps the machine-wide
+//                          thread budget)
 //   registry_churn         resident budget 1, three artifact-backed
 //                          models touched round-robin: every request pays
 //                          materialize (artifact load + crossbar
@@ -185,17 +190,23 @@ std::vector<Record> run_suite() {
 
     // Three resident models, one submitter per model, all at once. The
     // per-op item count is 3x the stream: fleet throughput, not per-model.
-    {
+    // Swept over the per-service continuous-batching worker count (PR 5):
+    // w1 is the PR 4 baseline shape, w4 runs four batch-closers per model
+    // against the same shared compute pool.
+    for (const int workers : {1, 4}) {
       RegistryConfig rcfg;
       rcfg.max_resident_models = 3;
       rcfg.serve = cfg.serve;
+      rcfg.serve.workers = workers;
       ModelRegistry registry(rcfg);
       for (std::size_t v = 0; v < names.size(); ++v) {
         registry.register_artifact(names[v], "v1", paths[v]);
       }
       Router router(registry);
       records.push_back(record(
-          "registry_fleet3", threads,
+          workers == 1 ? "registry_fleet3"
+                       : "registry_fleet3_w" + std::to_string(workers),
+          threads,
           measure_ms([&] {
             std::vector<std::thread> submitters;
             for (const std::string& name : names) {

@@ -40,6 +40,7 @@ int main() {
   cfg.precision = PrecisionPlan::uniform(8, 10);
   cfg.serve.max_batch = 16;
   cfg.serve.flush_deadline_ms = 1.0;
+  cfg.serve.workers = 2;  // two batches in flight: formation overlaps compute
   Pipeline pipeline(cfg);
   DeployedModel chip = pipeline.deploy(net, data.train);
   const double direct_acc = chip.evaluate(data.test);

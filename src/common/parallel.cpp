@@ -33,7 +33,7 @@ int default_thread_count() {
 /// a straggler waking up after the region retired only ever sees an
 /// exhausted dispenser -- it can never re-run a chunk of a newer job.
 /// Several jobs may be live at once (one per initiating thread): a serving
-/// fleet has one dispatcher per resident model, and all of them draw on this
+/// fleet has several batch workers per resident model, and all of them draw on this
 /// one pool instead of spawning private ones.
 struct Job {
   const std::function<void(int)>* fn = nullptr;

@@ -14,7 +14,7 @@
 //    parallelism) runs inline on the calling thread instead of deadlocking on
 //    the pool.
 //  * Shared budget. Any number of threads may initiate parallel regions
-//    concurrently (e.g. one dispatcher per resident model in a serving
+//    concurrently (e.g. several batch workers per resident model in a serving
 //    fleet); their jobs queue on the ONE process-wide pool and workers drain
 //    them in submission order, so the machine-wide thread budget is
 //    num_threads() no matter how many subsystems are active. Each initiator

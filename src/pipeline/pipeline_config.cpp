@@ -3,6 +3,7 @@
 #include <string>
 
 #include "common/error.hpp"
+#include "common/parallel.hpp"
 
 namespace epim {
 
@@ -29,6 +30,11 @@ void validate_serve(const ServeConfig& serve) {
   EPIM_CHECK(serve.max_batch >= 1, "serve.max_batch must be positive");
   EPIM_CHECK(serve.flush_deadline_ms > 0.0,
              "serve.flush_deadline_ms must be positive");
+  // Same ceiling as the compute pool: a stray worker count must not
+  // fork-bomb the process either.
+  EPIM_CHECK(serve.workers >= 1 && serve.workers <= detail::kMaxThreads,
+             "serve.workers must be in [1, " +
+                 std::to_string(detail::kMaxThreads) + "]");
   EPIM_CHECK(serve.latency_window >= 1,
              "serve.latency_window must be positive");
   EPIM_CHECK(serve.max_queue >= 0,

@@ -114,17 +114,30 @@ struct DeployConfig {
   NonIdealityConfig non_ideal{};
 };
 
-/// Dynamic batching policy of an InferenceService (serve/service.hpp).
+/// Continuous-batching policy of an InferenceService (serve/service.hpp).
 /// Requests queue until either `max_batch` of them are pending or the oldest
-/// has waited `flush_deadline_ms`; each flushed batch fans out across the
-/// shared thread pool. Results are bit-identical to unbatched evaluation at
-/// any batch size or thread count -- batching only changes throughput.
+/// has waited `flush_deadline_ms`; a free worker then closes the batch and
+/// runs it (fanning out across the shared thread pool) while the remaining
+/// workers keep draining the queue, so with `workers > 1` several batches
+/// are in flight at once and batch formation overlaps execution. Results
+/// are bit-identical to unbatched evaluation at any batch size, worker
+/// count or thread count -- scheduling only changes throughput, latency and
+/// completion order.
 struct ServeConfig {
   /// Largest batch one flush executes (must be positive).
   int max_batch = 32;
   /// Longest a queued request waits for batch-mates, in milliseconds (must
   /// be positive; the latency price of throughput).
   double flush_deadline_ms = 2.0;
+  /// Batch-closing worker threads (validated against the compute pool's
+  /// detail::kMaxThreads ceiling, currently 256). Each worker pulls
+  /// a batch off the queue and runs it to completion; with more than one,
+  /// a long batch no longer head-of-line-blocks the queue behind it.
+  /// Workers only *initiate* compute -- the arithmetic itself fans out
+  /// across the one process-wide `common/parallel` pool, so this knob buys
+  /// overlap (batching latency hidden behind compute, multiple in-flight
+  /// batches), not extra compute threads.
+  int workers = 1;
   /// How many of the most recent completed requests the p50/p99 latency
   /// digest covers (must be positive). Bounds ServiceStats memory to O(1)
   /// for a long-lived service.

@@ -248,9 +248,10 @@ int ModelRegistry::resident_count_locked() const {
 }
 
 void ModelRegistry::evict_locked(Entry& entry) {
-  // detach() joins the dispatcher after it drains the queue: every future
-  // handed out for this service resolves before the service is retired.
-  // Eviction picks LRU victims, so the drain is typically empty.
+  // detach() joins ALL the service's batch workers after they drain the
+  // queue (in-flight batches included): every future handed out for this
+  // service resolves before the service is retired. Eviction picks LRU
+  // victims, so the drain is typically empty.
   DeployedModel recovered = entry.service->detach();
   const ServiceStats final = entry.service->stats();
   entry.retired.requests += final.requests;
@@ -261,7 +262,7 @@ void ModelRegistry::evict_locked(Entry& entry) {
   entry.evictions += 1;
   if (!entry.artifact_backed()) {
     // No artifact to re-materialize from: keep the programmed model so the
-    // entry stays servable. The eviction still frees the dispatcher.
+    // entry stays servable. The eviction still frees the batch workers.
     entry.model.emplace(std::move(recovered));
   }
 }
@@ -372,7 +373,7 @@ std::vector<std::future<InferenceResult>> ModelRegistry::submit_batch(
   entry.last_used = ++tick_;
   // Enqueue while holding the registry lock so a concurrent reload/eviction
   // cannot destroy the service mid-submission; the enqueue itself is cheap
-  // (shape checks + queue push), all compute runs on dispatcher threads.
+  // (shape checks + queue push), all compute runs on the service's workers.
   return entry.service->submit_batch(std::move(images));
 }
 
@@ -386,8 +387,10 @@ RegistrySnapshot ModelRegistry::stats() const {
       m.name = name;
       m.version = version;
       m.resident = entry.service != nullptr;
+      m.workers = entry.serve.workers;
       m.evictions = entry.evictions;
       if (entry.service != nullptr) {
+        snapshot.workers += entry.serve.workers;
         m.stats = entry.service->stats();
         const std::vector<double> window =
             entry.service->recent_latencies_ms();

@@ -13,8 +13,8 @@
 // InferenceService::detach, so no future is ever abandoned). An
 // artifact-backed entry re-materializes from its file bit-identically (the
 // PR 3 artifact determinism contract); an in-memory-only entry keeps its
-// DeployedModel across eviction -- the eviction still frees its dispatcher
-// thread and queue.
+// DeployedModel across eviction -- the eviction still frees its batch
+// worker threads and queue.
 //
 // The Router resolves routing targets and forwards traffic:
 //
@@ -38,10 +38,11 @@
 // retired totals so fleet stats never lose history.
 //
 // Thread budget: resident services share the one `common/parallel` pool --
-// an InferenceService owns only a blocking dispatcher thread; all compute
-// fans out across the process-wide pool, which accepts concurrent
-// initiators. The resident budget therefore caps dispatcher threads and
-// programmed-crossbar memory, not compute threads.
+// an InferenceService owns only ServeConfig::workers blocking batch
+// threads; all compute fans out across the process-wide pool, which
+// accepts concurrent initiators. The resident budget therefore caps
+// batch-worker threads and programmed-crossbar memory, not compute
+// threads (RegistrySnapshot::workers reports the live worker footprint).
 //
 // Thread safety: every public method of ModelRegistry and Router may be
 // called from any number of threads. Known tradeoff: one registry mutex
@@ -49,9 +50,10 @@
 // (artifact load + crossbar programming) and across an eviction victim's
 // drain -- so a cold-start request briefly head-of-line blocks submissions
 // to OTHER models. Enqueue on a warm entry is cheap (shape checks + queue
-// push; all compute runs on dispatcher threads), which is the steady state
-// the fleet bench measures. Per-entry materialization states would lift
-// the cold-path stall and are the natural next step when model sizes grow.
+// push; all compute runs on the services' worker threads), which is the
+// steady state the fleet bench measures. Per-entry materialization states
+// would lift the cold-path stall and are the natural next step when model
+// sizes grow.
 #pragma once
 
 #include <cstdint>
@@ -74,7 +76,7 @@ namespace epim {
 /// Fleet-level policy of a ModelRegistry.
 struct RegistryConfig {
   /// Largest number of materialized services (programmed crossbars +
-  /// dispatcher thread) resident at once; must be positive. LRU beyond it.
+  /// batch worker threads) resident at once; must be positive. LRU beyond it.
   int max_resident_models = 4;
   /// Batching + admission policy for services the registry materializes;
   /// a per-entry ServeConfig passed at registration overrides it. Note the
@@ -103,6 +105,10 @@ struct ModelSnapshot {
   std::string name;
   std::string version;
   bool resident = false;
+  /// Batch workers this entry's service runs when resident (its
+  /// ServeConfig::workers); reported for cold entries too, since it is
+  /// registration-time policy, not runtime state.
+  int workers = 0;
   ServiceStats stats{};
   std::int64_t evictions = 0;
 };
@@ -111,6 +117,10 @@ struct ModelSnapshot {
 struct RegistrySnapshot {
   std::vector<ModelSnapshot> models;  ///< sorted by (name, version)
   int resident = 0;                   ///< materialized services right now
+  /// Batch-worker threads alive across the resident services (the fleet's
+  /// batch-thread footprint; compute threads are the separate shared pool
+  /// budget).
+  int workers = 0;
   std::int64_t requests = 0;          ///< completed, fleet-wide
   std::int64_t rejected = 0;          ///< admission rejections, fleet-wide
   std::int64_t evictions = 0;         ///< LRU evictions, fleet-wide

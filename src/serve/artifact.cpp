@@ -401,6 +401,7 @@ void put_pipeline_config(Writer& w, const PipelineConfig& c) {
   put_non_ideal(w, c.deploy.non_ideal);
   w.i32(c.serve.max_batch);
   w.f64(c.serve.flush_deadline_ms);
+  w.i32(c.serve.workers);
   w.i32(c.serve.latency_window);
   w.i32(c.serve.max_queue);
   w.str(c.anchors.model);
@@ -439,6 +440,7 @@ PipelineConfig get_pipeline_config(Reader& r) {
   c.deploy.non_ideal = get_non_ideal(r);
   c.serve.max_batch = r.i32();
   c.serve.flush_deadline_ms = r.f64();
+  c.serve.workers = r.i32();
   c.serve.latency_window = r.i32();
   c.serve.max_queue = r.i32();
   c.anchors.model = r.str();

@@ -10,7 +10,7 @@
 // Container layout (all integers little-endian):
 //
 //   [0..7]   magic "EPIMART\0"
-//   [8..11]  schema version (u32, currently 1)
+//   [8..11]  schema version (u32, currently kSchemaVersion below)
 //   [12..15] artifact kind (u32: 1 = compiled model, 2 = deployed model)
 //   [16..19] section count (u32)
 //   then per section:
@@ -44,8 +44,9 @@ namespace artifact {
 /// Schema version written by save(); load() rejects anything else (the
 /// codec reads fields positionally, so older payloads cannot be decoded
 /// either -- they fail with a clean version error, never a misparse).
-/// History: v1 = PR 3; v2 = ServeConfig gained latency_window/max_queue.
-inline constexpr std::uint32_t kSchemaVersion = 2;
+/// History: v1 = PR 3; v2 = ServeConfig gained latency_window/max_queue;
+/// v3 = ServeConfig gained workers (continuous-batching worker count).
+inline constexpr std::uint32_t kSchemaVersion = 3;
 
 /// Artifact kinds stored in the header.
 enum class Kind : std::uint32_t {

@@ -24,7 +24,12 @@ double ms_between(Clock::time_point a, Clock::time_point b) {
 InferenceService::InferenceService(DeployedModel model, ServeConfig config)
     : model_(std::move(model)), config_(config) {
   validate_serve(config_);
-  dispatcher_ = std::thread([this] { dispatcher_loop(); });
+  worker_in_flight_.assign(static_cast<std::size_t>(config_.workers), 0);
+  workers_.reserve(static_cast<std::size_t>(config_.workers));
+  for (int w = 0; w < config_.workers; ++w) {
+    workers_.emplace_back(
+        [this, w] { worker_loop(static_cast<std::size_t>(w)); });
+  }
 }
 
 InferenceService::~InferenceService() {
@@ -33,7 +38,9 @@ InferenceService::~InferenceService() {
     stop_ = true;
   }
   cv_.notify_all();
-  if (dispatcher_.joinable()) dispatcher_.join();  // no-op after detach()
+  for (std::thread& w : workers_) {
+    if (w.joinable()) w.join();  // no-op after detach()
+  }
 }
 
 DeployedModel InferenceService::detach() {
@@ -42,9 +49,13 @@ DeployedModel InferenceService::detach() {
     stop_ = true;
   }
   cv_.notify_all();
-  // The dispatcher's shutdown path flushes everything still queued, so
-  // every outstanding future resolves before the model changes hands.
-  if (dispatcher_.joinable()) dispatcher_.join();
+  // The workers' shutdown path flushes everything still queued (each keeps
+  // closing batches until the queue is empty), and a worker mid-batch
+  // finishes it before exiting, so every outstanding future resolves before
+  // the model changes hands.
+  for (std::thread& w : workers_) {
+    if (w.joinable()) w.join();
+  }
   return std::move(model_);
 }
 
@@ -57,7 +68,7 @@ std::future<InferenceResult> InferenceService::submit(Tensor image) {
 std::vector<std::future<InferenceResult>> InferenceService::submit_batch(
     std::vector<Tensor> images) {
   // An empty burst would either flush a zero-item batch or silently do
-  // nothing depending on dispatcher timing; pin it as a caller error.
+  // nothing depending on worker timing; pin it as a caller error.
   EPIM_CHECK(!images.empty(), "submit_batch requires a non-empty batch");
 
   std::vector<std::future<InferenceResult>> futures;
@@ -80,21 +91,31 @@ std::vector<std::future<InferenceResult>> InferenceService::submit_batch(
                      image.dim(2) == net.image_size,
                  "submitted image shape does not match the deployed model");
     }
-    // Admission control: all-or-nothing for the burst, decided atomically
-    // with the enqueue so concurrent submitters can never overshoot the
-    // bound. Rejection is immediate -- never block, never grow the queue.
-    if (config_.max_queue > 0 &&
-        queue_.size() + images.size() >
-            static_cast<std::size_t>(config_.max_queue)) {
-      std::lock_guard<std::mutex> stats_lock(stats_mu_);
-      rejected_ += static_cast<std::int64_t>(images.size());
-      throw Unavailable(std::string(kErrQueueFull) + ": " +
-                        std::to_string(queue_.size()) + " queued + " +
-                        std::to_string(images.size()) + " submitted > " +
-                        std::to_string(config_.max_queue));
+    if (config_.max_queue > 0) {
+      // A burst larger than the whole bound can NEVER be admitted, however
+      // empty the queue: a caller error, not transient overload. It throws
+      // InvalidArgument (Unavailable would invite futile retries) and does
+      // not count as a rejection -- rejected_ measures genuine overload.
+      EPIM_CHECK(
+          images.size() <= static_cast<std::size_t>(config_.max_queue),
+          std::string(kErrBurstTooLarge) + ": " +
+              std::to_string(images.size()) + " submitted > max_queue " +
+              std::to_string(config_.max_queue));
+      // Admission control: all-or-nothing for the burst, decided atomically
+      // with the enqueue so concurrent submitters can never overshoot the
+      // bound. Rejection is immediate -- never block, never grow the queue.
+      if (queue_.size() + images.size() >
+          static_cast<std::size_t>(config_.max_queue)) {
+        std::lock_guard<std::mutex> stats_lock(stats_mu_);
+        rejected_ += static_cast<std::int64_t>(images.size());
+        throw Unavailable(std::string(kErrQueueFull) + ": " +
+                          std::to_string(queue_.size()) + " queued + " +
+                          std::to_string(images.size()) + " submitted > " +
+                          std::to_string(config_.max_queue));
+      }
     }
     // Record the throughput-window start *before* the requests become
-    // visible to the dispatcher: once any of them is counted in completed_,
+    // visible to the workers: once any of them is counted in completed_,
     // the window start is guaranteed set. (Lock order mu_ -> stats_mu_ is
     // used nowhere in reverse.)
     {
@@ -116,7 +137,7 @@ std::vector<std::future<InferenceResult>> InferenceService::submit_batch(
   return futures;
 }
 
-void InferenceService::dispatcher_loop() {
+void InferenceService::worker_loop(std::size_t worker) {
   const auto deadline_dur =
       std::chrono::duration_cast<Clock::duration>(
           std::chrono::duration<double, std::milli>(
@@ -128,13 +149,18 @@ void InferenceService::dispatcher_loop() {
       if (stop_) return;
       continue;
     }
-    // Dynamic batching: hold for batch-mates until the oldest request's
-    // deadline, a full batch, or shutdown (which flushes immediately).
-    const auto deadline = queue_.front().enqueued + deadline_dur;
+    // Continuous batching: hold for batch-mates until the oldest queued
+    // request's deadline, a full batch, or shutdown (which flushes
+    // immediately). A peer may close a batch over this same queue while we
+    // wait, so the deadline re-anchors on whatever request is oldest now,
+    // and a drained queue sends us back to the outer wait.
     while (!stop_ &&
-           static_cast<int>(queue_.size()) < config_.max_batch &&
-           cv_.wait_until(lock, deadline) != std::cv_status::timeout) {
+           static_cast<int>(queue_.size()) < config_.max_batch) {
+      const auto deadline = queue_.front().enqueued + deadline_dur;
+      if (cv_.wait_until(lock, deadline) == std::cv_status::timeout) break;
+      if (queue_.empty()) break;
     }
+    if (queue_.empty()) continue;
     std::vector<Request> batch;
     const std::size_t n = std::min<std::size_t>(
         queue_.size(), static_cast<std::size_t>(config_.max_batch));
@@ -143,9 +169,15 @@ void InferenceService::dispatcher_loop() {
       batch.push_back(std::move(queue_.front()));
       queue_.pop_front();
     }
+    worker_in_flight_[worker] = static_cast<std::int64_t>(n);
+    // Run the batch with the queue unlocked: peers keep closing batches
+    // (multiple in flight per model) and submitters keep enqueueing while
+    // this one computes. forward_batch is const and pure against the
+    // programmed crossbars, so concurrent batches stay bit-identical.
     lock.unlock();
     run_batch(batch);
     lock.lock();
+    worker_in_flight_[worker] = 0;
   }
 }
 
@@ -191,7 +223,9 @@ void InferenceService::run_batch(std::vector<Request>& batch) {
     completed_ += static_cast<std::int64_t>(batch.size());
     batches_ += 1;
     clip_events_ += batch_clips;
-    last_done_ = done;
+    // Concurrent batches can reach this lock out of completion order; the
+    // throughput window must end at the LATEST completion seen.
+    if (done > last_done_) last_done_ = done;
     const auto window = static_cast<std::size_t>(config_.latency_window);
     for (const double latency : batch_latencies) {
       if (latencies_ms_.size() < window) {
@@ -221,15 +255,25 @@ void InferenceService::reset() {
   // their rate must be measured from now -- not from the old interval's
   // first submit. (The next submit re-anchors again via saw_first_submit_.)
   first_submit_ = Clock::now();
+  last_done_ = first_submit_;
 }
 
 std::vector<double> InferenceService::recent_latencies_ms() const {
   std::lock_guard<std::mutex> lock(stats_mu_);
-  return latencies_ms_;
+  // Unroll the ring chronologically: once saturated, latency_next_ is the
+  // oldest slot; while filling it stays 0, so this is a plain copy then.
+  const std::size_t n = latencies_ms_.size();
+  std::vector<double> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    out.push_back(latencies_ms_[(latency_next_ + i) % n]);
+  }
+  return out;
 }
 
 ServiceStats InferenceService::stats() const {
   ServiceStats s;
+  s.workers = config_.workers;
   std::vector<double> latencies;
   {
     std::lock_guard<std::mutex> lock(stats_mu_);
@@ -243,13 +287,16 @@ ServiceStats InferenceService::stats() const {
                           static_cast<double>(batches_);
       const double wall_s =
           std::chrono::duration<double>(last_done_ - first_submit_).count();
-      s.items_per_sec =
-          wall_s > 0.0 ? static_cast<double>(completed_) / wall_s : 0.0;
+      s.items_per_sec = serve_detail::items_rate(completed_, wall_s);
     }
   }
   {
     std::lock_guard<std::mutex> lock(mu_);
     s.queued = static_cast<std::int64_t>(queue_.size());
+    for (const std::int64_t n : worker_in_flight_) {
+      s.in_flight += n;
+      s.busy_workers += n > 0;
+    }
   }
   std::sort(latencies.begin(), latencies.end());
   s.p50_latency_ms = nearest_rank_percentile(latencies, 0.50);

@@ -1,28 +1,37 @@
 // Throughput-oriented serving front-end over a DeployedModel.
 //
 // An InferenceService owns a programmed chip (a DeployedModel, typically
-// loaded from a `.epim` artifact) plus a dispatcher thread that implements
-// dynamic batching: submitted requests queue until either `max_batch` of
-// them are pending or the oldest has waited `flush_deadline_ms`, then the
-// whole batch fans out across the shared thread pool
-// (PimNetworkRuntime::forward_batch). This is the compiled-artifact +
-// batched-executor split of TVM/MLPerf-style serving stacks, applied to the
-// simulated PIM chip.
+// loaded from a `.epim` artifact) plus a pool of ServeConfig::workers batch
+// threads implementing continuous batching: submitted requests queue until
+// either `max_batch` of them are pending or the oldest has waited
+// `flush_deadline_ms`; a free worker then closes that batch and runs it
+// (PimNetworkRuntime::forward_batch, fanning out across the shared compute
+// pool) while the remaining workers keep draining the queue. With
+// `workers > 1` several batches are in flight per model, so batch formation
+// overlaps execution and a large batch no longer head-of-line-blocks the
+// requests queued behind it. This is the compiled-artifact + batched-executor
+// split of TVM/MLPerf-style serving stacks, applied to the simulated PIM
+// chip.
 //
 // Determinism contract: every image's forward pass is pure against the
 // programmed crossbars, so the logits (and per-request clip counts) a
 // service returns are bit-identical to direct PimNetworkRuntime::evaluate /
-// forward at ANY batch size and thread count -- batching changes throughput
-// and latency, never values. tests/test_serve.cpp asserts this.
+// forward at ANY batch size, worker count and thread count -- scheduling
+// changes throughput, latency and completion ORDER, never values.
+// tests/test_serve.cpp asserts this.
 //
 // Thread safety: submit()/submit_batch()/stats()/reset() may be called from
 // any number of threads. The destructor (and detach()) drains the queue
-// (every returned future is fulfilled) before joining the dispatcher.
+// (every returned future is fulfilled) before joining all workers.
 // Admission control: with ServeConfig::max_queue set, a submission that
 // would push the queue past the bound throws epim::Unavailable immediately
-// instead of blocking or growing the queue without bound.
+// instead of blocking or growing the queue without bound; a single burst
+// larger than the bound itself can never be admitted and throws
+// InvalidArgument instead (retrying cannot help).
 #pragma once
 
+#include <algorithm>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -44,13 +53,33 @@ struct InferenceResult {
   std::int64_t clip_count = 0;
 };
 
+namespace serve_detail {
+
+/// Completed-items rate over a measured wall interval. A coarse steady
+/// clock can round (last completion - first submit) to exactly zero even
+/// though requests completed; fall back to a one-tick wall so the rate is
+/// finite and positive whenever anything completed (zero items is the only
+/// zero rate). Free function so the zero-wall branch is unit-testable
+/// without a hook into the clock.
+inline double items_rate(std::int64_t completed, double wall_seconds) {
+  if (completed <= 0) return 0.0;
+  const double tick =
+      std::chrono::duration<double>(std::chrono::steady_clock::duration(1))
+          .count();
+  return static_cast<double>(completed) / std::max(wall_seconds, tick);
+}
+
+}  // namespace serve_detail
+
 /// Monotonic counters + latency digest, snapshotted under the stats lock.
 struct ServiceStats {
   std::int64_t requests = 0;       ///< completed requests
   std::int64_t batches = 0;        ///< flushes executed
   double mean_batch_size = 0.0;    ///< requests / batches
   /// Completed requests per second of wall time between the first submit
-  /// and the most recent completion (0 until something completed).
+  /// and the most recent completion (0 until something completed; a wall
+  /// that rounds to zero on a coarse clock falls back to one clock tick,
+  /// so completed traffic always reports a positive finite rate).
   double items_per_sec = 0.0;
   /// Request latency (submit -> result ready), simulated-request terms:
   /// wall clock of the simulator, not of modelled PIM hardware. Computed
@@ -61,10 +90,19 @@ struct ServiceStats {
   /// ADC clip events summed over all completed requests.
   std::int64_t clip_events = 0;
   /// Requests refused by admission control (ServeConfig::max_queue), i.e.
-  /// submissions that threw epim::Unavailable.
+  /// submissions that threw epim::Unavailable. Bursts rejected as never
+  /// admissible (InvalidArgument) are caller errors, not traffic, and are
+  /// NOT counted here.
   std::int64_t rejected = 0;
-  /// Requests currently queued (not yet flushed into a batch).
+  /// Requests currently queued (not yet closed into a batch).
   std::int64_t queued = 0;
+  /// Requests closed into a batch that is still executing, summed over all
+  /// workers.
+  std::int64_t in_flight = 0;
+  /// Batch workers this service runs (ServeConfig::workers).
+  int workers = 0;
+  /// Workers currently executing a batch (<= workers).
+  int busy_workers = 0;
 };
 
 class InferenceService {
@@ -78,12 +116,15 @@ class InferenceService {
   InferenceService(const InferenceService&) = delete;
   InferenceService& operator=(const InferenceService&) = delete;
 
-  /// Drains every pending request, then stops the dispatcher.
+  /// Drains every pending request, then stops all workers.
   ~InferenceService();
 
   const RuntimeConfig& runtime_config() const {
     return model_.runtime_config();
   }
+
+  /// Batch workers this service was configured with.
+  int workers() const { return config_.workers; }
 
   /// Enqueue one (C, H, W) image. The shape is validated against the
   /// deployed model here (throws InvalidArgument), so a malformed request
@@ -93,11 +134,14 @@ class InferenceService {
   /// admission never blocks the caller or grows the queue.
   std::future<InferenceResult> submit(Tensor image);
 
-  /// Enqueue a burst atomically: the dispatcher sees all images at once, so
+  /// Enqueue a burst atomically: the workers see all images at once, so
   /// full batches flush immediately instead of waiting out the deadline.
   /// An empty burst is rejected with InvalidArgument (a zero-item flush is
-  /// always a caller bug). Admission control applies to the whole burst:
-  /// either every image is admitted or none is.
+  /// always a caller bug), and so is a burst larger than max_queue itself
+  /// (it could never be admitted, no matter how empty the queue -- that is
+  /// a caller error, not transient overload, so it is not Unavailable and
+  /// not counted in ServiceStats::rejected). Admission control applies to
+  /// the whole burst: either every image is admitted or none is.
   std::vector<std::future<InferenceResult>> submit_batch(
       std::vector<Tensor> images);
 
@@ -111,22 +155,28 @@ class InferenceService {
   /// restarts at the next submit after the reset.
   void reset();
 
-  /// Copy of the recent-latency ring (unordered; at most
-  /// ServeConfig::latency_window entries). Lets a fleet aggregator compute
-  /// percentiles over the POOLED windows of many services, which cannot be
-  /// derived from the per-service p50/p99.
+  /// Copy of the recent-latency ring in CHRONOLOGICAL order (oldest first,
+  /// at most ServeConfig::latency_window entries). Lets a fleet aggregator
+  /// compute percentiles over the POOLED windows of many services -- which
+  /// cannot be derived from the per-service p50/p99 -- and doubles as a
+  /// time series for trend-style callers.
   std::vector<double> recent_latencies_ms() const;
 
-  /// Drain every pending request, stop the dispatcher, and return the
-  /// deployed model -- the inverse of construction. The registry uses this
-  /// to evict a cold service without losing an in-memory model, and to let
-  /// in-flight traffic finish before a hot swap. Afterwards the service is
-  /// terminal: submissions throw, but stats() stays readable (final values).
+  /// Drain every pending request, stop and join all workers, and return
+  /// the deployed model -- the inverse of construction. The registry uses
+  /// this to evict a cold service without losing an in-memory model, and
+  /// to let in-flight traffic finish before a hot swap. Afterwards the
+  /// service is terminal: submissions throw, but stats() stays readable
+  /// (final values).
   DeployedModel detach();
 
   /// Admission-rejection message prefix (pinned by tests).
   static constexpr const char* kErrQueueFull =
       "service queue is full (admission control)";
+  /// Never-admissible-burst message prefix (pinned by tests): the burst is
+  /// larger than max_queue, so retrying can never succeed.
+  static constexpr const char* kErrBurstTooLarge =
+      "burst exceeds the admission bound and can never be admitted";
 
  private:
   struct Request {
@@ -135,7 +185,7 @@ class InferenceService {
     std::chrono::steady_clock::time_point enqueued;
   };
 
-  void dispatcher_loop();
+  void worker_loop(std::size_t worker);
   void run_batch(std::vector<Request>& batch);
 
   DeployedModel model_;
@@ -145,6 +195,9 @@ class InferenceService {
   std::condition_variable cv_;
   std::deque<Request> queue_;
   bool stop_ = false;
+  /// Requests each worker has closed into its current batch (0 = idle);
+  /// guarded by mu_. Summed for ServiceStats::in_flight.
+  std::vector<std::int64_t> worker_in_flight_;
 
   mutable std::mutex stats_mu_;
   /// Ring buffer of the last ServeConfig::latency_window request latencies.
@@ -158,7 +211,7 @@ class InferenceService {
   std::chrono::steady_clock::time_point first_submit_;
   std::chrono::steady_clock::time_point last_done_;
 
-  std::thread dispatcher_;  ///< last member: joins before state tears down
+  std::vector<std::thread> workers_;  ///< last member: joins before teardown
 };
 
 }  // namespace epim

@@ -232,9 +232,21 @@ TEST(PipelineConfig, RejectsNonPositiveServeLimits) {
   cfg = PipelineConfig{};
   cfg.serve.max_queue = -1;
   EXPECT_THROW(cfg.validate(), InvalidArgument);
+  // Worker count: positive, and capped at the same 256 ceiling as the
+  // compute pool (a stray huge value must not fork-bomb the process).
+  cfg = PipelineConfig{};
+  cfg.serve.workers = 0;
+  EXPECT_THROW(cfg.validate(), InvalidArgument);
+  cfg.serve.workers = -2;
+  EXPECT_THROW(cfg.validate(), InvalidArgument);
+  cfg.serve.workers = 257;
+  EXPECT_THROW(cfg.validate(), InvalidArgument);
+  cfg.serve.workers = 256;
+  EXPECT_NO_THROW(cfg.validate());
   cfg = PipelineConfig{};
   cfg.serve.max_batch = 1;
   cfg.serve.flush_deadline_ms = 0.01;
+  cfg.serve.workers = 4;
   cfg.serve.latency_window = 1;
   cfg.serve.max_queue = 0;  // 0 = unbounded, explicitly allowed
   EXPECT_NO_THROW(cfg.validate());

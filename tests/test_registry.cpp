@@ -6,6 +6,7 @@
 // aggregation.
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <cstdio>
 #include <future>
 #include <string>
@@ -164,7 +165,12 @@ TEST(Router, BitIdenticalToDirectServiceUnderConcurrentMixedModelLoad) {
 
   const std::vector<std::string> names = {"resnet_a", "resnet_b", "resnet_c"};
   std::vector<std::vector<Tensor>> expected;
-  ModelRegistry registry;  // budget 4 > 3: no eviction in this test
+  RegistryConfig rcfg;  // budget 4 > 3: no eviction in this test
+  // Every service runs several continuous-batching workers, so the fleet
+  // has multiple batches in flight PER MODEL on top of the mixed-model
+  // concurrency -- the full PR 5 scheduler under load.
+  rcfg.serve.workers = 3;
+  ModelRegistry registry(rcfg);
   for (std::size_t v = 0; v < names.size(); ++v) {
     expected.push_back(fx.reference_logits(v));
     registry.register_model(names[v], "v1", fx.deploy(v));
@@ -173,7 +179,7 @@ TEST(Router, BitIdenticalToDirectServiceUnderConcurrentMixedModelLoad) {
 
   // One submitter thread per model, all pushing interleaved singles at
   // once; every logit must match the serial direct-path reference bit for
-  // bit even though three dispatchers share one pool.
+  // bit even though nine batch workers (three per service) share one pool.
   std::vector<std::thread> submitters;
   std::vector<std::string> failures(names.size());
   for (std::size_t v = 0; v < names.size(); ++v) {
@@ -207,9 +213,14 @@ TEST(Router, BitIdenticalToDirectServiceUnderConcurrentMixedModelLoad) {
 
   const RegistrySnapshot snapshot = registry.stats();
   EXPECT_EQ(snapshot.resident, 3);
+  EXPECT_EQ(snapshot.workers, 9);  // 3 resident services x 3 workers each
   EXPECT_EQ(snapshot.requests, 3 * fx.data.test.size());
   EXPECT_EQ(snapshot.rejected, 0);
   EXPECT_EQ(snapshot.evictions, 0);
+  for (const ModelSnapshot& m : snapshot.models) {
+    EXPECT_EQ(m.workers, 3) << m.name;
+    EXPECT_EQ(m.stats.workers, 3) << m.name;
+  }
 }
 
 TEST(ModelRegistry, LazyMaterializationAndLruEvictionRoundTripArtifacts) {
@@ -264,6 +275,10 @@ TEST(ModelRegistry, EvictionKeepsInMemoryModelsServable) {
 
   RegistryConfig rcfg;
   rcfg.max_resident_models = 1;
+  // Multi-worker services: the eviction below must drain and join ALL of
+  // the victim's workers, in-flight batches included.
+  rcfg.serve.workers = 2;
+  rcfg.serve.max_batch = 2;
   ModelRegistry registry(rcfg);
   registry.register_model("a", "v1", fx.deploy(0));  // no artifact backing
   registry.register_model("b", "v1", fx.deploy(1));
@@ -271,9 +286,23 @@ TEST(ModelRegistry, EvictionKeepsInMemoryModelsServable) {
   const Tensor probe = fx.data.test.sample(0);
   expect_same_logits(registry.submit("a", "v1", probe).get().logits,
                      expected_a[0], "a warm");
+  // Load up a's workers with un-awaited traffic, then evict it by touching
+  // b: every one of a's futures must resolve (on a's weights) before the
+  // eviction completes.
+  std::vector<Tensor> burst(8, probe);
+  auto pending = registry.submit_batch("a", "v1", std::move(burst));
   expect_same_logits(registry.submit("b", "v1", probe).get().logits,
                      expected_b[0], "b evicts a");
   EXPECT_FALSE(registry.resident("a", "v1"));
+  for (auto& f : pending) {
+    ASSERT_EQ(f.wait_for(std::chrono::seconds(0)),
+              std::future_status::ready);
+    expect_same_logits(f.get().logits, expected_a[0], "a drained on evict");
+  }
+  // Cold entries still report their configured worker policy.
+  for (const ModelSnapshot& m : registry.stats().models) {
+    EXPECT_EQ(m.workers, 2) << m.name;
+  }
   // The detached model moved back into the entry; serving it again works
   // and stays bit-identical.
   expect_same_logits(registry.submit("a", "v1", probe).get().logits,
@@ -409,7 +438,11 @@ TEST(ModelRegistry, ReloadHotSwapsAndDrainsInFlightOnOldVersion) {
   const std::vector<Tensor> expected_b = fx.reference_logits(1);
 
   ModelRegistry registry;
-  registry.register_artifact("m", "v1", path_a);
+  // Multi-worker entry: the hot swap drains every worker of the outgoing
+  // service outside the registry lock.
+  ServeConfig scfg = RegistryConfig::default_serve();
+  scfg.workers = 2;
+  registry.register_artifact("m", "v1", path_a, scfg);
   const Tensor probe = fx.data.test.sample(0);
   expect_same_logits(registry.submit("m", "v1", probe).get().logits,
                      expected_a[0], "before reload");

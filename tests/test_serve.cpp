@@ -5,7 +5,9 @@
 // and thread count).
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <fstream>
 #include <future>
@@ -144,6 +146,7 @@ PipelineConfig random_config(Rng& rng) {
   cfg.deploy.act_percentile = rng.flip() ? 1.0 : 0.999;
   cfg.serve.max_batch = rng.uniform_int(1, 64);
   cfg.serve.flush_deadline_ms = rng.uniform(0.5, 5.0);
+  cfg.serve.workers = rng.uniform_int(1, 8);
   cfg.serve.latency_window = rng.uniform_int(1, 8192);
   cfg.serve.max_queue = rng.flip() ? 0 : rng.uniform_int(1, 2048);
   cfg.anchors =
@@ -175,6 +178,7 @@ TEST(ArtifactCompiled, PropertyRandomConfigsRoundTripByteIdentically) {
     EXPECT_EQ(loaded.config().serve.max_batch, cfg.serve.max_batch);
     EXPECT_EQ(loaded.config().serve.flush_deadline_ms,
               cfg.serve.flush_deadline_ms);
+    EXPECT_EQ(loaded.config().serve.workers, cfg.serve.workers);
     EXPECT_EQ(loaded.config().serve.latency_window,
               cfg.serve.latency_window);
     EXPECT_EQ(loaded.config().serve.max_queue, cfg.serve.max_queue);
@@ -351,9 +355,13 @@ TEST_F(CorruptionFixture, RejectsUnsupportedSchemaVersions) {
   dump(bad, bytes);
   expect_load_error(bad, artifact::kErrBadVersion);
   // Superseded versions are rejected cleanly too: the positional codec
-  // cannot decode a v1 payload (ServeConfig grew in v2), so it must fail
-  // with the version message, never a misparse deeper in.
+  // cannot decode a v1 or v2 payload (ServeConfig grew in v2 and again in
+  // v3), so they must fail with the version message, never a misparse
+  // deeper in.
   bytes[8] = 1;
+  dump(bad, bytes);
+  expect_load_error(bad, artifact::kErrBadVersion);
+  bytes[8] = 2;
   dump(bad, bytes);
   expect_load_error(bad, artifact::kErrBadVersion);
 }
@@ -518,30 +526,37 @@ TEST(InferenceService, ResultsBitIdenticalToDirectRuntime) {
     expected_clips.push_back(reference.last_clip_count());
   }
 
+  // The full scheduler grid: pool threads x continuous-batching workers x
+  // batch size. Only completion order may vary across the grid; every
+  // logit and clip count must match the serial direct path bit for bit.
   for (const int threads : {1, 3}) {
-    for (const int max_batch : {1, 5, 64}) {
-      SCOPED_TRACE("threads " + std::to_string(threads) + " max_batch " +
-                   std::to_string(max_batch));
-      set_num_threads(threads);
-      ServeConfig scfg;
-      scfg.max_batch = max_batch;
-      scfg.flush_deadline_ms = 1.0;
-      InferenceService service =
-          std::move(pipeline.deploy(fx.net, fx.data.train)).serve(scfg);
+    for (const int workers : {1, 4}) {
+      for (const int max_batch : {1, 5, 64}) {
+        SCOPED_TRACE("threads " + std::to_string(threads) + " workers " +
+                     std::to_string(workers) + " max_batch " +
+                     std::to_string(max_batch));
+        set_num_threads(threads);
+        ServeConfig scfg;
+        scfg.max_batch = max_batch;
+        scfg.flush_deadline_ms = 1.0;
+        scfg.workers = workers;
+        InferenceService service =
+            std::move(pipeline.deploy(fx.net, fx.data.train)).serve(scfg);
 
-      std::vector<Tensor> burst;
-      for (std::int64_t i = 0; i < fx.data.test.size(); ++i) {
-        burst.push_back(fx.data.test.sample(i));
-      }
-      auto futures = service.submit_batch(std::move(burst));
-      for (std::size_t i = 0; i < futures.size(); ++i) {
-        const InferenceResult r = futures[i].get();
-        ASSERT_EQ(r.logits.shape(), expected[i].shape());
-        for (std::int64_t j = 0; j < r.logits.numel(); ++j) {
-          EXPECT_EQ(r.logits.at(j), expected[i].at(j))
-              << "image " << i << " logit " << j;
+        std::vector<Tensor> burst;
+        for (std::int64_t i = 0; i < fx.data.test.size(); ++i) {
+          burst.push_back(fx.data.test.sample(i));
         }
-        EXPECT_EQ(r.clip_count, expected_clips[i]) << "image " << i;
+        auto futures = service.submit_batch(std::move(burst));
+        for (std::size_t i = 0; i < futures.size(); ++i) {
+          const InferenceResult r = futures[i].get();
+          ASSERT_EQ(r.logits.shape(), expected[i].shape());
+          for (std::int64_t j = 0; j < r.logits.numel(); ++j) {
+            EXPECT_EQ(r.logits.at(j), expected[i].at(j))
+                << "image " << i << " logit " << j;
+          }
+          EXPECT_EQ(r.clip_count, expected_clips[i]) << "image " << i;
+        }
       }
     }
   }
@@ -782,6 +797,153 @@ TEST(InferenceService, DetachDrainsAndReturnsTheModel) {
   EXPECT_THROW((void)service.submit(fx.data.test.sample(0)),
                InvalidArgument);
   EXPECT_EQ(service.stats().requests, 1);
+}
+
+TEST(InferenceService, BurstLargerThanBoundIsInvalidArgumentNotUnavailable) {
+  DeployedFixture& fx = DeployedFixture::instance();
+  ServeConfig scfg;
+  scfg.max_batch = 64;
+  scfg.flush_deadline_ms = 10000.0;  // hold everything queued
+  scfg.max_queue = 2;
+  InferenceService service =
+      std::move(Pipeline{PipelineConfig{}}.deploy(fx.net, fx.data.train))
+          .serve(scfg);
+
+  // Queue is EMPTY, yet a burst of 3 can never fit a bound of 2: retrying
+  // would never succeed, so this must be InvalidArgument (caller error)
+  // with the pinned message -- not Unavailable masquerading as transient
+  // overload -- and must not count as a rejection.
+  std::vector<Tensor> too_big(3, fx.data.test.sample(0));
+  try {
+    (void)service.submit_batch(std::move(too_big));
+    FAIL() << "expected InvalidArgument";
+  } catch (const InvalidArgument& e) {
+    EXPECT_NE(
+        std::string(e.what()).find(InferenceService::kErrBurstTooLarge),
+        std::string::npos)
+        << e.what();
+  }
+  EXPECT_EQ(service.stats().rejected, 0);
+  EXPECT_EQ(service.stats().queued, 0);
+
+  // Genuinely transient fullness keeps the Unavailable path, also pinned.
+  auto f0 = service.submit(fx.data.test.sample(0));
+  auto f1 = service.submit(fx.data.test.sample(1));
+  try {
+    (void)service.submit(fx.data.test.sample(2));
+    FAIL() << "expected Unavailable";
+  } catch (const Unavailable& e) {
+    EXPECT_NE(std::string(e.what()).find(InferenceService::kErrQueueFull),
+              std::string::npos)
+        << e.what();
+  }
+  EXPECT_EQ(service.stats().rejected, 1);
+  (void)service.detach();  // drain without waiting out the 10 s deadline
+  (void)f0.get();
+  (void)f1.get();
+}
+
+TEST(ServiceStats, ItemsRateFallsBackToOneTickOnZeroWall) {
+  // The wall between first submit and last completion can round to exactly
+  // zero on a coarse steady clock even though requests completed; the rate
+  // must then fall back to a one-tick wall -- finite and positive, so
+  // completed traffic is never indistinguishable from "no traffic".
+  EXPECT_EQ(serve_detail::items_rate(0, 0.0), 0.0);   // no traffic: zero
+  EXPECT_EQ(serve_detail::items_rate(0, 1.0), 0.0);
+  EXPECT_EQ(serve_detail::items_rate(10, 2.0), 5.0);  // normal path
+  const double fallback = serve_detail::items_rate(5, 0.0);
+  EXPECT_GT(fallback, 0.0);
+  EXPECT_TRUE(std::isfinite(fallback));
+  // One tick of the steady clock exactly.
+  const double tick =
+      std::chrono::duration<double>(std::chrono::steady_clock::duration(1))
+          .count();
+  EXPECT_EQ(fallback, 5.0 / tick);
+  // And the live path: any completed request yields a positive rate.
+  DeployedFixture& fx = DeployedFixture::instance();
+  InferenceService service =
+      std::move(Pipeline{PipelineConfig{}}.deploy(fx.net, fx.data.train))
+          .serve();
+  (void)service.submit(fx.data.test.sample(0)).get();
+  EXPECT_GT(service.stats().items_per_sec, 0.0);
+}
+
+TEST(InferenceService, RecentLatenciesAreChronological) {
+  DeployedFixture& fx = DeployedFixture::instance();
+  ServeConfig scfg;
+  scfg.max_batch = 1;  // one completion per request
+  scfg.flush_deadline_ms = 0.5;
+  scfg.latency_window = 4;
+  InferenceService service =
+      std::move(Pipeline{PipelineConfig{}}.deploy(fx.net, fx.data.train))
+          .serve(scfg);
+
+  // Await each request before the next submit, snapshotting the window
+  // after every completion: chronological (oldest-first) order makes each
+  // unsaturated snapshot a prefix of the next, and each saturated snapshot
+  // the previous one shifted left by exactly one. Raw ring order would
+  // return the newest entry at the overwrite position instead.
+  std::vector<std::vector<double>> snaps;
+  for (std::int64_t i = 0; i < 7; ++i) {
+    (void)service.submit(fx.data.test.sample(i)).get();
+    snaps.push_back(service.recent_latencies_ms());
+  }
+  for (std::size_t k = 0; k < snaps.size(); ++k) {
+    ASSERT_EQ(snaps[k].size(), std::min<std::size_t>(k + 1, 4)) << "k=" << k;
+  }
+  for (std::size_t k = 1; k < 4; ++k) {  // filling: append-only
+    for (std::size_t i = 0; i < snaps[k - 1].size(); ++i) {
+      EXPECT_EQ(snaps[k][i], snaps[k - 1][i]) << "k=" << k << " i=" << i;
+    }
+  }
+  for (std::size_t k = 4; k < snaps.size(); ++k) {  // saturated: slide by 1
+    for (std::size_t i = 0; i + 1 < 4; ++i) {
+      EXPECT_EQ(snaps[k][i], snaps[k - 1][i + 1]) << "k=" << k << " i=" << i;
+    }
+  }
+}
+
+TEST(InferenceService, DetachDrainsInFlightBatchesAcrossWorkers) {
+  ThreadGuard guard;
+  set_num_threads(2);
+  DeployedFixture& fx = DeployedFixture::instance();
+  Pipeline pipeline{PipelineConfig{}};
+  DeployedModel reference = pipeline.deploy(fx.net, fx.data.train);
+  const Tensor expected = reference.forward(fx.data.test.sample(0));
+
+  ServeConfig scfg;
+  scfg.max_batch = 2;  // a 24-burst shatters into 12 batches
+  scfg.flush_deadline_ms = 0.25;
+  scfg.workers = 4;
+  InferenceService service =
+      std::move(pipeline.deploy(fx.net, fx.data.train)).serve(scfg);
+  EXPECT_EQ(service.workers(), 4);
+  EXPECT_EQ(service.stats().workers, 4);
+
+  // Enqueue enough that several workers hold in-flight batches, then
+  // detach immediately: the drain must join ALL workers only after every
+  // queued and in-flight request resolved.
+  std::vector<Tensor> burst(24, fx.data.test.sample(0));
+  auto pending = service.submit_batch(std::move(burst));
+  DeployedModel model = service.detach();
+  for (auto& f : pending) {
+    ASSERT_EQ(f.wait_for(std::chrono::seconds(0)),
+              std::future_status::ready);
+    const InferenceResult r = f.get();
+    for (std::int64_t j = 0; j < expected.numel(); ++j) {
+      EXPECT_EQ(r.logits.at(j), expected.at(j));
+    }
+  }
+  const ServiceStats final = service.stats();
+  EXPECT_EQ(final.requests, 24);
+  EXPECT_EQ(final.queued, 0);
+  EXPECT_EQ(final.in_flight, 0);
+  EXPECT_EQ(final.busy_workers, 0);
+  // The recovered model still answers bit-identically.
+  const Tensor logits = model.forward(fx.data.test.sample(0));
+  for (std::int64_t j = 0; j < expected.numel(); ++j) {
+    EXPECT_EQ(logits.at(j), expected.at(j));
+  }
 }
 
 TEST(InferenceService, ServesFromLoadedArtifact) {
