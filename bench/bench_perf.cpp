@@ -22,6 +22,7 @@
 #include <string>
 #include <vector>
 
+#include "common/build_info.hpp"
 #include "common/parallel.hpp"
 #include "common/rng.hpp"
 #include "nn/conv_exec.hpp"
@@ -294,6 +295,11 @@ void write_json(const std::vector<Record>& records, const std::string& path,
   }
   std::fprintf(f, "{\n  \"schema\": \"epim-bench-v1\",\n");
   std::fprintf(f, "  \"commit\": \"%s\",\n", commit.c_str());
+  // Build context: a lockdep/sanitizer build is not comparable with the
+  // committed Release trajectory, so rows carry their flavor.
+  std::fprintf(f, "  \"build_flavor\": \"%s\",\n", build_flavor());
+  std::fprintf(f, "  \"lock_debug\": %s,\n",
+               debug::kLockDebugEnabled ? "true" : "false");
   std::fprintf(f, "  \"benchmarks\": [\n");
   for (std::size_t i = 0; i < records.size(); ++i) {
     const Record& r = records[i];

@@ -44,6 +44,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/build_info.hpp"
 #include "common/parallel.hpp"
 #include "pipeline/pipeline.hpp"
 #include "serve/artifact.hpp"
@@ -104,6 +105,11 @@ void write_json(const std::vector<Record>& records, const std::string& path,
   }
   std::fprintf(f, "{\n  \"schema\": \"epim-bench-v1\",\n");
   std::fprintf(f, "  \"commit\": \"%s\",\n", commit.c_str());
+  // Build context: a lockdep/sanitizer build is not comparable with the
+  // committed Release trajectory, so rows carry their flavor.
+  std::fprintf(f, "  \"build_flavor\": \"%s\",\n", build_flavor());
+  std::fprintf(f, "  \"lock_debug\": %s,\n",
+               debug::kLockDebugEnabled ? "true" : "false");
   // Host context: the worker sweep is core-count sensitive (see header).
   std::fprintf(f, "  \"host_cpus\": %u,\n",
                std::thread::hardware_concurrency());

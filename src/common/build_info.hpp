@@ -1,0 +1,51 @@
+// Compile-time build-flavor identification, so artifacts that carry
+// performance numbers (the BENCH_*.json rows) can label which kind of
+// binary produced them. A Debug, sanitizer, or lockdep-instrumented build
+// is 2-20x slower than Release; without these fields a checker-instrumented
+// run could silently be compared against a Release baseline.
+#pragma once
+
+#include "common/lock_debug.hpp"
+
+namespace epim {
+
+/// True when the lock-order checker is compiled into epim::Mutex
+/// (-DEPIM_LOCK_DEBUG=ON); re-exported here so benches need one include.
+inline constexpr bool kLockDebugBuild = debug::kLockDebugEnabled;
+
+/// Short flavor tag: "release" or "debug", with "+asan"/"+tsan" appended
+/// when the matching sanitizer is compiled in. Perf baselines are only
+/// comparable within one flavor (and with lock_debug matching).
+inline const char* build_flavor() {
+#if defined(NDEBUG)
+#define EPIM_BUILD_INFO_BASE "release"
+#else
+#define EPIM_BUILD_INFO_BASE "debug"
+#endif
+#if defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#define EPIM_BUILD_INFO_ASAN "+asan"
+#endif
+#if __has_feature(thread_sanitizer)
+#define EPIM_BUILD_INFO_TSAN "+tsan"
+#endif
+#endif
+#if !defined(EPIM_BUILD_INFO_ASAN) && defined(__SANITIZE_ADDRESS__)
+#define EPIM_BUILD_INFO_ASAN "+asan"
+#endif
+#if !defined(EPIM_BUILD_INFO_TSAN) && defined(__SANITIZE_THREAD__)
+#define EPIM_BUILD_INFO_TSAN "+tsan"
+#endif
+#if !defined(EPIM_BUILD_INFO_ASAN)
+#define EPIM_BUILD_INFO_ASAN ""
+#endif
+#if !defined(EPIM_BUILD_INFO_TSAN)
+#define EPIM_BUILD_INFO_TSAN ""
+#endif
+  return EPIM_BUILD_INFO_BASE EPIM_BUILD_INFO_ASAN EPIM_BUILD_INFO_TSAN;
+#undef EPIM_BUILD_INFO_BASE
+#undef EPIM_BUILD_INFO_ASAN
+#undef EPIM_BUILD_INFO_TSAN
+}
+
+}  // namespace epim

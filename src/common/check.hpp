@@ -1,0 +1,62 @@
+// Canonical home of the repo's check macros. All three carry the failing
+// expression text plus a caller message, and throw typed epim errors (never
+// printf-and-abort), so a failure is testable and carries context:
+//
+//   EPIM_CHECK(cond, msg)   caller-precondition check; always compiled;
+//                           throws epim::InvalidArgument.
+//   EPIM_ASSERT(cond, msg)  internal invariant; always compiled (the
+//                           simulator is not hot enough to compile its
+//                           release-build safety out); throws
+//                           epim::InternalError.
+//   EPIM_DCHECK(cond, msg)  internal invariant that IS hot-path or
+//                           redundant with an always-on check upstream:
+//                           compiled out under NDEBUG (Release), throws
+//                           epim::InternalError in Debug (so the sanitizer
+//                           and lockdep CI jobs, which build Debug, run
+//                           every DCHECK). The disabled form keeps the
+//                           condition parsed-but-unevaluated, so a DCHECK
+//                           cannot hide a compile error or change behavior.
+//
+// Rule of thumb: validating what a CALLER handed you is EPIM_CHECK;
+// validating what YOUR OWN code just computed is EPIM_ASSERT, or EPIM_DCHECK
+// when the check sits on a per-item path.
+#pragma once
+
+#include "common/error.hpp"
+
+/// Validate a caller-supplied precondition; throws epim::InvalidArgument.
+#define EPIM_CHECK(cond, msg)                                               \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      ::epim::detail::throw_invalid_argument(#cond, __FILE__, __LINE__,     \
+                                             (msg));                        \
+    }                                                                       \
+  } while (0)
+
+/// Validate an internal invariant; throws epim::InternalError.
+#define EPIM_ASSERT(cond, msg)                                              \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      ::epim::detail::throw_internal_error(#cond, __FILE__, __LINE__,       \
+                                           (msg));                          \
+    }                                                                       \
+  } while (0)
+
+/// Debug-only internal invariant; compiled out in Release builds. The
+/// disabled branch still typechecks `cond` and `msg` (unevaluated sizeof),
+/// so Release cannot drift from Debug.
+#ifdef NDEBUG
+#define EPIM_DCHECK(cond, msg)                                              \
+  do {                                                                      \
+    (void)sizeof(static_cast<bool>(cond));                                  \
+    (void)sizeof(msg);                                                      \
+  } while (0)
+#else
+#define EPIM_DCHECK(cond, msg)                                              \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      ::epim::detail::throw_internal_error(#cond, __FILE__, __LINE__,       \
+                                           (msg));                          \
+    }                                                                       \
+  } while (0)
+#endif

@@ -1,8 +1,6 @@
-// Error handling primitives for the EPIM library.
-//
-// Library code validates preconditions with EPIM_CHECK (always on) and
-// internal invariants with EPIM_ASSERT (also always on; the simulator is not
-// performance-critical enough to justify compiling assertions out).
+// Error types thrown by the EPIM library. The check macros that throw them
+// (EPIM_CHECK / EPIM_ASSERT / EPIM_DCHECK) live in common/check.hpp --
+// include that header to validate, this one to catch.
 #pragma once
 
 #include <stdexcept>
@@ -46,21 +44,3 @@ namespace detail {
 }  // namespace detail
 
 }  // namespace epim
-
-/// Validate a caller-supplied precondition; throws epim::InvalidArgument.
-#define EPIM_CHECK(cond, msg)                                               \
-  do {                                                                      \
-    if (!(cond)) {                                                          \
-      ::epim::detail::throw_invalid_argument(#cond, __FILE__, __LINE__,     \
-                                             (msg));                        \
-    }                                                                       \
-  } while (0)
-
-/// Validate an internal invariant; throws epim::InternalError.
-#define EPIM_ASSERT(cond, msg)                                              \
-  do {                                                                      \
-    if (!(cond)) {                                                          \
-      ::epim::detail::throw_internal_error(#cond, __FILE__, __LINE__,       \
-                                           (msg));                          \
-    }                                                                       \
-  } while (0)

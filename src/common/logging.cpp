@@ -2,11 +2,23 @@
 
 #include <atomic>
 #include <cstdio>
+#include <utility>
+
+#include "common/thread_annotations.hpp"
 
 namespace epim {
 
 namespace {
+
+/// Explicit documented atomic: the threshold is read on every log statement
+/// from any thread; last-writer-wins is the intended semantics, so a mutex
+/// would buy nothing. (Everything with invariants spanning multiple fields
+/// in this library is guarded by an epim::Mutex instead.)
 std::atomic<LogLevel> g_level{LogLevel::kInfo};
+
+Mutex g_sink_mu("logging::g_sink_mu");
+/// Current sink; empty = default stderr writer.
+LogSink g_sink EPIM_GUARDED_BY(g_sink_mu);
 
 const char* level_name(LogLevel level) {
   switch (level) {
@@ -21,14 +33,33 @@ const char* level_name(LogLevel level) {
   }
   return "?";
 }
+
 }  // namespace
 
 void set_log_level(LogLevel level) { g_level.store(level); }
 LogLevel log_level() { return g_level.load(); }
 
+LogSink set_log_sink(LogSink sink) {
+  MutexLock lock(g_sink_mu);
+  LogSink previous = std::move(g_sink);
+  g_sink = std::move(sink);
+  return previous;
+}
+
 namespace detail {
 void log_message(LogLevel level, const std::string& msg) {
   if (static_cast<int>(level) < static_cast<int>(g_level.load())) return;
+  // Copy the sink under the lock, invoke it outside: a sink that blocks or
+  // logs (or locks) must not hold the logging mutex while doing so.
+  LogSink sink;
+  {
+    MutexLock lock(g_sink_mu);
+    sink = g_sink;
+  }
+  if (sink) {
+    sink(level, msg);
+    return;
+  }
   std::fprintf(stderr, "[epim %s] %s\n", level_name(level), msg.c_str());
 }
 }  // namespace detail

@@ -1,8 +1,17 @@
 // Minimal leveled logging used by long-running components (training loops,
 // evolutionary search) to report progress without a hard dependency on a
 // logging framework.
+//
+// Thread safety: every entry point may be called from any thread. The
+// level is an explicit atomic (read on every statement, racing writers are
+// fine: a message filtered against a stale level is indistinguishable from
+// one logged just before set_log_level). The sink is swapped under an
+// epim::Mutex and invoked WITHOUT it held, so a slow sink never serializes
+// the process and can itself take locks without creating logging-ordered
+// lock edges.
 #pragma once
 
+#include <functional>
 #include <sstream>
 #include <string>
 
@@ -13,6 +22,13 @@ enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
 /// Global log threshold; messages below it are dropped. Defaults to kInfo.
 void set_log_level(LogLevel level);
 LogLevel log_level();
+
+/// Destination for formatted messages that passed the level filter.
+using LogSink = std::function<void(LogLevel, const std::string&)>;
+
+/// Replace the sink (nullptr restores the default stderr writer). Returns
+/// the previous sink, so scoped capture (tests) can restore it.
+LogSink set_log_sink(LogSink sink);
 
 namespace detail {
 void log_message(LogLevel level, const std::string& msg);

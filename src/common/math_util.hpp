@@ -6,7 +6,7 @@
 #include <cstdint>
 #include <vector>
 
-#include "common/error.hpp"
+#include "common/check.hpp"
 
 namespace epim {
 

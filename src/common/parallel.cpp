@@ -2,14 +2,13 @@
 
 #include <algorithm>
 #include <atomic>
-#include <condition_variable>
 #include <cstdlib>
 #include <exception>
 #include <memory>
-#include <mutex>
 #include <thread>
 
-#include "common/error.hpp"
+#include "common/check.hpp"
+#include "common/thread_annotations.hpp"
 
 namespace epim {
 
@@ -35,6 +34,11 @@ int default_thread_count() {
 /// Several jobs may be live at once (one per initiating thread): a serving
 /// fleet has several batch workers per resident model, and all of them draw on this
 /// one pool instead of spawning private ones.
+///
+/// Not EPIM_GUARDED_BY anything: `fn`/`chunks`/`errors`-slots are written
+/// before the job is published under the pool mutex and read after it is
+/// popped from it (or through the atomic dispenser), so the mutex + the
+/// acquire/release pair on `pending` carry the happens-before edges.
 struct Job {
   const std::function<void(int)>* fn = nullptr;
   int chunks = 0;
@@ -55,17 +59,28 @@ class ThreadPool {
   }
 
   int threads() {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     return static_cast<int>(workers_.size()) + 1;
   }
 
-  void resize(int n) {
+  void resize(int n) EPIM_EXCLUDES(mutex_) {
     n = std::clamp(n, 1, detail::kMaxThreads);
     EPIM_CHECK(!t_in_parallel_region,
                "set_num_threads inside a parallel region");
-    std::unique_lock<std::mutex> lock(mutex_);
-    if (static_cast<int>(workers_.size()) + 1 == n) return;
-    stop_workers(lock);
+    // Stop + hand off the old workers under the lock, join them OUTSIDE
+    // it: exiting workers take the mutex themselves on their way out, so a
+    // join under the lock would be both an analysis violation and a real
+    // (if unlikely) stall amplifier.
+    std::vector<std::thread> retired;
+    {
+      MutexLock lock(mutex_);
+      if (static_cast<int>(workers_.size()) + 1 == n) return;
+      stop_ = true;
+      work_cv_.notify_all();
+      retired.swap(workers_);
+    }
+    for (std::thread& w : retired) w.join();
+    MutexLock lock(mutex_);
     stop_ = false;
     for (int i = 0; i < n - 1; ++i) {
       workers_.emplace_back([this] { worker_loop(); });
@@ -80,14 +95,18 @@ class ThreadPool {
   /// drain whichever live job still has chunks (FIFO across jobs), and the
   /// initiating thread always participates in its own job, so a region
   /// finishes even when every worker is busy elsewhere.
-  void run(int chunks, const std::function<void(int)>& chunk_fn) {
+  void run(int chunks, const std::function<void(int)>& chunk_fn)
+      EPIM_EXCLUDES(mutex_) {
+    // parallel_for_chunks runs chunks <= 1 inline; a non-positive count
+    // here would publish a job no worker can ever finish.
+    EPIM_DCHECK(chunks > 0, "ThreadPool::run with a non-positive chunk count");
     auto job = std::make_shared<Job>();
     job->fn = &chunk_fn;
     job->chunks = chunks;
     job->pending.store(chunks, std::memory_order_relaxed);
     job->errors.assign(static_cast<std::size_t>(chunks), nullptr);
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      MutexLock lock(mutex_);
       jobs_.push_back(job);
     }
     work_cv_.notify_all();
@@ -95,7 +114,9 @@ class ThreadPool {
     drain(*job);
     t_in_parallel_region = false;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
+      MutexLock lock(mutex_);
+      // Predicate form is safe here: it reads only the job's atomic, never
+      // a guarded field (see CondVar::wait).
       done_cv_.wait(lock, [&] {
         return job->pending.load(std::memory_order_acquire) == 0;
       });
@@ -107,23 +128,20 @@ class ThreadPool {
   }
 
   ~ThreadPool() {
-    std::unique_lock<std::mutex> lock(mutex_);
-    stop_workers(lock);
+    std::vector<std::thread> retired;
+    {
+      MutexLock lock(mutex_);
+      stop_ = true;
+      work_cv_.notify_all();
+      retired.swap(workers_);
+    }
+    for (std::thread& w : retired) w.join();
   }
 
  private:
   ThreadPool() { resize(default_thread_count()); }
 
-  void stop_workers(std::unique_lock<std::mutex>& lock) {
-    stop_ = true;
-    work_cv_.notify_all();
-    lock.unlock();
-    for (std::thread& w : workers_) w.join();
-    lock.lock();
-    workers_.clear();
-  }
-
-  void drain(Job& job) {
+  void drain(Job& job) EPIM_EXCLUDES(mutex_) {
     for (;;) {
       const int c = job.next.fetch_add(1, std::memory_order_relaxed);
       if (c >= job.chunks) break;
@@ -135,47 +153,49 @@ class ThreadPool {
       if (job.pending.fetch_sub(1, std::memory_order_acq_rel) == 1) {
         // Pair the notify with the mutex so the initiating thread cannot
         // miss it between its predicate check and its wait.
-        { std::lock_guard<std::mutex> lock(mutex_); }
+        { MutexLock lock(mutex_); }
         done_cv_.notify_all();
       }
     }
   }
 
-  /// First live job whose dispenser still has chunks; caller holds mutex_.
-  std::shared_ptr<Job> next_available_locked() const {
+  /// First live job whose dispenser still has chunks.
+  std::shared_ptr<Job> next_available_locked() const EPIM_REQUIRES(mutex_) {
     for (const std::shared_ptr<Job>& job : jobs_) {
       if (job->next.load(std::memory_order_relaxed) < job->chunks) return job;
     }
     return nullptr;
   }
 
-  void worker_loop() {
+  void worker_loop() EPIM_EXCLUDES(mutex_) {
     t_in_parallel_region = true;  // workers only ever run inside a region
     for (;;) {
       std::shared_ptr<Job> job;
       {
-        std::unique_lock<std::mutex> lock(mutex_);
-        work_cv_.wait(lock, [&] {
-          if (stop_) return true;
+        MutexLock lock(mutex_);
+        // Explicit wait loop, not the predicate form: stop_ and jobs_ are
+        // guarded fields, and here the analysis can see mutex_ is held.
+        for (;;) {
+          if (stop_) return;
           job = next_available_locked();
-          return job != nullptr;
-        });
-        if (stop_) return;
+          if (job != nullptr) break;
+          work_cv_.wait(lock);
+        }
       }
       drain(*job);
       job.reset();  // drop the ref before blocking on the next wait
     }
   }
 
-  std::mutex mutex_;
-  std::condition_variable work_cv_;
-  std::condition_variable done_cv_;
-  std::vector<std::thread> workers_;
-  bool stop_ = false;
+  mutable Mutex mutex_{"parallel::ThreadPool::mutex_"};
+  CondVar work_cv_;
+  CondVar done_cv_;
+  std::vector<std::thread> workers_ EPIM_GUARDED_BY(mutex_);
+  bool stop_ EPIM_GUARDED_BY(mutex_) = false;
   /// Live jobs in submission order; erased by their initiating thread once
   /// drained. A job stays listed (dispenser exhausted) until every chunk
   /// *finished*, so stragglers can never resurrect it.
-  std::vector<std::shared_ptr<Job>> jobs_;
+  std::vector<std::shared_ptr<Job>> jobs_ EPIM_GUARDED_BY(mutex_);
 };
 
 }  // namespace

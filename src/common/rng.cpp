@@ -1,6 +1,6 @@
 #include "common/rng.hpp"
 
-#include "common/error.hpp"
+#include "common/check.hpp"
 
 namespace epim {
 

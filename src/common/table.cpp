@@ -4,7 +4,7 @@
 #include <iomanip>
 #include <sstream>
 
-#include "common/error.hpp"
+#include "common/check.hpp"
 
 namespace epim {
 

@@ -1,0 +1,210 @@
+// Clang thread-safety-analysis capability wrappers: the ONLY place in the
+// library allowed to touch <mutex>/<condition_variable> directly (enforced
+// by tools/lint.py). Everything concurrent in the repo locks through
+// epim::Mutex / epim::MutexLock / epim::CondVar so that
+//
+//  * a clang build (-Werror=thread-safety, wired up in CMakeLists.txt for
+//    every clang configure) proves at COMPILE TIME that each field marked
+//    EPIM_GUARDED_BY is only touched with its mutex held, that
+//    EPIM_REQUIRES contracts hold at every call site, and that a scoped
+//    lock is never leaked across a path that should have released it;
+//  * a -DEPIM_LOCK_DEBUG=ON build (the ASan/TSan CI jobs) additionally
+//    checks at RUN TIME what the static analysis cannot: the global
+//    acquisition ORDER across objects. Every Mutex carries a name; the
+//    debug::LockOrderRegistry records per-thread held-lock sets, grows the
+//    name-level acquisition graph, and reports the first cycle (lock-order
+//    inversion) with both acquisition stacks -- see lock_debug.hpp.
+//
+// The attribute macros expand to nothing on GCC (which has no thread-safety
+// analysis), so the annotations are free documentation there and a build
+// gate under clang.
+//
+// CondVar wraps std::condition_variable_any waiting directly on MutexLock,
+// so a wait's internal unlock/relock flows through Mutex::unlock()/lock()
+// and the lockdep held-set stays exact across blocking waits. Prefer
+// explicit `while (!pred) cv.wait(lock);` loops over the predicate overload
+// when the predicate reads EPIM_GUARDED_BY fields: the analysis checks the
+// enclosing function (where the lock is provably held), whereas a predicate
+// lambda is analyzed out of context.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+
+#if defined(EPIM_LOCK_DEBUG)
+#include "common/lock_debug.hpp"
+#endif
+
+// ---------------------------------------------------------------- macros ---
+// Canonical -Wthread-safety attribute spellings (see the clang Thread Safety
+// Analysis docs). No-ops on non-clang compilers.
+#if defined(__clang__)
+#define EPIM_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define EPIM_THREAD_ANNOTATION(x)
+#endif
+
+/// Marks a class as a lockable capability ("mutex" names it in diagnostics).
+#define EPIM_CAPABILITY(x) EPIM_THREAD_ANNOTATION(capability(x))
+/// Marks an RAII class whose lifetime acquires/releases a capability.
+#define EPIM_SCOPED_CAPABILITY EPIM_THREAD_ANNOTATION(scoped_lockable)
+/// Field may only be read/written with the given mutex held.
+#define EPIM_GUARDED_BY(x) EPIM_THREAD_ANNOTATION(guarded_by(x))
+/// Pointee may only be accessed with the given mutex held.
+#define EPIM_PT_GUARDED_BY(x) EPIM_THREAD_ANNOTATION(pt_guarded_by(x))
+/// Documented global acquisition order (checked by the runtime lockdep
+/// layer; clang only verifies these under the off-by-default beta group).
+#define EPIM_ACQUIRED_BEFORE(...) \
+  EPIM_THREAD_ANNOTATION(acquired_before(__VA_ARGS__))
+#define EPIM_ACQUIRED_AFTER(...) \
+  EPIM_THREAD_ANNOTATION(acquired_after(__VA_ARGS__))
+/// Caller must hold the given mutex(es) when calling this function.
+#define EPIM_REQUIRES(...) \
+  EPIM_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+/// Caller must NOT hold the given mutex(es) (the function acquires them, or
+/// calling with them held would deadlock/invert).
+#define EPIM_EXCLUDES(...) \
+  EPIM_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+/// Function acquires the capability and returns holding it.
+#define EPIM_ACQUIRE(...) \
+  EPIM_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+/// Function releases the capability.
+#define EPIM_RELEASE(...) \
+  EPIM_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+/// Function acquires the capability iff it returns `cond`.
+#define EPIM_TRY_ACQUIRE(...) \
+  EPIM_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+/// Escape hatch; every use needs a comment justifying it.
+#define EPIM_NO_THREAD_SAFETY_ANALYSIS \
+  EPIM_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+namespace epim {
+
+// ----------------------------------------------------------------- Mutex ---
+
+/// std::mutex with a capability annotation and a diagnostic name. The name
+/// is the lock's identity in the lock-order graph: instances that play the
+/// same role (e.g. every InferenceService's queue mutex) share one name, so
+/// an ordering bug found on any instance pair indicts the whole class.
+class EPIM_CAPABILITY("mutex") Mutex {
+ public:
+  /// `name` must outlive the Mutex (string literals in practice).
+  explicit Mutex(const char* name = "epim::Mutex") : name_(name) {}
+
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() EPIM_ACQUIRE() {
+#if defined(EPIM_LOCK_DEBUG)
+    // Check + record BEFORE blocking: a true inversion may already be
+    // deadlocking right here, so the report must not wait for the lock.
+    debug::LockOrderRegistry::instance().on_acquire(this, name_);
+#endif
+    mu_.lock();
+  }
+
+  void unlock() EPIM_RELEASE() {
+    mu_.unlock();
+#if defined(EPIM_LOCK_DEBUG)
+    debug::LockOrderRegistry::instance().on_release(this);
+#endif
+  }
+
+  bool try_lock() EPIM_TRY_ACQUIRE(true) {
+    const bool locked = mu_.try_lock();
+#if defined(EPIM_LOCK_DEBUG)
+    // A successful try_lock cannot deadlock by itself, so it records held
+    // state and graph edges without cycle enforcement (see lock_debug.hpp).
+    if (locked) debug::LockOrderRegistry::instance().on_try_acquire(this, name_);
+#endif
+    return locked;
+  }
+
+  const char* name() const { return name_; }
+
+ private:
+  std::mutex mu_;
+  const char* name_;
+};
+
+// ------------------------------------------------------------- MutexLock ---
+
+/// Scoped lock over epim::Mutex, relockable (the clang-documented managed
+/// scoped-capability shape): `unlock()` / `lock()` let a worker drop the
+/// lock around a long computation, and CondVar waits through the same two
+/// entry points, so both the static analysis and the runtime lockdep see
+/// every ownership transition.
+class EPIM_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) EPIM_ACQUIRE(mu) : mu_(&mu), owned_(true) {
+    mu_->lock();
+  }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+  ~MutexLock() EPIM_RELEASE() {
+    if (owned_) mu_->unlock();
+  }
+
+  /// Drop the lock mid-scope (e.g. to run a batch while peers drain the
+  /// queue). The destructor then releases only if re-locked.
+  void unlock() EPIM_RELEASE() {
+    mu_->unlock();
+    owned_ = false;
+  }
+
+  /// Re-acquire after unlock().
+  void lock() EPIM_ACQUIRE() {
+    mu_->lock();
+    owned_ = true;
+  }
+
+  bool owns_lock() const { return owned_; }
+
+ private:
+  Mutex* mu_;
+  bool owned_;
+};
+
+// --------------------------------------------------------------- CondVar ---
+
+/// Condition variable over epim::Mutex. Implemented on
+/// std::condition_variable_any so waits take the annotated MutexLock itself:
+/// the wait's internal release/reacquire goes through MutexLock::unlock()/
+/// lock() and therefore through the lockdep hooks. From the static
+/// analysis's view the capability is held across a wait (the unlock happens
+/// inside a system header it does not analyze), which is exactly the
+/// invariant callers rely on for their EPIM_GUARDED_BY fields.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void wait(MutexLock& lock) { cv_.wait(lock); }
+
+  /// Predicate form. Only use when the predicate touches no guarded fields
+  /// (atomics, locals): clang analyzes the lambda out of context, so
+  /// guarded reads inside it cannot be proven -- write an explicit
+  /// `while (!pred) wait(lock);` loop instead.
+  template <typename Predicate>
+  void wait(MutexLock& lock, Predicate pred) {
+    cv_.wait(lock, std::move(pred));
+  }
+
+  template <typename Clock, typename Duration>
+  std::cv_status wait_until(
+      MutexLock& lock, const std::chrono::time_point<Clock, Duration>& tp) {
+    return cv_.wait_until(lock, tp);
+  }
+
+  void notify_one() { cv_.notify_one(); }
+  void notify_all() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable_any cv_;
+};
+
+}  // namespace epim

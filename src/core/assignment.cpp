@@ -1,6 +1,6 @@
 #include "core/assignment.hpp"
 
-#include "common/error.hpp"
+#include "common/check.hpp"
 
 namespace epim {
 

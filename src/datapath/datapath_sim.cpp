@@ -1,6 +1,6 @@
 #include "datapath/datapath_sim.hpp"
 
-#include "common/error.hpp"
+#include "common/check.hpp"
 #include "tensor/ops.hpp"
 
 namespace epim {

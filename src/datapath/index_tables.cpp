@@ -1,6 +1,6 @@
 #include "datapath/index_tables.hpp"
 
-#include "common/error.hpp"
+#include "common/check.hpp"
 
 namespace epim {
 

@@ -4,6 +4,7 @@
 #include <limits>
 
 #include "common/parallel.hpp"
+#include "common/check.hpp"
 #include "tensor/ops.hpp"
 
 namespace epim {

@@ -1,6 +1,6 @@
 #include "nn/network.hpp"
 
-#include "common/error.hpp"
+#include "common/check.hpp"
 
 namespace epim {
 

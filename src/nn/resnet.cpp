@@ -1,6 +1,6 @@
 #include "nn/resnet.hpp"
 
-#include "common/error.hpp"
+#include "common/check.hpp"
 #include "tensor/ops.hpp"
 
 namespace epim {

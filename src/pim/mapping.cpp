@@ -1,6 +1,6 @@
 #include "pim/mapping.hpp"
 
-#include "common/error.hpp"
+#include "common/check.hpp"
 #include "common/math_util.hpp"
 
 namespace epim {

@@ -4,7 +4,7 @@
 #include <utility>
 #include <vector>
 
-#include "common/error.hpp"
+#include "common/check.hpp"
 #include "common/parallel.hpp"
 #include "common/rng.hpp"
 #include "core/epitome.hpp"

@@ -2,7 +2,7 @@
 
 #include <string>
 
-#include "common/error.hpp"
+#include "common/check.hpp"
 #include "common/parallel.hpp"
 
 namespace epim {

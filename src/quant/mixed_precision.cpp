@@ -2,7 +2,7 @@
 
 #include <algorithm>
 
-#include "common/error.hpp"
+#include "common/check.hpp"
 #include "common/rng.hpp"
 #include "pim/mapping.hpp"
 

@@ -2,7 +2,7 @@
 
 #include <algorithm>
 
-#include "common/error.hpp"
+#include "common/check.hpp"
 #include "common/math_util.hpp"
 #include "serve/artifact.hpp"
 
@@ -67,7 +67,7 @@ void ModelRegistry::register_artifact(const std::string& name,
   const artifact::Info info = artifact::probe(path);
   EPIM_CHECK(info.kind == artifact::Kind::kDeployedModel,
              "registry artifacts must be deployed models: " + path);
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   Entry& entry = add_entry_locked(name, version, serve);
   entry.artifact_path = path;
 }
@@ -82,7 +82,7 @@ void ModelRegistry::register_model(const std::string& name,
                                    const std::string& version,
                                    DeployedModel model,
                                    const ServeConfig& serve) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   Entry& entry = add_entry_locked(name, version, serve);
   entry.model.emplace(std::move(model));
 }
@@ -91,7 +91,7 @@ void ModelRegistry::set_alias(const std::string& name,
                               const std::string& alias,
                               const std::string& version) {
   check_target_component(alias, "alias");
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   const auto family_it = families_.find(name);
   EPIM_CHECK(family_it != families_.end(), "unknown model '" + name + "'");
   Family& family = family_it->second;
@@ -107,7 +107,7 @@ void ModelRegistry::set_split(const std::string& name,
                               std::vector<VersionWeight> split) {
   EPIM_CHECK(!split.empty(),
              "split must name at least one version (use clear_split)");
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   const auto family_it = families_.find(name);
   EPIM_CHECK(family_it != families_.end(), "unknown model '" + name + "'");
   Family& family = family_it->second;
@@ -126,7 +126,7 @@ void ModelRegistry::set_split(const std::string& name,
 }
 
 void ModelRegistry::clear_split(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   const auto family_it = families_.find(name);
   EPIM_CHECK(family_it != families_.end(), "unknown model '" + name + "'");
   family_it->second.split.clear();
@@ -165,7 +165,7 @@ std::pair<std::string, std::string> ModelRegistry::resolve(
   const std::string name = target.substr(0, at);
   EPIM_CHECK(!name.empty(), "routing target must start with a model name");
 
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   const auto family_it = families_.find(name);
   EPIM_CHECK(family_it != families_.end(), "unknown model '" + name + "'");
   const Family& family = family_it->second;
@@ -210,14 +210,14 @@ std::pair<std::string, std::string> ModelRegistry::resolve(
 }
 
 bool ModelRegistry::has_split(const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   const auto family_it = families_.find(name);
   return family_it != families_.end() && !family_it->second.split.empty();
 }
 
 std::vector<std::string> ModelRegistry::versions(
     const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   const auto family_it = families_.find(name);
   EPIM_CHECK(family_it != families_.end(), "unknown model '" + name + "'");
   std::vector<std::string> out;
@@ -229,7 +229,7 @@ std::vector<std::string> ModelRegistry::versions(
 
 bool ModelRegistry::resident(const std::string& name,
                              const std::string& version) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return find_entry_locked(name, version).service != nullptr;
 }
 
@@ -248,6 +248,9 @@ int ModelRegistry::resident_count_locked() const {
 }
 
 void ModelRegistry::evict_locked(Entry& entry) {
+  // Callers pick victims from the resident set, so a cold entry here is a
+  // selection bug, not bad input.
+  EPIM_DCHECK(entry.service != nullptr, "evicting a non-resident entry");
   // detach() joins ALL the service's batch workers after they drain the
   // queue (in-flight batches included): every future handed out for this
   // service resolves before the service is retired. Eviction picks LRU
@@ -313,6 +316,11 @@ void ModelRegistry::materialize_locked(const std::string& name,
     if (victim == nullptr) break;  // budget of 1 with only `entry` resident
     evict_locked(*victim);
   }
+  // LRU loop postcondition: within budget, except the one-over case where
+  // `entry` itself is the only survivor of a budget-of-1 registry.
+  EPIM_DCHECK(resident_count_locked() <= config_.max_resident_models ||
+                  resident_count_locked() == 1,
+              "eviction loop left the registry over its resident budget");
   (void)name;
   (void)version;
 }
@@ -326,7 +334,7 @@ void ModelRegistry::retire(std::unique_ptr<InferenceService> service,
   (void)service->detach();
   const ServiceStats final = service->stats();
   service.reset();
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   // Entries are never removed, so the entry still exists.
   Entry& entry = find_entry_locked(name, version);
   entry.retired.requests += final.requests;
@@ -343,7 +351,7 @@ void ModelRegistry::reload(const std::string& name,
              "registry artifacts must be deployed models: " + path);
   std::unique_ptr<InferenceService> old;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     Entry& entry = find_entry_locked(name, version);
     old = std::move(entry.service);
     entry.artifact_path = path;
@@ -367,7 +375,7 @@ std::future<InferenceResult> ModelRegistry::submit(const std::string& name,
 std::vector<std::future<InferenceResult>> ModelRegistry::submit_batch(
     const std::string& name, const std::string& version,
     std::vector<Tensor> images) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   Entry& entry = find_entry_locked(name, version);
   materialize_locked(name, version, entry);
   entry.last_used = ++tick_;
@@ -380,7 +388,7 @@ std::vector<std::future<InferenceResult>> ModelRegistry::submit_batch(
 RegistrySnapshot ModelRegistry::stats() const {
   RegistrySnapshot snapshot;
   std::vector<double> pooled;
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   for (const auto& [name, family] : families_) {
     for (const auto& [version, entry] : family.versions) {
       ModelSnapshot m;
@@ -416,7 +424,7 @@ RegistrySnapshot ModelRegistry::stats() const {
 }
 
 void ModelRegistry::reset_stats() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   for (auto& [name, family] : families_) {
     for (auto& [version, entry] : family.versions) {
       if (entry.service != nullptr) entry.service->reset();
@@ -433,7 +441,7 @@ std::pair<std::string, std::string> Router::route(const std::string& target) {
   // Hold the rng lock across the resolve so the "is there a split?" check
   // and the draw are one atomic step against concurrent set_split(), and
   // concurrent routers still consume exactly one draw per split routing.
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return registry_.resolve(target,
                            std::function<double()>([&] {
                              return rng_.uniform();

@@ -61,13 +61,13 @@
 #include <future>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "common/rng.hpp"
+#include "common/thread_annotations.hpp"
 #include "pipeline/pipeline.hpp"
 #include "serve/service.hpp"
 
@@ -257,28 +257,35 @@ class ModelRegistry {
 
   /// Insert a fresh entry; shared precondition checks for both register_*.
   Entry& add_entry_locked(const std::string& name, const std::string& version,
-                          const ServeConfig& serve);
-  Entry& find_entry_locked(const std::string& name,
-                           const std::string& version);
+                          const ServeConfig& serve) EPIM_REQUIRES(mu_);
+  Entry& find_entry_locked(const std::string& name, const std::string& version)
+      EPIM_REQUIRES(mu_);
   const Entry& find_entry_locked(const std::string& name,
-                                 const std::string& version) const;
+                                 const std::string& version) const
+      EPIM_REQUIRES(mu_);
   /// Stand up `entry`'s service if cold, then evict LRU residents (never
   /// `entry` itself) until the budget holds.
   void materialize_locked(const std::string& name, const std::string& version,
-                          Entry& entry);
+                          Entry& entry) EPIM_REQUIRES(mu_);
   /// Detach + retire one resident service (drains its queue; caller holds
   /// the registry lock, acceptable because eviction picks cold services).
-  void evict_locked(Entry& entry);
+  void evict_locked(Entry& entry) EPIM_REQUIRES(mu_);
   /// Drain a swapped-out service outside the lock, then fold its final
-  /// counters into the (never-removed) entry's retired totals.
+  /// counters into the (never-removed) entry's retired totals. Must NOT be
+  /// called with mu_ held: the drain blocks on in-flight traffic, and it
+  /// re-acquires mu_ for the fold.
   void retire(std::unique_ptr<InferenceService> service,
-              const std::string& name, const std::string& version);
-  int resident_count_locked() const;
+              const std::string& name, const std::string& version)
+      EPIM_EXCLUDES(mu_);
+  int resident_count_locked() const EPIM_REQUIRES(mu_);
 
   RegistryConfig config_;
-  mutable std::mutex mu_;
-  std::map<std::string, Family> families_;
-  std::uint64_t tick_ = 0;
+  /// One registry lock over the whole entry map (the documented cold-start
+  /// head-of-line tradeoff above). Lockdep order: ModelRegistry::mu_ ->
+  /// InferenceService::mu_ -> InferenceService::stats_mu_.
+  mutable Mutex mu_{"ModelRegistry::mu_"};
+  std::map<std::string, Family> families_ EPIM_GUARDED_BY(mu_);
+  std::uint64_t tick_ EPIM_GUARDED_BY(mu_) = 0;
 };
 
 /// The front door: resolves aliases and weighted splits, then forwards to
@@ -308,8 +315,8 @@ class Router {
 
  private:
   ModelRegistry& registry_;
-  std::mutex mu_;  ///< guards rng_
-  Rng rng_;
+  Mutex mu_{"Router::mu_"};
+  Rng rng_ EPIM_GUARDED_BY(mu_);
 };
 
 }  // namespace epim

@@ -3,7 +3,7 @@
 #include <algorithm>
 #include <limits>
 
-#include "common/error.hpp"
+#include "common/check.hpp"
 #include "common/logging.hpp"
 #include "common/parallel.hpp"
 

@@ -7,7 +7,7 @@
 #include <utility>
 #include <vector>
 
-#include "common/error.hpp"
+#include "common/check.hpp"
 #include "pipeline/pipeline.hpp"
 #include "runtime/pim_runtime.hpp"
 

@@ -5,8 +5,9 @@
 #include <cmath>
 #include <utility>
 
-#include "common/error.hpp"
+#include "common/check.hpp"
 #include "common/math_util.hpp"
+#include "common/thread_annotations.hpp"
 #include "runtime/pim_runtime.hpp"
 
 namespace epim {
@@ -24,7 +25,13 @@ double ms_between(Clock::time_point a, Clock::time_point b) {
 InferenceService::InferenceService(DeployedModel model, ServeConfig config)
     : model_(std::move(model)), config_(config) {
   validate_serve(config_);
-  worker_in_flight_.assign(static_cast<std::size_t>(config_.workers), 0);
+  {
+    // No worker exists yet, but worker_in_flight_ is a guarded field and
+    // the analysis (correctly) has no "threads not started" concept; an
+    // uncontended lock documents the invariant at zero cost.
+    MutexLock lock(mu_);
+    worker_in_flight_.assign(static_cast<std::size_t>(config_.workers), 0);
+  }
   workers_.reserve(static_cast<std::size_t>(config_.workers));
   for (int w = 0; w < config_.workers; ++w) {
     workers_.emplace_back(
@@ -34,7 +41,7 @@ InferenceService::InferenceService(DeployedModel model, ServeConfig config)
 
 InferenceService::~InferenceService() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     stop_ = true;
   }
   cv_.notify_all();
@@ -45,7 +52,7 @@ InferenceService::~InferenceService() {
 
 DeployedModel InferenceService::detach() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     stop_ = true;
   }
   cv_.notify_all();
@@ -75,7 +82,7 @@ std::vector<std::future<InferenceResult>> InferenceService::submit_batch(
   futures.reserve(images.size());
   const auto now = Clock::now();
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     // The stop check must precede any model_ access: detach() moves the
     // model out (after setting stop_ under this lock), so a late submitter
     // must bounce here and never touch the husk.
@@ -106,7 +113,7 @@ std::vector<std::future<InferenceResult>> InferenceService::submit_batch(
       // bound. Rejection is immediate -- never block, never grow the queue.
       if (queue_.size() + images.size() >
           static_cast<std::size_t>(config_.max_queue)) {
-        std::lock_guard<std::mutex> stats_lock(stats_mu_);
+        MutexLock stats_lock(stats_mu_);
         rejected_ += static_cast<std::int64_t>(images.size());
         throw Unavailable(std::string(kErrQueueFull) + ": " +
                           std::to_string(queue_.size()) + " queued + " +
@@ -119,7 +126,7 @@ std::vector<std::future<InferenceResult>> InferenceService::submit_batch(
     // the window start is guaranteed set. (Lock order mu_ -> stats_mu_ is
     // used nowhere in reverse.)
     {
-      std::lock_guard<std::mutex> stats_lock(stats_mu_);
+      MutexLock stats_lock(stats_mu_);
       if (!saw_first_submit_) {
         saw_first_submit_ = true;
         first_submit_ = now;
@@ -142,9 +149,11 @@ void InferenceService::worker_loop(std::size_t worker) {
       std::chrono::duration_cast<Clock::duration>(
           std::chrono::duration<double, std::milli>(
               config_.flush_deadline_ms));
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   for (;;) {
-    cv_.wait(lock, [&] { return stop_ || !queue_.empty(); });
+    // Explicit wait loop, not the predicate form: stop_ and queue_ are
+    // guarded fields, and here the analysis can see mu_ is held.
+    while (!stop_ && queue_.empty()) cv_.wait(lock);
     if (queue_.empty()) {
       if (stop_) return;
       continue;
@@ -198,6 +207,11 @@ void InferenceService::run_batch(std::vector<Request>& batch) {
     return;
   }
 
+  // forward_batch's contract: one logits tensor and one clip count per
+  // image. Per-batch hot path, so debug-only.
+  EPIM_DCHECK(logits.size() == batch.size() && clips.size() == batch.size(),
+              "forward_batch result count does not match the batch");
+
   const auto done = Clock::now();
   std::vector<InferenceResult> results(batch.size());
   std::int64_t batch_clips = 0;
@@ -219,7 +233,7 @@ void InferenceService::run_batch(std::vector<Request>& batch) {
   // Record stats before fulfilling any promise, so a stats() snapshot taken
   // right after a future resolves already counts that request.
   {
-    std::lock_guard<std::mutex> lock(stats_mu_);
+    MutexLock lock(stats_mu_);
     completed_ += static_cast<std::int64_t>(batch.size());
     batches_ += 1;
     clip_events_ += batch_clips;
@@ -242,7 +256,7 @@ void InferenceService::run_batch(std::vector<Request>& batch) {
 }
 
 void InferenceService::reset() {
-  std::lock_guard<std::mutex> lock(stats_mu_);
+  MutexLock lock(stats_mu_);
   latencies_ms_.clear();
   latency_next_ = 0;
   completed_ = 0;
@@ -259,7 +273,7 @@ void InferenceService::reset() {
 }
 
 std::vector<double> InferenceService::recent_latencies_ms() const {
-  std::lock_guard<std::mutex> lock(stats_mu_);
+  MutexLock lock(stats_mu_);
   // Unroll the ring chronologically: once saturated, latency_next_ is the
   // oldest slot; while filling it stays 0, so this is a plain copy then.
   const std::size_t n = latencies_ms_.size();
@@ -276,7 +290,7 @@ ServiceStats InferenceService::stats() const {
   s.workers = config_.workers;
   std::vector<double> latencies;
   {
-    std::lock_guard<std::mutex> lock(stats_mu_);
+    MutexLock lock(stats_mu_);
     s.requests = completed_;
     s.batches = batches_;
     s.clip_events = clip_events_;
@@ -291,7 +305,7 @@ ServiceStats InferenceService::stats() const {
     }
   }
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     s.queued = static_cast<std::int64_t>(queue_.size());
     for (const std::int64_t n : worker_in_flight_) {
       s.in_flight += n;

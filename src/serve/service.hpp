@@ -32,14 +32,13 @@
 
 #include <algorithm>
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <future>
-#include <mutex>
 #include <thread>
 #include <vector>
 
+#include "common/thread_annotations.hpp"
 #include "pipeline/pipeline.hpp"
 
 namespace epim {
@@ -185,31 +184,43 @@ class InferenceService {
     std::chrono::steady_clock::time_point enqueued;
   };
 
-  void worker_loop(std::size_t worker);
-  void run_batch(std::vector<Request>& batch);
+  void worker_loop(std::size_t worker) EPIM_EXCLUDES(mu_, stats_mu_);
+  /// Runs with NO lock held (the closing worker unlocks around it): several
+  /// batches execute concurrently, and the stats lock is taken only for the
+  /// final counter fold.
+  void run_batch(std::vector<Request>& batch) EPIM_EXCLUDES(mu_, stats_mu_);
 
+  /// Exclusively owned by construction and (post-join) by detach(); workers
+  /// read it concurrently through the const forward_batch path. Not
+  /// guardable by a mutex: the stop_-then-join protocol is the guard (a
+  /// submitter must check stop_ under mu_ before touching the model, and
+  /// detach() moves it out only after every worker joined).
   DeployedModel model_;
-  ServeConfig config_;
+  ServeConfig config_;  ///< immutable after construction
 
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
-  std::deque<Request> queue_;
-  bool stop_ = false;
-  /// Requests each worker has closed into its current batch (0 = idle);
-  /// guarded by mu_. Summed for ServiceStats::in_flight.
-  std::vector<std::int64_t> worker_in_flight_;
+  /// Queue lock; ACQUIRED_BEFORE documents (and lockdep enforces) the only
+  /// legal nesting with the stats lock: mu_ -> stats_mu_, never reverse.
+  mutable Mutex mu_ EPIM_ACQUIRED_BEFORE(stats_mu_){"InferenceService::mu_"};
+  CondVar cv_;
+  std::deque<Request> queue_ EPIM_GUARDED_BY(mu_);
+  bool stop_ EPIM_GUARDED_BY(mu_) = false;
+  /// Requests each worker has closed into its current batch (0 = idle).
+  /// Summed for ServiceStats::in_flight.
+  std::vector<std::int64_t> worker_in_flight_ EPIM_GUARDED_BY(mu_);
 
-  mutable std::mutex stats_mu_;
+  mutable Mutex stats_mu_{"InferenceService::stats_mu_"};
   /// Ring buffer of the last ServeConfig::latency_window request latencies.
-  std::vector<double> latencies_ms_;
-  std::size_t latency_next_ = 0;  ///< ring write position once saturated
-  std::int64_t completed_ = 0;
-  std::int64_t batches_ = 0;
-  std::int64_t clip_events_ = 0;
-  std::int64_t rejected_ = 0;
-  bool saw_first_submit_ = false;
-  std::chrono::steady_clock::time_point first_submit_;
-  std::chrono::steady_clock::time_point last_done_;
+  std::vector<double> latencies_ms_ EPIM_GUARDED_BY(stats_mu_);
+  /// Ring write position once saturated.
+  std::size_t latency_next_ EPIM_GUARDED_BY(stats_mu_) = 0;
+  std::int64_t completed_ EPIM_GUARDED_BY(stats_mu_) = 0;
+  std::int64_t batches_ EPIM_GUARDED_BY(stats_mu_) = 0;
+  std::int64_t clip_events_ EPIM_GUARDED_BY(stats_mu_) = 0;
+  std::int64_t rejected_ EPIM_GUARDED_BY(stats_mu_) = 0;
+  bool saw_first_submit_ EPIM_GUARDED_BY(stats_mu_) = false;
+  std::chrono::steady_clock::time_point first_submit_
+      EPIM_GUARDED_BY(stats_mu_);
+  std::chrono::steady_clock::time_point last_done_ EPIM_GUARDED_BY(stats_mu_);
 
   std::vector<std::thread> workers_;  ///< last member: joins before teardown
 };

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "common/check.hpp"
 #include "common/parallel.hpp"
 
 namespace epim {

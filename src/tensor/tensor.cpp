@@ -4,6 +4,8 @@
 #include <numeric>
 #include <sstream>
 
+#include "common/check.hpp"
+
 namespace epim {
 
 std::int64_t shape_numel(const Shape& shape) {

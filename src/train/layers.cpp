@@ -4,7 +4,7 @@
 #include <cmath>
 #include <limits>
 
-#include "common/error.hpp"
+#include "common/check.hpp"
 #include "tensor/ops.hpp"
 
 namespace epim {

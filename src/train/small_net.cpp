@@ -1,6 +1,6 @@
 #include "train/small_net.hpp"
 
-#include "common/error.hpp"
+#include "common/check.hpp"
 
 namespace epim {
 

@@ -14,7 +14,7 @@
 #include <utility>
 #include <vector>
 
-#include "common/error.hpp"
+#include "common/check.hpp"
 #include "common/parallel.hpp"
 #include "nn/resnet.hpp"
 #include "pim/estimator.hpp"

@@ -1,0 +1,232 @@
+#!/usr/bin/env python3
+"""Repo-invariant lint: checks the generic tools (clang-tidy, thread-safety
+analysis) cannot express. Registered as a ctest test and run by the
+static-analysis CI job; exits nonzero with file:line diagnostics on any
+violation.
+
+Rules (each with its rationale):
+
+  raw-lock        No raw std::mutex / std::condition_variable /
+                  std::lock_guard / std::unique_lock / std::scoped_lock /
+                  std::shared_mutex (or their headers) anywhere under src/
+                  except common/thread_annotations.hpp. Everything must lock
+                  through the annotated epim::Mutex wrappers, or the
+                  thread-safety analysis and the lockdep layer are blind to
+                  it. (tests/ and bench/ may use raw primitives -- e.g. to
+                  exercise the pool from outside.)
+
+  pinned-errors   A direct `throw InvalidArgument(...)` / `throw
+                  Unavailable(...)` statement in src/ must reference a
+                  pinned kErr* message constant. Tests pin exact messages;
+                  ad-hoc strings drift. (EPIM_CHECK is the sanctioned
+                  free-form path -- it prefixes and formats uniformly; the
+                  macro's own implementation in common/error.cpp is the one
+                  allowed raw-throw site.)
+
+  include-cycle   No cycle in the `#include "..."` graph of src/ headers.
+                  Cycles compile accidentally (pragma once) until the day
+                  they do not.
+
+  pragma-once     Every header under src/ carries #pragma once.
+
+Run locally:  python3 tools/lint.py [--root REPO_ROOT]
+"""
+
+import argparse
+import os
+import re
+import sys
+
+# Files allowed to touch raw standard-library locking primitives, and why.
+RAW_LOCK_ALLOWLIST = {
+    # The annotated capability wrappers themselves.
+    "src/common/thread_annotations.hpp",
+}
+
+# Files allowed to `throw InvalidArgument/Unavailable` without a kErr*
+# constant, and why.
+PINNED_ERROR_ALLOWLIST = {
+    # Implements EPIM_CHECK itself: the uniform formatter every free-form
+    # message is required to go through.
+    "src/common/error.cpp",
+}
+
+RAW_LOCK_TOKENS = [
+    "std::mutex",
+    "std::timed_mutex",
+    "std::recursive_mutex",
+    "std::recursive_timed_mutex",
+    "std::shared_mutex",
+    "std::shared_timed_mutex",
+    "std::condition_variable",
+    "std::condition_variable_any",
+    "std::lock_guard",
+    "std::unique_lock",
+    "std::scoped_lock",
+    "std::shared_lock",
+]
+
+RAW_LOCK_INCLUDES = ["<mutex>", "<condition_variable>", "<shared_mutex>"]
+
+THROW_RE = re.compile(r"\bthrow\s+(InvalidArgument|Unavailable)\s*\(")
+INCLUDE_RE = re.compile(r'^\s*#\s*include\s+"([^"]+)"')
+LINE_COMMENT_RE = re.compile(r"//.*$")
+
+
+def strip_line_comment(line):
+    """Drop // comments so prose mentioning std::mutex does not trip the
+    lint. (Block comments are handled by the caller's state machine.)"""
+    return LINE_COMMENT_RE.sub("", line)
+
+
+def iter_code_lines(text):
+    """Yield (lineno, code) with // and /* */ comment spans blanked out.
+    String literals are left intact: a lock-type name inside a string is
+    almost certainly a lock NAME, which is fine to mention."""
+    in_block = False
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        out = []
+        i = 0
+        while i < len(line):
+            if in_block:
+                end = line.find("*/", i)
+                if end == -1:
+                    i = len(line)
+                else:
+                    in_block = False
+                    i = end + 2
+            else:
+                start_block = line.find("/*", i)
+                start_line = line.find("//", i)
+                if start_line != -1 and (
+                    start_block == -1 or start_line < start_block
+                ):
+                    out.append(line[i:start_line])
+                    i = len(line)
+                elif start_block != -1:
+                    out.append(line[i:start_block])
+                    in_block = True
+                    i = start_block + 2
+                else:
+                    out.append(line[i:])
+                    i = len(line)
+        yield lineno, "".join(out)
+
+
+def source_files(root, subdir, exts):
+    for dirpath, _dirnames, filenames in os.walk(os.path.join(root, subdir)):
+        for filename in sorted(filenames):
+            if os.path.splitext(filename)[1] in exts:
+                path = os.path.join(dirpath, filename)
+                yield os.path.relpath(path, root).replace(os.sep, "/")
+
+
+def check_raw_locks(root, findings):
+    for rel in source_files(root, "src", {".hpp", ".cpp"}):
+        if rel in RAW_LOCK_ALLOWLIST:
+            continue
+        text = open(os.path.join(root, rel), encoding="utf-8").read()
+        for lineno, code in iter_code_lines(text):
+            for token in RAW_LOCK_TOKENS:
+                if token in code:
+                    findings.append(
+                        f"{rel}:{lineno}: [raw-lock] {token} outside "
+                        "common/thread_annotations.hpp -- use epim::Mutex/"
+                        "MutexLock/CondVar so the thread-safety analysis "
+                        "and lockdep can see the lock"
+                    )
+            for inc in RAW_LOCK_INCLUDES:
+                if re.search(r"#\s*include\s+" + re.escape(inc), code):
+                    findings.append(
+                        f"{rel}:{lineno}: [raw-lock] #include {inc} outside "
+                        "common/thread_annotations.hpp"
+                    )
+
+
+def check_pinned_errors(root, findings):
+    for rel in source_files(root, "src", {".hpp", ".cpp"}):
+        if rel in PINNED_ERROR_ALLOWLIST:
+            continue
+        text = open(os.path.join(root, rel), encoding="utf-8").read()
+        # Join physical lines so a throw spanning lines is one statement.
+        code = "\n".join(c for _n, c in iter_code_lines(text))
+        for match in THROW_RE.finditer(code):
+            stmt_end = code.find(";", match.start())
+            stmt = code[match.start() : stmt_end if stmt_end != -1 else None]
+            if "kErr" not in stmt:
+                lineno = code.count("\n", 0, match.start()) + 1
+                findings.append(
+                    f"{rel}:{lineno}: [pinned-errors] throw "
+                    f"{match.group(1)}(...) without a pinned kErr* message "
+                    "constant -- tests pin these messages; either use "
+                    "EPIM_CHECK or add a kErr* constant"
+                )
+
+
+def check_include_cycles(root, findings):
+    graph = {}
+    for rel in source_files(root, "src", {".hpp", ".cpp"}):
+        text = open(os.path.join(root, rel), encoding="utf-8").read()
+        deps = []
+        for _lineno, code in iter_code_lines(text):
+            m = INCLUDE_RE.match(code)
+            if m and os.path.exists(os.path.join(root, "src", m.group(1))):
+                deps.append("src/" + m.group(1))
+        graph[rel] = deps
+
+    WHITE, GRAY, BLACK = 0, 1, 2
+    color = {node: WHITE for node in graph}
+    stack = []
+
+    def dfs(node):
+        color[node] = GRAY
+        stack.append(node)
+        for dep in graph.get(node, ()):  # only src files are nodes
+            if color.get(dep, BLACK) == GRAY:
+                cycle = stack[stack.index(dep) :] + [dep]
+                findings.append(
+                    "[include-cycle] " + " -> ".join(cycle)
+                )
+            elif color.get(dep, BLACK) == WHITE:
+                dfs(dep)
+        stack.pop()
+        color[node] = BLACK
+
+    for node in sorted(graph):
+        if color[node] == WHITE:
+            dfs(node)
+
+
+def check_pragma_once(root, findings):
+    for rel in source_files(root, "src", {".hpp"}):
+        text = open(os.path.join(root, rel), encoding="utf-8").read()
+        if "#pragma once" not in text:
+            findings.append(f"{rel}:1: [pragma-once] header missing #pragma once")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--root",
+        default=os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+        help="repository root (default: parent of tools/)",
+    )
+    args = parser.parse_args()
+
+    findings = []
+    check_raw_locks(args.root, findings)
+    check_pinned_errors(args.root, findings)
+    check_include_cycles(args.root, findings)
+    check_pragma_once(args.root, findings)
+
+    for finding in findings:
+        print(finding)
+    if findings:
+        print(f"lint: {len(findings)} violation(s)", file=sys.stderr)
+        return 1
+    print("lint: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
