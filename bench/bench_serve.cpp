@@ -17,6 +17,15 @@
 //                                   the direct forward_batch reference.
 //   direct_evaluate                 PimNetworkRuntime::evaluate, the
 //                                   unbatched in-process reference
+//   serve_faulted1pct_w2            the saturated workers=2 workload with
+//                                   the serve.run_batch fault point armed
+//                                   at prob 1% (seeded): items_per_op is
+//                                   the mean number of requests that still
+//                                   SUCCEEDED per pass, so items_per_sec is
+//                                   useful-goodput under injected batch
+//                                   faults -- the PR 7 degradation row.
+//                                   Surviving logits stay bit-identical to
+//                                   the clean reference.
 //
 // Acceptance gates along the BENCH trajectory: serve_batch throughput
 // >= 2x serve_single on the same thread budget (PR 3), and the workers=4
@@ -45,6 +54,8 @@
 #include <vector>
 
 #include "common/build_info.hpp"
+#include "common/error.hpp"
+#include "common/fault_inject.hpp"
 #include "common/parallel.hpp"
 #include "pipeline/pipeline.hpp"
 #include "serve/artifact.hpp"
@@ -275,6 +286,51 @@ std::vector<Record> run_suite() {
                                measure_ms([&] { (void)saturated_pass(); }),
                                n_items));
     }
+
+    // Degradation row: the same saturated workload with 1% of batches
+    // failing (seeded, so every run injects the same fault schedule).
+    // items_per_op is the mean count of requests that still succeeded per
+    // pass -- useful goodput, not offered load -- and every surviving
+    // logit must match the clean reference bit for bit.
+    {
+      ServeConfig scfg = cfg.serve;
+      scfg.workers = 2;
+      InferenceService service =
+          std::move(Pipeline::load_deployed(path)).serve(scfg);
+      fault::arm_probability("serve.run_batch", 0.01, 0xBE7Au);
+      double ok_total = 0.0;
+      double passes = 0.0;
+      const auto faulted_pass = [&] {
+        std::vector<Tensor> burst = stream;
+        std::vector<std::future<InferenceResult>> pending =
+            service.submit_batch(std::move(burst));
+        for (std::size_t i = 0; i < pending.size(); ++i) {
+          try {
+            const InferenceResult got = pending[i].get();
+            const Tensor& want = reference[i];
+            bool same = got.logits.shape() == want.shape();
+            for (std::int64_t j = 0; same && j < want.numel(); ++j) {
+              same = got.logits.at(j) == want.at(j);
+            }
+            if (!same) {
+              std::fprintf(stderr,
+                           "serve_faulted1pct_w2: surviving logits diverge "
+                           "at image %zu -- determinism contract broken\n",
+                           i);
+              std::exit(1);
+            }
+            ok_total += 1.0;
+          } catch (const Error&) {
+            // An injected batch fault resolved this request with an error.
+          }
+        }
+        passes += 1.0;
+      };
+      const double wall = measure_ms(faulted_pass);
+      records.push_back(
+          record("serve_faulted1pct_w2", threads, wall, ok_total / passes));
+      fault::disarm_all();
+    }
   }
   set_num_threads(1);
   std::remove(path.c_str());
@@ -302,6 +358,7 @@ int main(int argc, char** argv) {
   // thread count); the reported figure is the worst budget's ratio, so
   // thread scaling can never mask a batching regression.
   std::map<int, double> single_by_threads, batch_by_threads;
+  std::map<int, double> faulted_by_threads;
   std::map<std::pair<int, int>, double> saturated;  // (threads, workers)
   for (const auto& r : records) {
     std::printf("%-20s threads=%d  %10.4f ms/op  %12.1f items/s\n",
@@ -316,6 +373,9 @@ int main(int argc, char** argv) {
     if (r.op.rfind("serve_saturated_w", 0) == 0) {
       saturated[{r.threads, std::atoi(r.op.c_str() + 17)}] = r.items_per_sec;
     }
+    if (r.op == "serve_faulted1pct_w2") {
+      faulted_by_threads[r.threads] = r.items_per_sec;
+    }
   }
   std::printf("bit-identity vs direct forward_batch: OK at every workers x "
               "threads x batch point\n");
@@ -329,6 +389,16 @@ int main(int argc, char** argv) {
   }
   std::printf("worst same-budget batched/single: %.2fx (gate: >= 2x)\n",
               worst_ratio);
+  // PR 7 degradation: goodput under 1% injected batch faults vs the clean
+  // saturated workers=2 row on the same thread budget. Informational --
+  // a ~1% batch fault rate should cost roughly its share of goodput, not
+  // collapse it.
+  for (const auto& [threads, faulted] : faulted_by_threads) {
+    const auto clean = saturated.find({threads, 2});
+    if (clean == saturated.end() || clean->second <= 0.0) continue;
+    std::printf("faulted-1%%/clean goodput @ %d thread(s): %.2fx\n", threads,
+                faulted / clean->second);
+  }
   epim::write_json(records, out, commit);
   std::printf("wrote %s\n", out.c_str());
   // PR 5 worker gate: saturated-queue workers=4 vs workers=1 at 4 pool

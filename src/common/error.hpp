@@ -30,6 +30,15 @@ class Unavailable : public Error {
   explicit Unavailable(const std::string& what) : Error(what) {}
 };
 
+/// Thrown when a request's deadline expired before its work started: the
+/// serving tier sheds it at admission or at batch close instead of running
+/// already-dead work. Retrying the identical request is pointless -- the
+/// caller should retry with a fresh (or no) deadline, or shed load upstream.
+class DeadlineExceeded : public Error {
+ public:
+  explicit DeadlineExceeded(const std::string& what) : Error(what) {}
+};
+
 /// Thrown when an internal invariant fails; indicates a bug in the library.
 class InternalError : public Error {
  public:

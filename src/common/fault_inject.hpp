@@ -1,0 +1,139 @@
+// Deterministic fault injection: named fault points compiled into the
+// library's failure-prone seams (artifact open/read/checksum/write, registry
+// materialization, worker batch execution), armed per-test or via the
+// EPIM_FAULT environment variable. The chaos suite (tests/test_fault.cpp)
+// drives every point under concurrent traffic and asserts the system-wide
+// invariant: every submitted request resolves (value or pinned error), no
+// hang, and successful results stay bit-identical to the fault-free run.
+//
+// Design constraints, in order:
+//
+//  * Always compiled. A fault path that only exists in a special build is a
+//    fault path production never proved; the points are part of the library
+//    so the same binary that serves traffic can be chaos-tested.
+//  * Zero-cost when disarmed. `should_fire()` is a single relaxed atomic
+//    load of the armed-point count when nothing is armed -- no lock, no map
+//    lookup, no hit counting. Only an ARMED run pays the registry lock.
+//  * Deterministic. Triggers are a seeded Bernoulli draw (`prob`) or a
+//    fire-on-exactly-the-Nth-hit counter (`nth`); the same seed and the
+//    same hit sequence reproduce the same faults, the property every other
+//    stochastic component of the repo pins.
+//
+// Current fault points (grep for fault::maybe_fail / fault::should_fire):
+//
+//   artifact.open          before any artifact file is opened (load + probe)
+//   artifact.read          after an artifact file's bytes are slurped
+//   artifact.checksum      forces a section-checksum mismatch (simulated
+//                          bit corruption through the REAL rejection path)
+//   artifact.write         mid-save, between sections (simulated crash; the
+//                          atomic temp-file+rename save must keep the
+//                          destination intact)
+//   registry.materialize   at the top of cold-entry materialization
+//   serve.run_batch        inside a worker's batch execution
+//
+// Environment arming: EPIM_FAULT holds ';'-separated entries
+// `point=prob:RATE[:SEED]` or `point=nth:N`, parsed once at process start
+// (abort with a diagnostic on a malformed spec -- a typo'd chaos run must
+// not silently test nothing). Example:
+//
+//   EPIM_FAULT="serve.run_batch=prob:0.01:42;artifact.open=nth:3" ./test_fault
+//
+// Lock order: the fault registry's mutex is a LEAF -- fault-point
+// evaluation acquires it and nothing else, and it is acquired both with no
+// lock held (worker batch execution) and under ModelRegistry::mu_ (artifact
+// points reached from lock-held materialization). The order
+// ModelRegistry::mu_ -> fault::FaultRegistry::mu_ is annotated on the
+// registry's mutex (EPIM_ACQUIRED_BEFORE(fault::registry_mutex())) and
+// pinned by the lockdep-gated tests.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/thread_annotations.hpp"
+
+namespace epim {
+namespace fault {
+
+/// Message prefix of every injected failure (pinned by tests): the
+/// exceptions faults raise must be distinguishable from organic ones.
+inline constexpr const char* kErrInjected = "injected fault";
+
+/// Introspection snapshot of one point (see status()).
+struct PointStatus {
+  std::string point;
+  bool armed = false;
+  /// Trigger evaluations since the point was (last) armed. Disarmed points
+  /// are never counted -- the fast path returns before any bookkeeping.
+  std::int64_t hits = 0;
+  /// Times the trigger actually fired.
+  std::int64_t fires = 0;
+};
+
+namespace detail {
+/// Count of currently-armed points. The ONLY state the fast path reads.
+extern std::atomic<int> g_armed_points;
+/// Slow path: registry lookup + trigger evaluation under the fault mutex.
+bool should_fire_slow(const char* point);
+}  // namespace detail
+
+/// Evaluate the named fault point: true iff it is armed and its trigger
+/// fires on this hit. When no point is armed (the production steady state)
+/// this is one relaxed atomic load -- the points can stay in hot paths.
+inline bool should_fire(const char* point) {
+  if (detail::g_armed_points.load(std::memory_order_relaxed) == 0) {
+    return false;
+  }
+  return detail::should_fire_slow(point);
+}
+
+/// should_fire(), but a firing point throws epim::Unavailable with the
+/// pinned kErrInjected prefix and the point name. The standard call shape
+/// for "this operation fails here".
+void maybe_fail(const char* point);
+
+/// Arm `point` with a seeded Bernoulli trigger: each hit fires with
+/// probability `rate` (in [0, 1]), drawn from an Rng seeded with `seed`, so
+/// a fixed seed yields a pinned fire pattern. Re-arming replaces the
+/// previous trigger and resets the hit/fire counters.
+void arm_probability(const std::string& point, double rate,
+                     std::uint64_t seed = 0xFA117u);
+
+/// Arm `point` to fire exactly on its Nth hit (1-based) and never again
+/// until re-armed -- the trigger for "the first load succeeds, the retry
+/// fails" style tests.
+void arm_nth(const std::string& point, std::int64_t n);
+
+/// Parse and arm a ';'-separated spec (the EPIM_FAULT format):
+/// `point=prob:RATE[:SEED]` or `point=nth:N`. Throws InvalidArgument on a
+/// malformed entry; already-parsed entries stay armed.
+void arm_spec(const std::string& spec);
+
+/// Re-read EPIM_FAULT and arm its points (idempotent; also runs once
+/// automatically at process start). Returns the number of entries armed.
+int reload_env();
+
+/// Disarm one point (keeps its counters readable) / every point.
+void disarm(const std::string& point);
+void disarm_all();
+
+/// Counters of one point (0 if never armed). hits() counts trigger
+/// evaluations since arming; fires() the subset that fired. A fast-failed
+/// request that never reached the guarded operation leaves hits()
+/// unchanged -- the chaos tests use exactly that to prove a quarantined
+/// model's requests never touch the load path.
+std::int64_t hits(const std::string& point);
+std::int64_t fires(const std::string& point);
+
+/// Snapshot of every point ever armed (diagnostics).
+std::vector<PointStatus> status();
+
+/// The fault registry's internal mutex, exposed ONLY so lock-order
+/// annotations elsewhere can name it in EPIM_ACQUIRED_BEFORE (the attribute
+/// needs an in-scope capability expression). Never lock it directly.
+Mutex& registry_mutex();
+
+}  // namespace fault
+}  // namespace epim

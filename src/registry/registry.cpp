@@ -1,14 +1,19 @@
 #include "registry/registry.hpp"
 
 #include <algorithm>
+#include <chrono>
+#include <cmath>
 
 #include "common/check.hpp"
+#include "common/fault_inject.hpp"
 #include "common/math_util.hpp"
 #include "serve/artifact.hpp"
 
 namespace epim {
 
 namespace {
+
+using Clock = std::chrono::steady_clock;
 
 void check_target_component(const std::string& value, const char* what) {
   EPIM_CHECK(!value.empty(), std::string(what) + " must be non-empty");
@@ -18,16 +23,36 @@ void check_target_component(const std::string& value, const char* what) {
 
 }  // namespace
 
+const char* to_string(HealthState state) {
+  switch (state) {
+    case HealthState::kHealthy:
+      return "healthy";
+    case HealthState::kDegraded:
+      return "degraded";
+    case HealthState::kQuarantined:
+      return "quarantined";
+  }
+  return "unknown";
+}
+
 // ---------------------------------------------------------------------------
 // ModelRegistry: registration
 // ---------------------------------------------------------------------------
 
 ModelRegistry::ModelRegistry(RegistryConfig config)
-    : config_(std::move(config)) {
+    : config_(std::move(config)), health_rng_(config_.health.jitter_seed) {
   EPIM_CHECK(config_.max_resident_models >= 1,
              "registry.max_resident_models must be positive");
   // Fail at construction, not at the first materialization.
   validate_serve(config_.serve);
+  EPIM_CHECK(config_.health.quarantine_after >= 1,
+             "health.quarantine_after must be positive");
+  EPIM_CHECK(config_.health.backoff_base_ms > 0.0,
+             "health.backoff_base_ms must be positive");
+  EPIM_CHECK(config_.health.backoff_max_ms >= config_.health.backoff_base_ms,
+             "health.backoff_max_ms must be >= backoff_base_ms");
+  EPIM_CHECK(config_.health.jitter >= 0.0 && config_.health.jitter < 1.0,
+             "health.jitter must be in [0, 1)");
 }
 
 ModelRegistry::~ModelRegistry() = default;
@@ -261,6 +286,7 @@ void ModelRegistry::evict_locked(Entry& entry) {
   entry.retired.batches += final.batches;
   entry.retired.clip_events += final.clip_events;
   entry.retired.rejected += final.rejected;
+  entry.retired.deadline_misses += final.deadline_misses;
   entry.service.reset();
   entry.evictions += 1;
   if (!entry.artifact_backed()) {
@@ -274,6 +300,10 @@ void ModelRegistry::materialize_locked(const std::string& name,
                                        const std::string& version,
                                        Entry& entry) {
   if (entry.service != nullptr) return;
+  // Chaos hook: fires BEFORE the in-memory model could be consumed, so an
+  // injected materialization failure is always retryable -- exactly like
+  // the artifact-load failures it stands in for.
+  fault::maybe_fail("registry.materialize");
   const bool from_memory = entry.model.has_value();
   DeployedModel model = [&] {
     if (from_memory) {
@@ -341,6 +371,7 @@ void ModelRegistry::retire(std::unique_ptr<InferenceService> service,
   entry.retired.batches += final.batches;
   entry.retired.clip_events += final.clip_events;
   entry.retired.rejected += final.rejected;
+  entry.retired.deadline_misses += final.deadline_misses;
 }
 
 void ModelRegistry::reload(const std::string& name,
@@ -356,6 +387,13 @@ void ModelRegistry::reload(const std::string& name,
     old = std::move(entry.service);
     entry.artifact_path = path;
     entry.model.reset();  // the old in-memory source is superseded
+    // The repointed artifact deserves a fresh probe immediately: whatever
+    // broke the old path says nothing about the new one. Lifetime
+    // materialize_failures is kept (it describes the entry's history).
+    entry.health = HealthState::kHealthy;
+    entry.consecutive_failures = 0;
+    entry.last_error.clear();
+    entry.retry_at = Clock::time_point{};
   }
   retire(std::move(old), name, version);
 }
@@ -367,22 +405,101 @@ void ModelRegistry::reload(const std::string& name,
 std::future<InferenceResult> ModelRegistry::submit(const std::string& name,
                                                    const std::string& version,
                                                    Tensor image) {
+  return submit(name, version, std::move(image), SubmitOptions{});
+}
+
+std::future<InferenceResult> ModelRegistry::submit(
+    const std::string& name, const std::string& version, Tensor image,
+    const SubmitOptions& options) {
   std::vector<Tensor> one;
   one.push_back(std::move(image));
-  return std::move(submit_batch(name, version, std::move(one)).front());
+  return std::move(
+      submit_batch(name, version, std::move(one), options).front());
 }
 
 std::vector<std::future<InferenceResult>> ModelRegistry::submit_batch(
     const std::string& name, const std::string& version,
     std::vector<Tensor> images) {
+  return submit_batch(name, version, std::move(images), SubmitOptions{});
+}
+
+std::vector<std::future<InferenceResult>> ModelRegistry::submit_batch(
+    const std::string& name, const std::string& version,
+    std::vector<Tensor> images, const SubmitOptions& options) {
   MutexLock lock(mu_);
   Entry& entry = find_entry_locked(name, version);
-  materialize_locked(name, version, entry);
+  if (entry.service == nullptr) {
+    // Breaker gate first: while the entry's retry window is open this
+    // throws without touching the load path (no artifact I/O, no extra
+    // lock). Healthy or due-for-probe entries fall through and attempt a
+    // real materialization.
+    check_health_locked(entry, images.size());
+    try {
+      materialize_locked(name, version, entry);
+    } catch (const InternalError& e) {
+      // A consumed in-memory model is unrecoverable by design (see
+      // materialize_locked); record the failure so stats show it, but
+      // rethrow raw -- backoff/retry cannot help and Unavailable would
+      // promise otherwise.
+      record_materialize_failure_locked(entry, e.what());
+      throw;
+    } catch (const std::exception& e) {
+      record_materialize_failure_locked(entry, e.what());
+      throw Unavailable(std::string(kErrMaterializeFailed) + ": '" + name +
+                        "@" + version + "': " + e.what());
+    }
+    // A successful (probe) materialization closes the breaker.
+    entry.health = HealthState::kHealthy;
+    entry.consecutive_failures = 0;
+    entry.last_error.clear();
+  }
   entry.last_used = ++tick_;
   // Enqueue while holding the registry lock so a concurrent reload/eviction
   // cannot destroy the service mid-submission; the enqueue itself is cheap
   // (shape checks + queue push), all compute runs on the service's workers.
-  return entry.service->submit_batch(std::move(images));
+  return entry.service->submit_batch(std::move(images), options);
+}
+
+void ModelRegistry::check_health_locked(Entry& entry,
+                                        std::size_t n_requests) {
+  if (entry.health == HealthState::kHealthy) return;
+  if (Clock::now() >= entry.retry_at) return;  // half-open: caller probes
+  entry.health_fast_fails += static_cast<std::int64_t>(n_requests);
+  if (entry.health == HealthState::kQuarantined) {
+    throw Unavailable(std::string(kErrQuarantined) + " after " +
+                      std::to_string(entry.consecutive_failures) +
+                      " consecutive failures; last: " + entry.last_error);
+  }
+  throw Unavailable(std::string(kErrBackoff) + " (failure " +
+                    std::to_string(entry.consecutive_failures) +
+                    "); last: " + entry.last_error);
+}
+
+void ModelRegistry::record_materialize_failure_locked(
+    Entry& entry, const std::string& what) {
+  entry.consecutive_failures += 1;
+  entry.materialize_failures += 1;
+  entry.last_error = what;
+  entry.health = entry.consecutive_failures >= config_.health.quarantine_after
+                     ? HealthState::kQuarantined
+                     : HealthState::kDegraded;
+  // Exponential backoff, capped (exponent clamped so ldexp cannot
+  // overflow), then jittered by a seeded draw so a fleet of entries broken
+  // by the same outage does not probe in lockstep when it ends.
+  const int exponent = std::min(entry.consecutive_failures - 1, 40);
+  double delay_ms = std::min(std::ldexp(config_.health.backoff_base_ms,
+                                        exponent),
+                             config_.health.backoff_max_ms);
+  delay_ms *= 1.0 + config_.health.jitter * health_rng_.uniform(-1.0, 1.0);
+  entry.retry_at = Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                                      std::chrono::duration<double, std::milli>(
+                                          delay_ms));
+}
+
+HealthState ModelRegistry::health(const std::string& name,
+                                  const std::string& version) const {
+  MutexLock lock(mu_);
+  return find_entry_locked(name, version).health;
 }
 
 RegistrySnapshot ModelRegistry::stats() const {
@@ -410,10 +527,19 @@ RegistrySnapshot ModelRegistry::stats() const {
       m.stats.batches += entry.retired.batches;
       m.stats.clip_events += entry.retired.clip_events;
       m.stats.rejected += entry.retired.rejected;
+      m.stats.deadline_misses += entry.retired.deadline_misses;
+      m.health = entry.health;
+      m.consecutive_failures = entry.consecutive_failures;
+      m.materialize_failures = entry.materialize_failures;
+      m.health_fast_fails = entry.health_fast_fails;
+      m.last_error = entry.last_error;
       snapshot.resident += m.resident;
       snapshot.requests += m.stats.requests;
       snapshot.rejected += m.stats.rejected;
       snapshot.evictions += m.evictions;
+      snapshot.quarantined += m.health == HealthState::kQuarantined;
+      snapshot.deadline_misses += m.stats.deadline_misses;
+      snapshot.health_fast_fails += m.health_fast_fails;
       snapshot.models.push_back(std::move(m));
     }
   }
@@ -429,6 +555,9 @@ void ModelRegistry::reset_stats() {
     for (auto& [version, entry] : family.versions) {
       if (entry.service != nullptr) entry.service->reset();
       entry.retired = RetiredCounters{};
+      // Traffic counter, so it belongs to the interval; the breaker state
+      // and lifetime materialize_failures are structural and stay.
+      entry.health_fast_fails = 0;
     }
   }
 }
@@ -450,14 +579,74 @@ std::pair<std::string, std::string> Router::route(const std::string& target) {
 
 std::future<InferenceResult> Router::submit(const std::string& target,
                                             Tensor image) {
-  const auto [name, version] = route(target);
-  return registry_.submit(name, version, std::move(image));
+  return submit(target, std::move(image), SubmitOptions{});
+}
+
+std::future<InferenceResult> Router::submit(const std::string& target,
+                                            Tensor image,
+                                            const SubmitOptions& options) {
+  std::vector<Tensor> one;
+  one.push_back(std::move(image));
+  return std::move(submit_batch(target, std::move(one), options).front());
 }
 
 std::vector<std::future<InferenceResult>> Router::submit_batch(
     const std::string& target, std::vector<Tensor> images) {
+  return submit_batch(target, std::move(images), SubmitOptions{});
+}
+
+std::vector<std::future<InferenceResult>> Router::submit_batch(
+    const std::string& target, std::vector<Tensor> images,
+    const SubmitOptions& options) {
   const auto [name, version] = route(target);
-  return registry_.submit_batch(name, version, std::move(images));
+  std::string fallback;
+  {
+    MutexLock lock(mu_);
+    const auto it = fallbacks_.find(name);
+    if (it != fallbacks_.end()) fallback = it->second;
+  }
+  if (fallback.empty()) {
+    return registry_.submit_batch(name, version, std::move(images), options);
+  }
+  // submit_batch consumes the images even when it throws, so the burst is
+  // copied up front while a fallback might need it. Families without a
+  // fallback (the steady state) skip the copy via the branch above.
+  std::vector<Tensor> primary_copy = images;
+  try {
+    return registry_.submit_batch(name, version, std::move(primary_copy),
+                                  options);
+  } catch (const Unavailable&) {
+    // Quarantine, backoff, a failed probe, or queue-full admission: all
+    // mean "this model cannot take the burst right now", which is exactly
+    // what the fallback is for. One hop only -- if the fallback is itself
+    // unavailable, that error propagates.
+    const auto [fb_name, fb_version] = route(fallback);
+    {
+      MutexLock lock(mu_);
+      fallback_count_ += 1;
+    }
+    return registry_.submit_batch(fb_name, fb_version, std::move(images),
+                                  options);
+  }
+}
+
+void Router::set_fallback(const std::string& name,
+                          const std::string& fallback_target) {
+  check_target_component(name, "fallback family name");
+  EPIM_CHECK(!fallback_target.empty(),
+             "fallback target must be non-empty (use clear_fallback)");
+  MutexLock lock(mu_);
+  fallbacks_[name] = fallback_target;
+}
+
+void Router::clear_fallback(const std::string& name) {
+  MutexLock lock(mu_);
+  fallbacks_.erase(name);
+}
+
+std::int64_t Router::fallbacks() const {
+  MutexLock lock(mu_);
+  return fallback_count_;
 }
 
 }  // namespace epim

@@ -37,6 +37,31 @@
 // (outside the registry lock), and its counters fold into the entry's
 // retired totals so fleet stats never lose history.
 //
+// Per-entry health: a materialization failure (missing/corrupt artifact,
+// injected fault) no longer escapes raw -- it is recorded on the entry and
+// rethrown as epim::Unavailable (pinned kErrMaterializeFailed prefix). Each
+// entry runs a circuit breaker: consecutive failures put it in kDegraded
+// with exponential backoff + seeded jitter between load retries, and
+// HealthPolicy::quarantine_after of them open the breaker (kQuarantined).
+// While the backoff/quarantine window is open, requests fast-fail
+// Unavailable (kErrBackoff / kErrQuarantined) WITHOUT touching the
+// lock-held load path -- the map lookup and a time compare, no artifact
+// I/O, no crossbar programming, and no additional lock beyond the registry
+// lock every submission already takes. When the window expires, exactly the
+// next request becomes a half-open probe: one real materialization attempt
+// that either closes the breaker (healthy, counters reset) or re-opens it
+// with a doubled backoff. A successful reload() also resets health -- a
+// repointed artifact deserves a fresh probe immediately. Healthy entries
+// pay nothing: the health gate is two branches on the already-locked path.
+//
+// Router fallback: set_fallback(name, target) names a fallback routing
+// target for a model family; when the primary resolution fast-fails
+// Unavailable (quarantine, backoff, queue-full admission, or the probe
+// failing), the Router re-routes the SAME images to the fallback target
+// once (no chaining: a fallback's fallback is never consulted), counting
+// the hop in fallbacks(). The fleet degrades gracefully instead of
+// head-of-line blocking on a broken artifact.
+//
 // Thread budget: resident services share the one `common/parallel` pool --
 // an InferenceService owns only ServeConfig::workers blocking batch
 // threads; all compute fans out across the process-wide pool, which
@@ -56,6 +81,7 @@
 // sizes grow.
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <functional>
 #include <future>
@@ -66,6 +92,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/fault_inject.hpp"
 #include "common/rng.hpp"
 #include "common/thread_annotations.hpp"
 #include "pipeline/pipeline.hpp"
@@ -73,11 +100,40 @@
 
 namespace epim {
 
+/// Health of one registry entry (see the file header). Healthy entries pay
+/// two branches on the submission path; unhealthy ones fast-fail while
+/// their retry window is open.
+enum class HealthState {
+  kHealthy,      ///< serving normally (or never yet materialized)
+  kDegraded,     ///< failing to materialize; retries with backoff
+  kQuarantined,  ///< breaker open after quarantine_after straight failures
+};
+
+/// Human-readable state name ("healthy" / "degraded" / "quarantined").
+const char* to_string(HealthState state);
+
+/// Failure-handling policy for per-entry health.
+struct HealthPolicy {
+  /// Consecutive materialization failures that open the breaker
+  /// (kQuarantined); must be >= 1. Below it the entry is kDegraded.
+  int quarantine_after = 3;
+  /// Backoff before the k-th consecutive retry: base * 2^(k-1) ms, capped
+  /// at backoff_max_ms, then jittered by a factor uniform in
+  /// [1 - jitter, 1 + jitter] drawn from a seeded Rng (deterministic
+  /// fleet-wide, like every other stochastic component).
+  double backoff_base_ms = 100.0;
+  double backoff_max_ms = 10000.0;
+  double jitter = 0.25;  ///< in [0, 1); 0 disables jitter
+  std::uint64_t jitter_seed = 0xB0FFu;
+};
+
 /// Fleet-level policy of a ModelRegistry.
 struct RegistryConfig {
   /// Largest number of materialized services (programmed crossbars +
   /// batch worker threads) resident at once; must be positive. LRU beyond it.
   int max_resident_models = 4;
+  /// Circuit-breaker/backoff policy applied to every entry.
+  HealthPolicy health{};
   /// Batching + admission policy for services the registry materializes;
   /// a per-entry ServeConfig passed at registration overrides it. Note the
   /// registry default BOUNDS the queue (max_queue = 1024) -- unbounded
@@ -111,6 +167,19 @@ struct ModelSnapshot {
   int workers = 0;
   ServiceStats stats{};
   std::int64_t evictions = 0;
+  /// Circuit-breaker view of the entry (see HealthState).
+  HealthState health = HealthState::kHealthy;
+  /// Consecutive materialization failures (reset by a successful load).
+  int consecutive_failures = 0;
+  /// Lifetime materialization failures (never reset by success).
+  std::int64_t materialize_failures = 0;
+  /// Requests fast-failed while the entry's retry window was open (these
+  /// never reached the load path or a service queue, so they appear in
+  /// neither stats.requests nor stats.rejected).
+  std::int64_t health_fast_fails = 0;
+  /// what() of the most recent materialization failure (empty if none
+  /// since the last success).
+  std::string last_error;
 };
 
 /// Registry-wide aggregate: per-model slices plus fleet totals.
@@ -125,6 +194,9 @@ struct RegistrySnapshot {
   std::int64_t rejected = 0;          ///< admission rejections, fleet-wide
   std::int64_t evictions = 0;         ///< LRU evictions, fleet-wide
   std::int64_t queued = 0;            ///< currently queued, fleet-wide
+  int quarantined = 0;                ///< entries with the breaker open
+  std::int64_t deadline_misses = 0;   ///< shed requests, fleet-wide
+  std::int64_t health_fast_fails = 0; ///< breaker fast-fails, fleet-wide
   /// Sum of the resident services' items/s (each measured over its own
   /// submit->completion window).
   double items_per_sec = 0.0;
@@ -192,9 +264,19 @@ class ModelRegistry {
   std::future<InferenceResult> submit(const std::string& name,
                                       const std::string& version,
                                       Tensor image);
+  std::future<InferenceResult> submit(const std::string& name,
+                                      const std::string& version, Tensor image,
+                                      const SubmitOptions& options);
   std::vector<std::future<InferenceResult>> submit_batch(
       const std::string& name, const std::string& version,
       std::vector<Tensor> images);
+  std::vector<std::future<InferenceResult>> submit_batch(
+      const std::string& name, const std::string& version,
+      std::vector<Tensor> images, const SubmitOptions& options);
+
+  /// Current breaker state of `name@version` (InvalidArgument if unknown).
+  HealthState health(const std::string& name,
+                     const std::string& version) const;
 
   /// Resolve a routing target (see file header) to a concrete
   /// (name, version). `split_draw` must be a uniform draw in [0, 1) when
@@ -225,9 +307,22 @@ class ModelRegistry {
   RegistrySnapshot stats() const;
 
   /// Start a new stats interval: reset() every resident service and zero
-  /// all retired counters. Structural counters (evictions) are kept --
-  /// they describe the registry, not an interval's traffic.
+  /// all retired counters plus the health_fast_fails traffic counter.
+  /// Structural counters (evictions, health state, materialize_failures)
+  /// are kept -- they describe the registry, not an interval's traffic.
   void reset_stats();
+
+  /// Materialization-failure message prefix (pinned by tests): every
+  /// failure to load/adopt an entry's model surfaces as Unavailable with
+  /// this prefix and the underlying error appended.
+  static constexpr const char* kErrMaterializeFailed =
+      "model failed to materialize";
+  /// Fast-fail message prefixes (pinned by tests) while an entry's retry
+  /// window is open: degraded-with-backoff vs. breaker-open quarantine.
+  static constexpr const char* kErrBackoff =
+      "model is backing off after a materialization failure";
+  static constexpr const char* kErrQuarantined =
+      "model is quarantined (circuit breaker open)";
 
  private:
   struct RetiredCounters {
@@ -235,6 +330,7 @@ class ModelRegistry {
     std::int64_t batches = 0;
     std::int64_t clip_events = 0;
     std::int64_t rejected = 0;
+    std::int64_t deadline_misses = 0;
   };
 
   struct Entry {
@@ -245,6 +341,16 @@ class ModelRegistry {
     std::uint64_t last_used = 0;        ///< LRU tick
     std::int64_t evictions = 0;
     RetiredCounters retired{};          ///< from evicted/swapped services
+
+    // --- circuit breaker (mutated only under the registry lock) ---
+    HealthState health = HealthState::kHealthy;
+    int consecutive_failures = 0;
+    std::int64_t materialize_failures = 0;
+    std::int64_t health_fast_fails = 0;
+    std::string last_error;
+    /// End of the current backoff/quarantine window; requests before it
+    /// fast-fail, the first one at/after it is the half-open probe.
+    std::chrono::steady_clock::time_point retry_at{};
 
     bool artifact_backed() const { return !artifact_path.empty(); }
   };
@@ -278,14 +384,32 @@ class ModelRegistry {
               const std::string& name, const std::string& version)
       EPIM_EXCLUDES(mu_);
   int resident_count_locked() const EPIM_REQUIRES(mu_);
+  /// Breaker gate for a cold entry: returns normally when the entry may
+  /// attempt (re)materialization -- healthy, or its retry window expired
+  /// (half-open probe). Otherwise counts `n_requests` fast-fails and throws
+  /// Unavailable (kErrBackoff / kErrQuarantined) WITHOUT touching the load
+  /// path. Two branches for healthy entries; no extra lock for anyone.
+  void check_health_locked(Entry& entry, std::size_t n_requests)
+      EPIM_REQUIRES(mu_);
+  /// Record one materialization failure: bump the failure counters, move
+  /// the state machine (kDegraded, kQuarantined past quarantine_after) and
+  /// open the next backoff window (exponential + seeded jitter).
+  void record_materialize_failure_locked(Entry& entry, const std::string& what)
+      EPIM_REQUIRES(mu_);
 
   RegistryConfig config_;
   /// One registry lock over the whole entry map (the documented cold-start
   /// head-of-line tradeoff above). Lockdep order: ModelRegistry::mu_ ->
-  /// InferenceService::mu_ -> InferenceService::stats_mu_.
-  mutable Mutex mu_{"ModelRegistry::mu_"};
+  /// InferenceService::mu_ -> InferenceService::stats_mu_; separately
+  /// ModelRegistry::mu_ -> fault::FaultRegistry::mu_ (armed fault points
+  /// evaluated during lock-held materialization; the fault mutex is a leaf
+  /// and is never taken at all while every point is disarmed).
+  mutable Mutex mu_ EPIM_ACQUIRED_BEFORE(fault::registry_mutex()){
+      "ModelRegistry::mu_"};
   std::map<std::string, Family> families_ EPIM_GUARDED_BY(mu_);
   std::uint64_t tick_ EPIM_GUARDED_BY(mu_) = 0;
+  /// Backoff jitter source (seeded from HealthPolicy::jitter_seed).
+  Rng health_rng_ EPIM_GUARDED_BY(mu_);
 };
 
 /// The front door: resolves aliases and weighted splits, then forwards to
@@ -306,17 +430,42 @@ class Router {
 
   /// Resolve + submit. All split draws, admission rejections and shape
   /// errors surface here exactly as documented on ModelRegistry::submit.
+  /// When the resolved family has a fallback configured (set_fallback) and
+  /// the primary submission throws Unavailable, the same images are
+  /// re-routed to the fallback target once; see the file header.
   std::future<InferenceResult> submit(const std::string& target,
                                       Tensor image);
+  std::future<InferenceResult> submit(const std::string& target, Tensor image,
+                                      const SubmitOptions& options);
   /// A burst routes as ONE unit: a single draw picks the version for the
-  /// whole burst (a canary either sees an entire batch or none of it).
+  /// whole burst (a canary either sees an entire batch or none of it), and
+  /// a fallback hop moves the entire burst or none of it.
   std::vector<std::future<InferenceResult>> submit_batch(
       const std::string& target, std::vector<Tensor> images);
+  std::vector<std::future<InferenceResult>> submit_batch(
+      const std::string& target, std::vector<Tensor> images,
+      const SubmitOptions& options);
+
+  /// Configure `fallback_target` (any routing target) as the once-only
+  /// fallback for traffic whose PRIMARY resolution lands on family `name`
+  /// and then throws Unavailable. The target is resolved at use time, so it
+  /// may be registered, re-aliased or split after this call; a fallback
+  /// that resolves back to the same broken model simply rethrows. No
+  /// chaining: the fallback's own fallback is never consulted.
+  void set_fallback(const std::string& name,
+                    const std::string& fallback_target);
+  void clear_fallback(const std::string& name);
+  /// Bursts (submit counts as a burst of one) that were re-routed to a
+  /// fallback target so far.
+  std::int64_t fallbacks() const;
 
  private:
   ModelRegistry& registry_;
-  Mutex mu_{"Router::mu_"};
+  mutable Mutex mu_{"Router::mu_"};
   Rng rng_ EPIM_GUARDED_BY(mu_);
+  /// Family name -> fallback routing target.
+  std::map<std::string, std::string> fallbacks_ EPIM_GUARDED_BY(mu_);
+  std::int64_t fallback_count_ EPIM_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace epim

@@ -1,5 +1,6 @@
 #include "serve/artifact.hpp"
 
+#include <atomic>
 #include <bit>
 #include <cstring>
 #include <filesystem>
@@ -8,6 +9,7 @@
 #include <vector>
 
 #include "common/check.hpp"
+#include "common/fault_inject.hpp"
 #include "pipeline/pipeline.hpp"
 #include "runtime/pim_runtime.hpp"
 
@@ -658,34 +660,61 @@ struct Section {
 
 void write_container(const std::string& path, artifact::Kind kind,
                      const std::vector<Section>& sections) {
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  EPIM_CHECK(out.good(), "cannot open artifact path for writing: " + path);
-  const auto emit = [&out](const Writer& w) {
-    out.write(reinterpret_cast<const char*>(w.bytes().data()),
-              static_cast<std::streamsize>(w.bytes().size()));
-  };
-  Writer header;
-  for (char c : kMagic) header.u8(static_cast<std::uint8_t>(c));
-  header.u32(artifact::kSchemaVersion);
-  header.u32(static_cast<std::uint32_t>(kind));
-  header.u32(static_cast<std::uint32_t>(sections.size()));
-  emit(header);
-  // Section payloads stream straight to the file; the artifact is never
-  // assembled a second time in memory.
-  for (const Section& s : sections) {
-    EPIM_ASSERT(s.tag.size() <= 8, "artifact section tag too long");
-    Writer sh;
-    for (std::size_t i = 0; i < 8; ++i) {
-      sh.u8(i < s.tag.size() ? static_cast<std::uint8_t>(s.tag[i]) : 0);
+  // Atomic save: stream into a same-directory temp file, then rename over
+  // the destination. A crash (or an armed artifact.write fault) mid-save
+  // can therefore never leave a truncated container at `path` -- readers
+  // see either the complete old artifact or the complete new one. The
+  // counter keeps concurrent saves to the same path from clobbering each
+  // other's temp file; last rename wins, each rename is whole.
+  static std::atomic<std::uint64_t> save_counter{0};
+  const std::string tmp =
+      path + ".tmp." +
+      std::to_string(save_counter.fetch_add(1, std::memory_order_relaxed));
+  try {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    EPIM_CHECK(out.good(), "cannot open artifact path for writing: " + path);
+    const auto emit = [&out](const Writer& w) {
+      out.write(reinterpret_cast<const char*>(w.bytes().data()),
+                static_cast<std::streamsize>(w.bytes().size()));
+    };
+    Writer header;
+    for (char c : kMagic) header.u8(static_cast<std::uint8_t>(c));
+    header.u32(artifact::kSchemaVersion);
+    header.u32(static_cast<std::uint32_t>(kind));
+    header.u32(static_cast<std::uint32_t>(sections.size()));
+    emit(header);
+    // Section payloads stream straight to the file; the artifact is never
+    // assembled a second time in memory.
+    for (const Section& s : sections) {
+      // Chaos hook: simulate a crash between sections -- exactly the
+      // partial write the temp-file protocol exists to contain.
+      fault::maybe_fail("artifact.write");
+      EPIM_ASSERT(s.tag.size() <= 8, "artifact section tag too long");
+      Writer sh;
+      for (std::size_t i = 0; i < 8; ++i) {
+        sh.u8(i < s.tag.size() ? static_cast<std::uint8_t>(s.tag[i]) : 0);
+      }
+      sh.u64(s.payload.size());
+      sh.u64(fnv1a(s.payload.data(), s.payload.size()));
+      emit(sh);
+      out.write(reinterpret_cast<const char*>(s.payload.data()),
+                static_cast<std::streamsize>(s.payload.size()));
     }
-    sh.u64(s.payload.size());
-    sh.u64(fnv1a(s.payload.data(), s.payload.size()));
-    emit(sh);
-    out.write(reinterpret_cast<const char*>(s.payload.data()),
-              static_cast<std::streamsize>(s.payload.size()));
+    out.flush();
+    EPIM_CHECK(out.good(), "failed writing artifact: " + path);
+  } catch (...) {
+    std::error_code ec;
+    std::filesystem::remove(tmp, ec);  // best-effort; the throw is the news
+    throw;
   }
-  out.flush();
-  EPIM_CHECK(out.good(), "failed writing artifact: " + path);
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) {
+    std::error_code remove_ec;
+    std::filesystem::remove(tmp, remove_ec);
+    EPIM_CHECK(false, "failed writing artifact: " + path + " (rename: " +
+                          ec.message() + ")");
+  }
 }
 
 /// Reject paths an ifstream would "open" but never read sensibly (a
@@ -693,6 +722,9 @@ void write_container(const std::string& path, artifact::Kind kind,
 /// would surface as a misleading kErrTruncated). Pinned messages:
 /// nonexistent -> kErrCannotOpen, directory/device -> kErrNotFile.
 void check_readable_file(const std::string& path) {
+  // Chaos hook: a failed open (permissions, unmounted volume) happens here,
+  // before any filesystem call.
+  fault::maybe_fail("artifact.open");
   std::error_code ec;
   const std::filesystem::file_status status =
       std::filesystem::status(path, ec);
@@ -708,6 +740,8 @@ std::vector<std::uint8_t> read_file(const std::string& path) {
   EPIM_CHECK(in.good(), std::string(artifact::kErrCannotOpen) + ": " + path);
   std::vector<std::uint8_t> bytes((std::istreambuf_iterator<char>(in)),
                                   std::istreambuf_iterator<char>());
+  // Chaos hook: an I/O error mid-read (truncated slurp, yanked disk).
+  fault::maybe_fail("artifact.read");
   return bytes;
 }
 
@@ -742,8 +776,12 @@ std::vector<Section> read_container(const std::string& path,
     const std::uint64_t checksum = sh.u64();
     pos += kSectionHeaderBytes;
     EPIM_CHECK(size <= bytes.size() - pos, kErrTruncated);
-    EPIM_CHECK(fnv1a(bytes.data() + pos,
-                     static_cast<std::size_t>(size)) == checksum,
+    // Chaos hook folded into the verification itself: a firing
+    // artifact.checksum fault takes the REAL corruption-rejection path and
+    // raises the same pinned kErrChecksum as flipped bits on disk would.
+    EPIM_CHECK(!fault::should_fire("artifact.checksum") &&
+                   fnv1a(bytes.data() + pos,
+                         static_cast<std::size_t>(size)) == checksum,
                kErrChecksum);
     Section section;
     section.tag = std::move(tag);

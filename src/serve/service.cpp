@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "common/check.hpp"
+#include "common/fault_inject.hpp"
 #include "common/math_util.hpp"
 #include "common/thread_annotations.hpp"
 #include "runtime/pim_runtime.hpp"
@@ -18,6 +19,16 @@ using Clock = std::chrono::steady_clock;
 
 double ms_between(Clock::time_point a, Clock::time_point b) {
   return std::chrono::duration<double, std::milli>(b - a).count();
+}
+
+/// The error a shed request's future carries. The prefix is pinned
+/// (kErrDeadlineExceeded); the suffix reports how long the request actually
+/// waited so a log line is actionable.
+std::exception_ptr deadline_error(Clock::time_point enqueued,
+                                  Clock::time_point now) {
+  return std::make_exception_ptr(DeadlineExceeded(
+      std::string(InferenceService::kErrDeadlineExceeded) + ": queued for " +
+      std::to_string(ms_between(enqueued, now)) + " ms"));
 }
 
 }  // namespace
@@ -67,16 +78,29 @@ DeployedModel InferenceService::detach() {
 }
 
 std::future<InferenceResult> InferenceService::submit(Tensor image) {
+  return submit(std::move(image), SubmitOptions{});
+}
+
+std::future<InferenceResult> InferenceService::submit(
+    Tensor image, const SubmitOptions& options) {
   std::vector<Tensor> one;
   one.push_back(std::move(image));
-  return std::move(submit_batch(std::move(one)).front());
+  return std::move(submit_batch(std::move(one), options).front());
 }
 
 std::vector<std::future<InferenceResult>> InferenceService::submit_batch(
     std::vector<Tensor> images) {
+  return submit_batch(std::move(images), SubmitOptions{});
+}
+
+std::vector<std::future<InferenceResult>> InferenceService::submit_batch(
+    std::vector<Tensor> images, const SubmitOptions& options) {
   // An empty burst would either flush a zero-item batch or silently do
   // nothing depending on worker timing; pin it as a caller error.
   EPIM_CHECK(!images.empty(), "submit_batch requires a non-empty batch");
+  EPIM_CHECK(options.deadline_ms >= 0.0,
+             "deadline_ms must be non-negative (0 = no deadline), got " +
+                 std::to_string(options.deadline_ms));
 
   std::vector<std::future<InferenceResult>> futures;
   futures.reserve(images.size());
@@ -111,6 +135,13 @@ std::vector<std::future<InferenceResult>> InferenceService::submit_batch(
       // Admission control: all-or-nothing for the burst, decided atomically
       // with the enqueue so concurrent submitters can never overshoot the
       // bound. Rejection is immediate -- never block, never grow the queue.
+      // When the bound would reject, first shed queued requests that are
+      // already past their deadline: the workers would drop them at batch
+      // close anyway, and live traffic must not bounce off the dead.
+      if (queue_.size() + images.size() >
+          static_cast<std::size_t>(config_.max_queue)) {
+        shed_expired_locked(now);
+      }
       if (queue_.size() + images.size() >
           static_cast<std::size_t>(config_.max_queue)) {
         MutexLock stats_lock(stats_mu_);
@@ -132,10 +163,17 @@ std::vector<std::future<InferenceResult>> InferenceService::submit_batch(
         first_submit_ = now;
       }
     }
+    Clock::time_point deadline = Clock::time_point::max();
+    if (options.deadline_ms > 0.0) {
+      deadline = now + std::chrono::duration_cast<Clock::duration>(
+                           std::chrono::duration<double, std::milli>(
+                               options.deadline_ms));
+    }
     for (Tensor& image : images) {
       Request request;
       request.image = std::move(image);
       request.enqueued = now;
+      request.deadline = deadline;
       futures.push_back(request.promise.get_future());
       queue_.push_back(std::move(request));
     }
@@ -145,7 +183,7 @@ std::vector<std::future<InferenceResult>> InferenceService::submit_batch(
 }
 
 void InferenceService::worker_loop(std::size_t worker) {
-  const auto deadline_dur =
+  const auto flush_dur =
       std::chrono::duration_cast<Clock::duration>(
           std::chrono::duration<double, std::milli>(
               config_.flush_deadline_ms));
@@ -159,16 +197,29 @@ void InferenceService::worker_loop(std::size_t worker) {
       continue;
     }
     // Continuous batching: hold for batch-mates until the oldest queued
-    // request's deadline, a full batch, or shutdown (which flushes
-    // immediately). A peer may close a batch over this same queue while we
-    // wait, so the deadline re-anchors on whatever request is oldest now,
-    // and a drained queue sends us back to the outer wait.
+    // request's flush deadline, a full batch, or shutdown (which flushes
+    // immediately) -- but wake EARLY at the soonest request deadline, so an
+    // expiring request is shed the moment it dies instead of riding out the
+    // flush timer. A peer may close a batch over this same queue while we
+    // wait, so both deadlines re-anchor on whatever is queued now, and a
+    // drained queue sends us back to the outer wait.
     while (!stop_ &&
            static_cast<int>(queue_.size()) < config_.max_batch) {
-      const auto deadline = queue_.front().enqueued + deadline_dur;
-      if (cv_.wait_until(lock, deadline) == std::cv_status::timeout) break;
+      const auto now = Clock::now();
+      shed_expired_locked(now);
+      if (queue_.empty()) break;
+      const auto flush_at = queue_.front().enqueued + flush_dur;
+      if (now >= flush_at) break;
+      auto wake = flush_at;
+      for (const Request& r : queue_) wake = std::min(wake, r.deadline);
+      cv_.wait_until(lock, wake);
       if (queue_.empty()) break;
     }
+    if (queue_.empty()) continue;
+    // Close the batch. A final sweep first: a batch never runs work that is
+    // already dead, including requests that expired during the waits above
+    // or while this worker held a full queue.
+    shed_expired_locked(Clock::now());
     if (queue_.empty()) continue;
     std::vector<Request> batch;
     const std::size_t n = std::min<std::size_t>(
@@ -184,10 +235,49 @@ void InferenceService::worker_loop(std::size_t worker) {
     // this one computes. forward_batch is const and pure against the
     // programmed crossbars, so concurrent batches stay bit-identical.
     lock.unlock();
-    run_batch(batch);
+    try {
+      run_batch(batch);
+    } catch (...) {
+      // run_batch already routes forward-pass failures to the batch's
+      // futures; this guard is for everything it could not anticipate
+      // (bad_alloc in the stats fold, a throwing fault point outside the
+      // forward try). A worker thread must never die: fail whatever
+      // futures are still unfulfilled and keep draining.
+      const std::exception_ptr error = std::current_exception();
+      for (Request& r : batch) {
+        try {
+          r.promise.set_exception(error);
+        } catch (const std::future_error&) {
+          // Promise already satisfied before the throw -- keep its value.
+        }
+      }
+    }
     lock.lock();
     worker_in_flight_[worker] = 0;
   }
+}
+
+std::size_t InferenceService::shed_expired_locked(Clock::time_point now) {
+  std::vector<Request> expired;
+  for (auto it = queue_.begin(); it != queue_.end();) {
+    if (it->deadline <= now) {
+      expired.push_back(std::move(*it));
+      it = queue_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  if (expired.empty()) return 0;
+  // Count BEFORE failing the futures: a caller that observes a future's
+  // DeadlineExceeded and then reads stats() must see the miss counted.
+  {
+    MutexLock stats_lock(stats_mu_);
+    deadline_misses_ += static_cast<std::int64_t>(expired.size());
+  }
+  for (Request& r : expired) {
+    r.promise.set_exception(deadline_error(r.enqueued, now));
+  }
+  return expired.size();
 }
 
 void InferenceService::run_batch(std::vector<Request>& batch) {
@@ -198,6 +288,9 @@ void InferenceService::run_batch(std::vector<Request>& batch) {
   std::vector<Tensor> logits;
   std::vector<std::int64_t> clips;
   try {
+    // Chaos hook: an injected serve.run_batch fault takes the exact same
+    // recovery path as a real forward-pass failure.
+    fault::maybe_fail("serve.run_batch");
     logits = model_.forward_batch(images, &clips);
   } catch (...) {
     // Shapes were validated at submit, so this is unexpected; fail the
@@ -263,6 +356,7 @@ void InferenceService::reset() {
   batches_ = 0;
   clip_events_ = 0;
   rejected_ = 0;
+  deadline_misses_ = 0;
   saw_first_submit_ = false;
   // Re-anchor the throughput window at the reset itself: requests that
   // were in flight across the reset complete into the NEW interval, so
@@ -295,6 +389,7 @@ ServiceStats InferenceService::stats() const {
     s.batches = batches_;
     s.clip_events = clip_events_;
     s.rejected = rejected_;
+    s.deadline_misses = deadline_misses_;
     latencies = latencies_ms_;
     if (completed_ > 0) {
       s.mean_batch_size = static_cast<double>(completed_) /

@@ -28,6 +28,18 @@
 // instead of blocking or growing the queue without bound; a single burst
 // larger than the bound itself can never be admitted and throws
 // InvalidArgument instead (retrying cannot help).
+//
+// Deadlines: a request submitted with SubmitOptions::deadline_ms must START
+// EXECUTING within that budget or it is shed -- its future fails with
+// epim::DeadlineExceeded (pinned kErrDeadlineExceeded prefix) and the miss
+// is counted in ServiceStats::deadline_misses. Shedding happens at two
+// seams and nowhere else: (1) at batch close, so a closing worker never
+// runs work that is already dead (dead requests anywhere in the queue are
+// swept, not just at the front), and (2) at admission when the queue is at
+// the max_queue bound, where expired queued requests are swept first so
+// live traffic is not rejected behind the dead. A request whose deadline
+// passes mid-execution still completes normally: the deadline bounds
+// queueing delay, not execution.
 #pragma once
 
 #include <algorithm>
@@ -70,6 +82,16 @@ inline double items_rate(std::int64_t completed, double wall_seconds) {
 
 }  // namespace serve_detail
 
+/// Per-submission options (a struct so future knobs ride along without
+/// another overload set).
+struct SubmitOptions {
+  /// Queueing budget in milliseconds, measured from submission: the request
+  /// must be closed into a batch within this long or it is shed with
+  /// DeadlineExceeded. 0 (the default) means no deadline; negative values
+  /// are rejected with InvalidArgument.
+  double deadline_ms = 0.0;
+};
+
 /// Monotonic counters + latency digest, snapshotted under the stats lock.
 struct ServiceStats {
   std::int64_t requests = 0;       ///< completed requests
@@ -93,6 +115,11 @@ struct ServiceStats {
   /// admissible (InvalidArgument) are caller errors, not traffic, and are
   /// NOT counted here.
   std::int64_t rejected = 0;
+  /// Requests shed because their SubmitOptions::deadline_ms expired before
+  /// a worker closed them into a batch (their futures failed with
+  /// DeadlineExceeded). Disjoint from `rejected`: a miss was admitted and
+  /// then died waiting; a rejection never entered the queue.
+  std::int64_t deadline_misses = 0;
   /// Requests currently queued (not yet closed into a batch).
   std::int64_t queued = 0;
   /// Requests closed into a batch that is still executing, summed over all
@@ -132,6 +159,10 @@ class InferenceService {
   /// and the queue is at the bound, throws epim::Unavailable immediately --
   /// admission never blocks the caller or grows the queue.
   std::future<InferenceResult> submit(Tensor image);
+  /// As above, with per-request options (deadline). The future of a request
+  /// shed for missing its deadline fails with epim::DeadlineExceeded.
+  std::future<InferenceResult> submit(Tensor image,
+                                      const SubmitOptions& options);
 
   /// Enqueue a burst atomically: the workers see all images at once, so
   /// full batches flush immediately instead of waiting out the deadline.
@@ -143,6 +174,9 @@ class InferenceService {
   /// the whole burst: either every image is admitted or none is.
   std::vector<std::future<InferenceResult>> submit_batch(
       std::vector<Tensor> images);
+  /// As above, with per-request options applied to every image in the burst.
+  std::vector<std::future<InferenceResult>> submit_batch(
+      std::vector<Tensor> images, const SubmitOptions& options);
 
   /// Consistent snapshot of the counters.
   ServiceStats stats() const;
@@ -176,18 +210,36 @@ class InferenceService {
   /// larger than max_queue, so retrying can never succeed.
   static constexpr const char* kErrBurstTooLarge =
       "burst exceeds the admission bound and can never be admitted";
+  /// Deadline-shed message prefix (pinned by tests). Carried by every
+  /// epim::DeadlineExceeded this service raises.
+  static constexpr const char* kErrDeadlineExceeded =
+      "request deadline exceeded before execution started";
 
  private:
   struct Request {
     Tensor image;
     std::promise<InferenceResult> promise;
     std::chrono::steady_clock::time_point enqueued;
+    /// Latest time a worker may close this request into a batch; max() means
+    /// no deadline. Set once at submit from SubmitOptions::deadline_ms.
+    std::chrono::steady_clock::time_point deadline =
+        std::chrono::steady_clock::time_point::max();
   };
 
   void worker_loop(std::size_t worker) EPIM_EXCLUDES(mu_, stats_mu_);
+  /// Sweep the whole queue for requests whose deadline has passed: each is
+  /// removed, its future fails with DeadlineExceeded and the miss is
+  /// counted. Fulfilling a promise under mu_ is safe -- set_exception only
+  /// stores the error and wakes waiters, it runs no user code. Returns the
+  /// number shed.
+  std::size_t shed_expired_locked(std::chrono::steady_clock::time_point now)
+      EPIM_REQUIRES(mu_) EPIM_EXCLUDES(stats_mu_);
   /// Runs with NO lock held (the closing worker unlocks around it): several
   /// batches execute concurrently, and the stats lock is taken only for the
-  /// final counter fold.
+  /// final counter fold. A throwing forward pass (or an armed
+  /// serve.run_batch fault point) fails the batch's futures and leaves the
+  /// worker serving; worker_loop adds a last-ditch guard so no exception
+  /// whatsoever can kill a worker thread.
   void run_batch(std::vector<Request>& batch) EPIM_EXCLUDES(mu_, stats_mu_);
 
   /// Exclusively owned by construction and (post-join) by detach(); workers
@@ -217,6 +269,7 @@ class InferenceService {
   std::int64_t batches_ EPIM_GUARDED_BY(stats_mu_) = 0;
   std::int64_t clip_events_ EPIM_GUARDED_BY(stats_mu_) = 0;
   std::int64_t rejected_ EPIM_GUARDED_BY(stats_mu_) = 0;
+  std::int64_t deadline_misses_ EPIM_GUARDED_BY(stats_mu_) = 0;
   bool saw_first_submit_ EPIM_GUARDED_BY(stats_mu_) = false;
   std::chrono::steady_clock::time_point first_submit_
       EPIM_GUARDED_BY(stats_mu_);

@@ -13,12 +13,15 @@
 #include <thread>
 #include <vector>
 
+#include <fstream>
+
 #include "common/error.hpp"
 #include "common/parallel.hpp"
 #include "common/rng.hpp"
 #include "nn/resnet.hpp"
 #include "pipeline/pipeline.hpp"
 #include "registry/registry.hpp"
+#include "serve/artifact.hpp"
 #include "serve/service.hpp"
 #include "train/trainer.hpp"
 
@@ -504,6 +507,141 @@ TEST(ModelRegistry, SnapshotAggregatesAndResetStartsNewInterval) {
   // The next interval counts from zero.
   (void)registry.submit("a", "v1", fx.data.test.sample(0)).get();
   EXPECT_EQ(registry.stats().requests, 1);
+}
+
+// ---- artifact rot between registration and first materialization ----
+// register_artifact only probes the file; the bytes are trusted again at
+// every (re-)materialization, so a file deleted or corrupted in between
+// must fail retryably (Unavailable + degraded health) and recover once the
+// file is repaired and the backoff window expires.
+
+TEST(RegistryArtifact, DeletedAfterRegistrationFailsRetryablyAndRecovers) {
+  ZooFixture& fx = ZooFixture::instance();
+  const std::string path = temp_path("registry_rot_deleted.epim");
+  fx.deploy(1).save(path);
+  RegistryConfig cfg;
+  cfg.health.backoff_base_ms = 1.0;
+  cfg.health.backoff_max_ms = 5.0;
+  ModelRegistry registry(cfg);
+  registry.register_artifact("m", "v1", path);  // probe passes...
+  std::remove(path.c_str());                    // ...then the file vanishes
+
+  try {
+    (void)registry.submit("m", "v1", fx.data.test.sample(0));
+    FAIL() << "materialized from a deleted artifact";
+  } catch (const Unavailable& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find(ModelRegistry::kErrMaterializeFailed),
+              std::string::npos)
+        << what;
+    EXPECT_NE(what.find(artifact::kErrCannotOpen), std::string::npos)
+        << what;
+  }
+  EXPECT_EQ(registry.health("m", "v1"), HealthState::kDegraded);
+  ASSERT_EQ(registry.stats().models.size(), 1u);
+  EXPECT_EQ(registry.stats().models[0].materialize_failures, 1);
+
+  // Repair the file; past the (tiny) backoff window the same entry
+  // materializes and answers bit-identically to the original deployment.
+  fx.deploy(1).save(path);
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  expect_same_logits(
+      registry.submit("m", "v1", fx.data.test.sample(0)).get().logits,
+      fx.reference_logits(1)[0], "post-repair");
+  EXPECT_EQ(registry.health("m", "v1"), HealthState::kHealthy);
+  std::remove(path.c_str());
+}
+
+TEST(RegistryArtifact, CorruptedAfterRegistrationIsRejectedByChecksum) {
+  ZooFixture& fx = ZooFixture::instance();
+  const std::string path = temp_path("registry_rot_corrupt.epim");
+  fx.deploy(1).save(path);
+  RegistryConfig cfg;
+  cfg.health.backoff_base_ms = 1.0;
+  cfg.health.backoff_max_ms = 5.0;
+  ModelRegistry registry(cfg);
+  registry.register_artifact("m", "v1", path);
+
+  // Flip one payload bit on disk after registration.
+  std::vector<char> bytes;
+  {
+    std::ifstream in(path, std::ios::binary);
+    bytes.assign(std::istreambuf_iterator<char>(in),
+                 std::istreambuf_iterator<char>());
+  }
+  std::vector<char> corrupt = bytes;
+  corrupt[corrupt.size() / 2] ^= 0x40;
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(corrupt.data(), static_cast<std::streamsize>(corrupt.size()));
+  }
+
+  try {
+    (void)registry.submit("m", "v1", fx.data.test.sample(0));
+    FAIL() << "materialized from a corrupted artifact";
+  } catch (const Unavailable& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find(ModelRegistry::kErrMaterializeFailed),
+              std::string::npos)
+        << what;
+    EXPECT_NE(what.find(artifact::kErrChecksum), std::string::npos) << what;
+  }
+  EXPECT_EQ(registry.health("m", "v1"), HealthState::kDegraded);
+
+  // Restore the pristine bytes: recovery is bit-identical.
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  expect_same_logits(
+      registry.submit("m", "v1", fx.data.test.sample(0)).get().logits,
+      fx.reference_logits(1)[0], "post-restore");
+  EXPECT_EQ(registry.health("m", "v1"), HealthState::kHealthy);
+  std::remove(path.c_str());
+}
+
+TEST(RegistryArtifact, RepeatedLoadFailuresQuarantineUntilRepaired) {
+  ZooFixture& fx = ZooFixture::instance();
+  const std::string path = temp_path("registry_rot_quarantine.epim");
+  fx.deploy(0).save(path);
+  RegistryConfig cfg;
+  cfg.health.quarantine_after = 2;
+  cfg.health.backoff_base_ms = 1.0;
+  cfg.health.backoff_max_ms = 5.0;
+  ModelRegistry registry(cfg);
+  registry.register_artifact("m", "v1", path);
+  std::remove(path.c_str());
+
+  // Two real load attempts (each past the previous backoff window) open
+  // the breaker.
+  EXPECT_THROW((void)registry.submit("m", "v1", fx.data.test.sample(0)),
+               Unavailable);
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  EXPECT_THROW((void)registry.submit("m", "v1", fx.data.test.sample(0)),
+               Unavailable);
+  EXPECT_EQ(registry.health("m", "v1"), HealthState::kQuarantined);
+  EXPECT_EQ(registry.stats().quarantined, 1);
+
+  // Inside the window the breaker fast-fails with the pinned message.
+  try {
+    (void)registry.submit("m", "v1", fx.data.test.sample(0));
+    FAIL() << "quarantined model accepted a request";
+  } catch (const Unavailable& e) {
+    EXPECT_NE(std::string(e.what()).find(ModelRegistry::kErrQuarantined),
+              std::string::npos)
+        << e.what();
+  }
+
+  // Repair + window expiry: the half-open probe closes the breaker.
+  fx.deploy(0).save(path);
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  expect_same_logits(
+      registry.submit("m", "v1", fx.data.test.sample(0)).get().logits,
+      fx.reference_logits(0)[0], "post-repair");
+  EXPECT_EQ(registry.health("m", "v1"), HealthState::kHealthy);
+  EXPECT_EQ(registry.stats().quarantined, 0);
+  std::remove(path.c_str());
 }
 
 }  // namespace

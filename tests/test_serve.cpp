@@ -11,6 +11,8 @@
 #include <cstdio>
 #include <fstream>
 #include <future>
+#include <string>
+#include <thread>
 #include <vector>
 
 #include "common/error.hpp"
@@ -960,6 +962,116 @@ TEST(InferenceService, ServesFromLoadedArtifact) {
     EXPECT_EQ(r.logits.at(j), expected.at(j));
   }
   std::remove(path.c_str());
+}
+
+// ---- request deadlines ----
+
+TEST(ServiceDeadline, ExpiredRequestsAreShedAtBatchCloseNeverExecuted) {
+  DeployedFixture& fx = DeployedFixture::instance();
+  ServeConfig scfg;
+  scfg.max_batch = 64;
+  scfg.flush_deadline_ms = 30.0;  // flush well after the deadlines expire
+  InferenceService service =
+      std::move(Pipeline{PipelineConfig{}}.deploy(fx.net, fx.data.train))
+          .serve(scfg);
+
+  SubmitOptions opts;
+  opts.deadline_ms = 1.0;
+  std::vector<std::future<InferenceResult>> doomed;
+  for (int i = 0; i < 3; ++i) {
+    doomed.push_back(service.submit(fx.data.test.sample(i), opts));
+  }
+  for (auto& f : doomed) {
+    try {
+      f.get();
+      FAIL() << "request outlived a 1 ms deadline under a 30 ms flush";
+    } catch (const DeadlineExceeded& e) {
+      EXPECT_NE(
+          std::string(e.what()).find(InferenceService::kErrDeadlineExceeded),
+          std::string::npos)
+          << e.what();
+    }
+  }
+  ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.deadline_misses, 3);
+  EXPECT_EQ(stats.batches, 0) << "dead requests must never reach run_batch";
+  EXPECT_EQ(stats.requests, 0);
+
+  // The service is unharmed: an undeadlined submit completes normally.
+  (void)service.submit(fx.data.test.sample(0)).get();
+  stats = service.stats();
+  EXPECT_EQ(stats.requests, 1);
+  EXPECT_EQ(stats.deadline_misses, 3);
+}
+
+TEST(ServiceDeadline, AdmissionShedsExpiredRequestsInsteadOfRejecting) {
+  DeployedFixture& fx = DeployedFixture::instance();
+  ServeConfig scfg;
+  scfg.workers = 1;
+  scfg.max_batch = 8;
+  scfg.max_queue = 12;
+  scfg.flush_deadline_ms = 50.0;
+  InferenceService service =
+      std::move(Pipeline{PipelineConfig{}}.deploy(fx.net, fx.data.train))
+          .serve(scfg);
+
+  // Batch A closes immediately (it hits max_batch) and occupies the
+  // worker.
+  std::vector<Tensor> burst(8, fx.data.test.sample(0));
+  auto batch_a = service.submit_batch(burst);
+  for (int spin = 0; spin < 1000 && service.stats().queued > 0; ++spin) {
+    std::this_thread::sleep_for(std::chrono::microseconds(100));
+  }
+
+  // Four requests whose deadline expires long before the 50 ms flush.
+  SubmitOptions tight;
+  tight.deadline_ms = 0.05;
+  std::vector<std::future<InferenceResult>> dead;
+  for (int i = 0; i < 4; ++i) {
+    dead.push_back(service.submit(fx.data.test.sample(i), tight));
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+
+  // Fill the queue to its bound, then submit one more. The expired four
+  // must be shed to admit it -- wherever the shed lands (admission sweep
+  // or batch close), live traffic is never rejected while dead requests
+  // hold queue slots.
+  auto batch_b = service.submit_batch(burst);
+  std::future<InferenceResult> last;
+  EXPECT_NO_THROW(last = service.submit(fx.data.test.sample(0)));
+
+  for (auto& f : dead) {
+    EXPECT_THROW(f.get(), DeadlineExceeded);
+  }
+  for (auto& f : batch_a) (void)f.get();
+  for (auto& f : batch_b) (void)f.get();
+  (void)last.get();
+  const ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.rejected, 0)
+      << "expired requests must be shed, not counted as overload";
+  EXPECT_EQ(stats.deadline_misses, 4);
+  EXPECT_EQ(stats.requests, 17);
+}
+
+TEST(ServiceDeadline, ValidatesOptionsAndTreatsZeroAsNoDeadline) {
+  DeployedFixture& fx = DeployedFixture::instance();
+  InferenceService service =
+      std::move(Pipeline{PipelineConfig{}}.deploy(fx.net, fx.data.train))
+          .serve();
+
+  SubmitOptions negative;
+  negative.deadline_ms = -1.0;
+  EXPECT_THROW((void)service.submit(fx.data.test.sample(0), negative),
+               InvalidArgument);
+
+  SubmitOptions none;  // deadline_ms == 0.0: no deadline
+  (void)service.submit(fx.data.test.sample(0), none).get();
+  SubmitOptions generous;
+  generous.deadline_ms = 1e9;
+  (void)service.submit_batch({fx.data.test.sample(1)}, generous)[0].get();
+  const ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.deadline_misses, 0);
+  EXPECT_EQ(stats.requests, 2);
 }
 
 }  // namespace

@@ -16,12 +16,14 @@ Rules (each with its rationale):
                   exercise the pool from outside.)
 
   pinned-errors   A direct `throw InvalidArgument(...)` / `throw
-                  Unavailable(...)` statement in src/ must reference a
-                  pinned kErr* message constant. Tests pin exact messages;
-                  ad-hoc strings drift. (EPIM_CHECK is the sanctioned
-                  free-form path -- it prefixes and formats uniformly; the
-                  macro's own implementation in common/error.cpp is the one
-                  allowed raw-throw site.)
+                  Unavailable(...)` / `throw DeadlineExceeded(...)`
+                  statement in src/ -- or the same constructors wrapped in
+                  std::make_exception_ptr (how a promise is failed) -- must
+                  reference a pinned kErr* message constant. Tests pin
+                  exact messages; ad-hoc strings drift. (EPIM_CHECK is the
+                  sanctioned free-form path -- it prefixes and formats
+                  uniformly; the macro's own implementation in
+                  common/error.cpp is the one allowed raw-throw site.)
 
   include-cycle   No cycle in the `#include "..."` graph of src/ headers.
                   Cycles compile accidentally (pragma once) until the day
@@ -43,8 +45,8 @@ RAW_LOCK_ALLOWLIST = {
     "src/common/thread_annotations.hpp",
 }
 
-# Files allowed to `throw InvalidArgument/Unavailable` without a kErr*
-# constant, and why.
+# Files allowed to `throw InvalidArgument/Unavailable/DeadlineExceeded`
+# without a kErr* constant, and why.
 PINNED_ERROR_ALLOWLIST = {
     # Implements EPIM_CHECK itself: the uniform formatter every free-form
     # message is required to go through.
@@ -68,7 +70,10 @@ RAW_LOCK_TOKENS = [
 
 RAW_LOCK_INCLUDES = ["<mutex>", "<condition_variable>", "<shared_mutex>"]
 
-THROW_RE = re.compile(r"\bthrow\s+(InvalidArgument|Unavailable)\s*\(")
+THROW_RE = re.compile(
+    r"\b(?:throw\s+|std::make_exception_ptr\s*\(\s*)"
+    r"(InvalidArgument|Unavailable|DeadlineExceeded)\s*\("
+)
 INCLUDE_RE = re.compile(r'^\s*#\s*include\s+"([^"]+)"')
 LINE_COMMENT_RE = re.compile(r"//.*$")
 
