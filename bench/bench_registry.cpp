@@ -22,6 +22,18 @@
 //                          materialize (artifact load + crossbar
 //                          programming) + LRU eviction -- the worst-case
 //                          cold path (items_per_op = swaps per pass)
+//   registry_coldstart_hol resident model B serves its full stream while a
+//                          background thread cold-churns the other two
+//                          artifact-backed models through the remaining
+//                          budget slot. Before PR 8 each materialization
+//                          held the registry lock and B's stream stalled
+//                          behind disk + crossbar programming
+//                          (head-of-line blocking); with lock-dropped
+//                          loads this row should track registry_single
+//   artifact_load_mmap /   one load_deployed() of the same artifact
+//   artifact_load_read     through the mmap (lazy checksum) and read()
+//                          (eager checksum) paths -- the materialization
+//                          I/O cost the registry pays per cold start
 //
 // The PR 4 acceptance gate: fleet3 throughput >= 0.8x registry_single on
 // the same thread budget -- i.e. hosting three models behind one front door
@@ -31,6 +43,7 @@
 //
 // Usage: bench_registry [output.json] [--commit=HASH]
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <cstring>
@@ -45,6 +58,7 @@
 #include "common/parallel.hpp"
 #include "pipeline/pipeline.hpp"
 #include "registry/registry.hpp"
+#include "serve/artifact.hpp"
 #include "serve/service.hpp"
 #include "train/trainer.hpp"
 
@@ -254,6 +268,61 @@ std::vector<Record> run_suite() {
         kSwapsPerPass));
   }
 
+  // Cold-start head-of-line: model B stays resident and serves the full
+  // stream while a background churner keeps cold-loading the other two
+  // artifact-backed models through the remaining budget slot (each touch
+  // is a materialize + LRU evict of the other). The registry lock is
+  // dropped during materialization, so B's throughput should track the
+  // registry_single row instead of stalling behind every cold load.
+  {
+    set_num_threads(1);
+    RegistryConfig rcfg;
+    rcfg.max_resident_models = 2;
+    rcfg.serve = cfg.serve;
+    ModelRegistry registry(rcfg);
+    for (std::size_t v = 0; v < names.size(); ++v) {
+      registry.register_artifact(names[v], "v1", paths[v]);
+    }
+    Router router(registry);
+    push_stream(router, names[1], stream, burst);  // warm B resident
+    std::atomic<bool> stop{false};
+    std::thread churner([&] {
+      int i = 0;
+      while (!stop.load(std::memory_order_relaxed)) {
+        const std::string& cold = (i++ % 2 == 0) ? names[0] : names[2];
+        (void)router.submit(cold, stream[0]).get();
+      }
+    });
+    records.push_back(record(
+        "registry_coldstart_hol", 2,
+        measure_ms([&] { push_stream(router, names[1], stream, burst); }),
+        n_items));
+    stop.store(true);
+    churner.join();
+  }
+
+  // Materialization I/O: one load_deployed() of the same artifact through
+  // the mmap (lazy checksum) and read() (eager checksum) paths.
+  {
+    set_num_threads(1);
+    const artifact::IoMode saved = artifact::io_mode();
+    for (const artifact::IoMode mode :
+         {artifact::IoMode::kMmap, artifact::IoMode::kRead}) {
+      artifact::set_io_mode(mode);
+      records.push_back(record(mode == artifact::IoMode::kMmap
+                                   ? "artifact_load_mmap"
+                                   : "artifact_load_read",
+                               1,
+                               measure_ms(
+                                   [&] {
+                                     (void)Pipeline::load_deployed(paths[0]);
+                                   },
+                                   100.0),
+                               1.0));
+    }
+    artifact::set_io_mode(saved);
+  }
+
   set_num_threads(1);
   for (const std::string& path : paths) std::remove(path.c_str());
   return records;
@@ -263,7 +332,7 @@ std::vector<Record> run_suite() {
 }  // namespace epim
 
 int main(int argc, char** argv) {
-  std::string out = "BENCH_pr4.json";
+  std::string out = "BENCH_pr8.json";
   std::string commit = "unknown";
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--commit=", 9) == 0) {

@@ -18,7 +18,7 @@ std::atomic<int> g_armed_points{0};
 
 namespace {
 
-enum class TriggerKind { kProbability, kNth };
+enum class TriggerKind { kProbability, kNth, kGate };
 
 struct Point {
   bool armed = false;
@@ -26,6 +26,8 @@ struct Point {
   double rate = 0.0;
   Rng rng{0};
   std::int64_t nth = 0;
+  /// Gate trigger only: hits pass through once true (open_gate).
+  bool gate_open = false;
   std::int64_t hit_count = 0;
   std::int64_t fire_count = 0;
 };
@@ -36,6 +38,9 @@ struct Point {
 struct FaultRegistry {
   Mutex mu{"fault::FaultRegistry::mu_"};
   std::map<std::string, Point> points EPIM_GUARDED_BY(mu);
+  /// Signals every hit and every arming change: gate-blocked hits and
+  /// wait_for_hits() callers park here with `mu` released.
+  CondVar cv;
 };
 
 FaultRegistry& fault_registry() {
@@ -83,6 +88,10 @@ bool should_fire_slow(const char* point) {
   if (it == registry.points.end() || !it->second.armed) return false;
   Point& p = it->second;
   p.hit_count += 1;
+  // Every hit is announced so wait_for_hits() callers can make progress
+  // (armed runs are tests/chaos drills; the disarmed fast path never gets
+  // here).
+  registry.cv.notify_all();
   bool fire = false;
   switch (p.kind) {
     case TriggerKind::kProbability:
@@ -91,6 +100,15 @@ bool should_fire_slow(const char* point) {
     case TriggerKind::kNth:
       fire = p.hit_count == p.nth;
       break;
+    case TriggerKind::kGate:
+      // Counted above, now parked: the wait releases the fault mutex, so
+      // other points (and this one's counters) stay reachable while this
+      // hit is held. Re-check armed/kind each wake -- disarm_all() and
+      // re-arming both release parked hits. Gated hits never fire.
+      while (p.armed && p.kind == TriggerKind::kGate && !p.gate_open) {
+        registry.cv.wait(lock);
+      }
+      return false;
   }
   if (fire) p.fire_count += 1;
   return fire;
@@ -116,6 +134,7 @@ void arm_probability(const std::string& point, double rate,
   FaultRegistry& registry = fault_registry();
   MutexLock lock(registry.mu);
   arm_locked(registry.points, point, std::move(p));
+  registry.cv.notify_all();  // re-arming releases hits parked at an old gate
 }
 
 void arm_nth(const std::string& point, std::int64_t n) {
@@ -127,6 +146,36 @@ void arm_nth(const std::string& point, std::int64_t n) {
   FaultRegistry& registry = fault_registry();
   MutexLock lock(registry.mu);
   arm_locked(registry.points, point, std::move(p));
+  registry.cv.notify_all();  // re-arming releases hits parked at an old gate
+}
+
+void arm_gate(const std::string& point) {
+  Point p;
+  p.kind = TriggerKind::kGate;
+  FaultRegistry& registry = fault_registry();
+  MutexLock lock(registry.mu);
+  arm_locked(registry.points, point, std::move(p));
+  registry.cv.notify_all();
+}
+
+void open_gate(const std::string& point) {
+  FaultRegistry& registry = fault_registry();
+  MutexLock lock(registry.mu);
+  auto it = registry.points.find(point);
+  if (it == registry.points.end()) return;
+  it->second.gate_open = true;
+  registry.cv.notify_all();
+}
+
+void wait_for_hits(const std::string& point, std::int64_t n) {
+  EPIM_CHECK(n >= 1, "wait_for_hits needs n >= 1, got " + std::to_string(n));
+  FaultRegistry& registry = fault_registry();
+  MutexLock lock(registry.mu);
+  for (;;) {
+    auto it = registry.points.find(point);
+    if (it != registry.points.end() && it->second.hit_count >= n) return;
+    registry.cv.wait(lock);
+  }
 }
 
 void arm_spec(const std::string& spec) {
@@ -210,6 +259,7 @@ void disarm(const std::string& point) {
   if (it == registry.points.end()) return;
   it->second.armed = false;
   recount_armed_locked(registry.points);
+  registry.cv.notify_all();  // release any hits parked at this gate
 }
 
 void disarm_all() {
@@ -217,6 +267,7 @@ void disarm_all() {
   MutexLock lock(registry.mu);
   for (auto& [name, point] : registry.points) point.armed = false;
   recount_armed_locked(registry.points);
+  registry.cv.notify_all();  // release hits parked at any gate
 }
 
 std::int64_t hits(const std::string& point) {

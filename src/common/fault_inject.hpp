@@ -17,7 +17,12 @@
 //  * Deterministic. Triggers are a seeded Bernoulli draw (`prob`) or a
 //    fire-on-exactly-the-Nth-hit counter (`nth`); the same seed and the
 //    same hit sequence reproduce the same faults, the property every other
-//    stochastic component of the repo pins.
+//    stochastic component of the repo pins. A third trigger, the GATE
+//    (arm_gate/open_gate, test-API only -- not expressible via EPIM_FAULT,
+//    which must never arm something that blocks forever), makes a hit BLOCK
+//    at the point instead of firing: with wait_for_hits() it turns "model A
+//    is mid-load while..." from a sleep-and-hope race into an exact,
+//    timing-free interleaving.
 //
 // Current fault points (grep for fault::maybe_fail / fault::should_fire):
 //
@@ -39,12 +44,13 @@
 //   EPIM_FAULT="serve.run_batch=prob:0.01:42;artifact.open=nth:3" ./test_fault
 //
 // Lock order: the fault registry's mutex is a LEAF -- fault-point
-// evaluation acquires it and nothing else, and it is acquired both with no
-// lock held (worker batch execution) and under ModelRegistry::mu_ (artifact
-// points reached from lock-held materialization). The order
-// ModelRegistry::mu_ -> fault::FaultRegistry::mu_ is annotated on the
-// registry's mutex (EPIM_ACQUIRED_BEFORE(fault::registry_mutex())) and
-// pinned by the lockdep-gated tests.
+// evaluation acquires it and nothing else. Since PR 8 no fault point is
+// evaluated with ModelRegistry::mu_ held at all (materialization runs with
+// the registry lock dropped), so the fault mutex is only ever taken with no
+// other epim lock held; the lockdep-gated tests pin the ABSENCE of the old
+// ModelRegistry::mu_ -> fault::FaultRegistry::mu_ edge. A hit blocked at a
+// gate parks on the registry's CondVar with the fault mutex released, so
+// gates cannot wedge unrelated points.
 #pragma once
 
 #include <atomic>
@@ -106,6 +112,27 @@ void arm_probability(const std::string& point, double rate,
 /// fails" style tests.
 void arm_nth(const std::string& point, std::int64_t n);
 
+/// Arm `point` as a GATE: every hit BLOCKS inside should_fire() (after
+/// being counted, so wait_for_hits() observes the arrival) until
+/// open_gate() or disarm()/disarm_all() releases it; a gated hit never
+/// fires. This is the deterministic "hold the operation right here"
+/// primitive behind the concurrency tests -- e.g. freezing one model's
+/// materialization mid-flight while asserting another keeps serving.
+/// Test API only: EPIM_FAULT cannot arm gates (nothing would open them).
+void arm_gate(const std::string& point);
+
+/// Release every hit blocked at `point`'s gate and let future hits pass
+/// straight through (the gate stays armed so hits keep counting). No-op if
+/// the point is unknown or not gated.
+void open_gate(const std::string& point);
+
+/// Block until `point` has been hit at least `n` times since (re)arming.
+/// With a gate armed this sequences threads exactly: after
+/// wait_for_hits(p, 1) returns, some thread is provably parked at (or has
+/// passed) the point. Must not be called from a thread that could itself
+/// be blocked at the same gate.
+void wait_for_hits(const std::string& point, std::int64_t n);
+
 /// Parse and arm a ';'-separated spec (the EPIM_FAULT format):
 /// `point=prob:RATE[:SEED]` or `point=nth:N`. Throws InvalidArgument on a
 /// malformed entry; already-parsed entries stay armed.
@@ -132,7 +159,10 @@ std::vector<PointStatus> status();
 
 /// The fault registry's internal mutex, exposed ONLY so lock-order
 /// annotations elsewhere can name it in EPIM_ACQUIRED_BEFORE (the attribute
-/// needs an in-scope capability expression). Never lock it directly.
+/// needs an in-scope capability expression). Never lock it directly. (No
+/// in-tree annotation names it since the registry lock stopped covering
+/// fault points; kept for future layers that nest a fault point under a
+/// lock of their own.)
 Mutex& registry_mutex();
 
 }  // namespace fault

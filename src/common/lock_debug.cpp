@@ -49,7 +49,21 @@ struct HeldLock {
 
 /// Per-thread held-lock stack, bottom (oldest) first. Thread-local, so only
 /// the owning thread ever touches it -- no synchronization.
-thread_local std::vector<HeldLock> t_held;
+///
+/// Wrapped in a destruction-sentinel struct: glibc runs the main thread's
+/// TLS destructors at the START of exit(), BEFORE static destructors, so a
+/// Mutex locked inside a static destructor (e.g. ~ThreadPool joining its
+/// workers) would otherwise push into the already-freed vector. `destroyed`
+/// is trivially destructible and its TLS storage outlives the object, so
+/// the hooks read it afterwards (the standard exit-guard idiom) and become
+/// no-ops during teardown -- the process is single-threaded by then, there
+/// is no ordering left to enforce.
+struct HeldStack {
+  std::vector<HeldLock> held;
+  bool destroyed = false;
+  ~HeldStack() { destroyed = true; }
+};
+thread_local HeldStack t_stack;
 
 std::string stack_description(const std::vector<HeldLock>& held,
                               const char* acquiring) {
@@ -108,6 +122,8 @@ LockOrderRegistry& LockOrderRegistry::instance() {
 }
 
 void LockOrderRegistry::on_acquire(const void* lock, const char* name) {
+  if (t_stack.destroyed) return;  // exit-time teardown; see HeldStack
+  std::vector<HeldLock>& t_held = t_stack.held;
   // Same-instance recursion deadlocks std::mutex unconditionally; report
   // before the thread wedges.
   for (const HeldLock& held : t_held) {
@@ -193,6 +209,8 @@ void LockOrderRegistry::on_acquire(const void* lock, const char* name) {
 }
 
 void LockOrderRegistry::on_try_acquire(const void* lock, const char* name) {
+  if (t_stack.destroyed) return;  // exit-time teardown; see HeldStack
+  std::vector<HeldLock>& t_held = t_stack.held;
   // A successful try-lock establishes real ordering facts but cannot
   // deadlock (it would have yielded), so: record edges, skip enforcement.
   {
@@ -208,6 +226,8 @@ void LockOrderRegistry::on_try_acquire(const void* lock, const char* name) {
 }
 
 void LockOrderRegistry::on_release(const void* lock) {
+  if (t_stack.destroyed) return;  // exit-time teardown; see HeldStack
+  std::vector<HeldLock>& t_held = t_stack.held;
   // Search from the top: releases are LIFO in practice, but a scoped lock
   // released out of order must still unwind correctly.
   for (auto it = t_held.rbegin(); it != t_held.rend(); ++it) {
@@ -246,7 +266,9 @@ std::size_t LockOrderRegistry::edge_count() const {
   return count;
 }
 
-std::size_t LockOrderRegistry::held_count() const { return t_held.size(); }
+std::size_t LockOrderRegistry::held_count() const {
+  return t_stack.destroyed ? 0 : t_stack.held.size();
+}
 
 void LockOrderRegistry::reset() {
   SpinGuard guard(impl_->spin);

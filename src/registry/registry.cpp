@@ -35,6 +35,20 @@ const char* to_string(HealthState state) {
   return "unknown";
 }
 
+const char* to_string(LifecycleState state) {
+  switch (state) {
+    case LifecycleState::kCold:
+      return "cold";
+    case LifecycleState::kLoading:
+      return "loading";
+    case LifecycleState::kResident:
+      return "resident";
+    case LifecycleState::kDraining:
+      return "draining";
+  }
+  return "unknown";
+}
+
 // ---------------------------------------------------------------------------
 // ModelRegistry: registration
 // ---------------------------------------------------------------------------
@@ -255,7 +269,7 @@ std::vector<std::string> ModelRegistry::versions(
 bool ModelRegistry::resident(const std::string& name,
                              const std::string& version) const {
   MutexLock lock(mu_);
-  return find_entry_locked(name, version).service != nullptr;
+  return find_entry_locked(name, version).state == LifecycleState::kResident;
 }
 
 // ---------------------------------------------------------------------------
@@ -266,93 +280,156 @@ int ModelRegistry::resident_count_locked() const {
   int count = 0;
   for (const auto& [name, family] : families_) {
     for (const auto& [version, entry] : family.versions) {
-      count += entry.service != nullptr;
+      count += entry.state == LifecycleState::kResident;
     }
   }
   return count;
 }
 
-void ModelRegistry::evict_locked(Entry& entry) {
-  // Callers pick victims from the resident set, so a cold entry here is a
-  // selection bug, not bad input.
-  EPIM_DCHECK(entry.service != nullptr, "evicting a non-resident entry");
-  // detach() joins ALL the service's batch workers after they drain the
-  // queue (in-flight batches included): every future handed out for this
-  // service resolves before the service is retired. Eviction picks LRU
-  // victims, so the drain is typically empty.
-  DeployedModel recovered = entry.service->detach();
-  const ServiceStats final = entry.service->stats();
-  entry.retired.requests += final.requests;
-  entry.retired.batches += final.batches;
-  entry.retired.clip_events += final.clip_events;
-  entry.retired.rejected += final.rejected;
-  entry.retired.deadline_misses += final.deadline_misses;
-  entry.service.reset();
-  entry.evictions += 1;
-  if (!entry.artifact_backed()) {
-    // No artifact to re-materialize from: keep the programmed model so the
-    // entry stays servable. The eviction still frees the batch workers.
-    entry.model.emplace(std::move(recovered));
-  }
-}
+void ModelRegistry::materialize_as_loader(MutexLock& lock,
+                                          const std::string& name,
+                                          const std::string& version,
+                                          Entry& entry) {
+  EPIM_DCHECK(entry.state == LifecycleState::kCold,
+              "only a cold entry can claim the single-flight load");
+  entry.state = LifecycleState::kLoading;
+  const std::uint64_t epoch = entry.load_epoch;
+  const std::string path = entry.artifact_path;
+  const ServeConfig serve = entry.serve;
+  // Take the in-memory source along while still locked; any failure that
+  // did NOT consume it puts it back, so injected faults stay retryable.
+  std::optional<DeployedModel> source = std::move(entry.model);
+  entry.model.reset();
 
-void ModelRegistry::materialize_locked(const std::string& name,
-                                       const std::string& version,
-                                       Entry& entry) {
-  if (entry.service != nullptr) return;
-  // Chaos hook: fires BEFORE the in-memory model could be consumed, so an
-  // injected materialization failure is always retryable -- exactly like
-  // the artifact-load failures it stands in for.
-  fault::maybe_fail("registry.materialize");
-  const bool from_memory = entry.model.has_value();
-  DeployedModel model = [&] {
-    if (from_memory) {
-      DeployedModel m = std::move(*entry.model);
-      entry.model.reset();
-      return m;
-    }
+  // ---- lock dropped: all I/O and construction happen out here ----
+  lock.unlock();
+  std::unique_ptr<InferenceService> fresh;
+  bool failed = false;
+  bool internal = false;
+  std::string what;
+  try {
+    // Chaos hook: fires BEFORE the in-memory model could be consumed, so
+    // an injected materialization failure is always retryable -- exactly
+    // like the artifact-load failures it stands in for.
+    fault::maybe_fail("registry.materialize");
+    const bool from_memory = source.has_value();
     // Bit-identical by the artifact determinism contract, so an evicted
     // model answers exactly as it did before eviction.
-    return Pipeline::load_deployed(entry.artifact_path);
-  }();
-  try {
-    entry.service = std::make_unique<InferenceService>(std::move(model),
-                                                       entry.serve);
-  } catch (...) {
-    // The serve config was validated at registration, so this is a
-    // resource failure (thread/memory). `model` was consumed by the
-    // attempted construction; an in-memory-only entry cannot recover it,
-    // so surface that plainly instead of leaving a husk that later fails
-    // with a misleading empty-path artifact error.
-    if (from_memory) {
-      throw InternalError(
-          "failed to materialize in-memory model '" + name + "@" + version +
-          "'; its DeployedModel was consumed by the failed service "
-          "construction and the entry has no artifact to restore from");
+    DeployedModel model = from_memory ? std::move(*source)
+                                      : Pipeline::load_deployed(path);
+    source.reset();
+    try {
+      fresh = std::make_unique<InferenceService>(std::move(model), serve);
+    } catch (...) {
+      // The serve config was validated at registration, so this is a
+      // resource failure (thread/memory). `model` was consumed by the
+      // attempted construction; an in-memory-only entry cannot recover it,
+      // so surface that plainly instead of leaving a husk that later fails
+      // with a misleading empty-path artifact error.
+      if (from_memory) {
+        throw InternalError(
+            "failed to materialize in-memory model '" + name + "@" + version +
+            "'; its DeployedModel was consumed by the failed service "
+            "construction and the entry has no artifact to restore from");
+      }
+      throw;
     }
-    throw;
+  } catch (const InternalError& e) {
+    failed = true;
+    internal = true;
+    what = e.what();
+  } catch (const std::exception& e) {
+    failed = true;
+    what = e.what();
   }
-  // Enforce the budget, never evicting the entry we just warmed.
+  lock.lock();
+
+  if (entry.load_epoch != epoch) {
+    // A reload() superseded this load: the entry now points at a DIFFERENT
+    // artifact with freshly reset health. Discard the stale result -- and
+    // do not charge a stale failure -- then hand the entry back to the
+    // caller's retry loop. The stale service (if built) carried no traffic,
+    // so destroying it outside the lock just joins idle workers.
+    entry.state = LifecycleState::kCold;
+    entry.cv.notify_all();
+    if (fresh != nullptr) {
+      lock.unlock();
+      fresh.reset();
+      lock.lock();
+    }
+    return;
+  }
+
+  if (failed) {
+    if (source.has_value()) entry.model = std::move(source);  // retryable
+    entry.state = LifecycleState::kCold;
+    record_materialize_failure_locked(entry, what);
+    entry.cv.notify_all();
+    if (internal) throw InternalError(what);
+    throw Unavailable(std::string(kErrMaterializeFailed) + ": '" + name +
+                      "@" + version + "': " + what);
+  }
+
+  entry.service = std::move(fresh);
+  entry.state = LifecycleState::kResident;
+  // A successful (probe) materialization closes the breaker.
+  entry.health = HealthState::kHealthy;
+  entry.consecutive_failures = 0;
+  entry.last_error.clear();
+  entry.cv.notify_all();
+  enforce_budget(lock, entry);
+}
+
+void ModelRegistry::enforce_budget(MutexLock& lock, Entry& fresh) {
   while (resident_count_locked() > config_.max_resident_models) {
     Entry* victim = nullptr;
     for (auto& [fname, family] : families_) {
       for (auto& [fversion, candidate] : family.versions) {
-        if (candidate.service == nullptr || &candidate == &entry) continue;
+        // Only unpinned residents are evictable: kLoading/kDraining have no
+        // service to evict, a pinned entry is mid-enqueue/mid-scrape on
+        // another thread, and `fresh` is the entry we just warmed.
+        if (candidate.state != LifecycleState::kResident) continue;
+        if (candidate.pins > 0 || &candidate == &fresh) continue;
         if (victim == nullptr || candidate.last_used < victim->last_used) {
           victim = &candidate;
         }
       }
     }
-    if (victim == nullptr) break;  // budget of 1 with only `entry` resident
-    evict_locked(*victim);
+    // No evictable victim: budget of 1 with only `fresh` resident, or every
+    // other resident is pinned right now. A transient overshoot is the
+    // correct outcome -- the next materialization re-runs this loop.
+    if (victim == nullptr) break;
+    victim->state = LifecycleState::kDraining;
+    std::unique_ptr<InferenceService> old = std::move(victim->service);
+    // detach() joins ALL the service's batch workers after they drain the
+    // queue (in-flight batches included): every future handed out for this
+    // service resolves before the service is retired. The drain blocks on
+    // that traffic, so it runs with the registry lock DROPPED -- the fleet
+    // keeps serving while the victim winds down. `victim` stays valid
+    // across the unlock: entries are never removed and map nodes are
+    // stable; kDraining keeps every other thread off it.
+    lock.unlock();
+    DeployedModel recovered = old->detach();
+    const ServiceStats final = old->stats();
+    old.reset();
+    lock.lock();
+    victim->retired.requests += final.requests;
+    victim->retired.batches += final.batches;
+    victim->retired.clip_events += final.clip_events;
+    victim->retired.rejected += final.rejected;
+    victim->retired.deadline_misses += final.deadline_misses;
+    victim->evictions += 1;
+    if (!victim->artifact_backed()) {
+      // No artifact to re-materialize from: keep the programmed model so
+      // the entry stays servable. The eviction still frees the batch
+      // workers. (A reload() that repointed the entry at an artifact while
+      // we drained makes it artifact-backed, and the recovered model is
+      // superseded -- dropping it here is exactly right.)
+      victim->model.emplace(std::move(recovered));
+    }
+    victim->state = LifecycleState::kCold;
+    victim->cv.notify_all();
   }
-  // LRU loop postcondition: within budget, except the one-over case where
-  // `entry` itself is the only survivor of a budget-of-1 registry.
-  EPIM_DCHECK(resident_count_locked() <= config_.max_resident_models ||
-                  resident_count_locked() == 1,
-              "eviction loop left the registry over its resident budget");
-  (void)name;
-  (void)version;
 }
 
 void ModelRegistry::retire(std::unique_ptr<InferenceService> service,
@@ -384,7 +461,10 @@ void ModelRegistry::reload(const std::string& name,
   {
     MutexLock lock(mu_);
     Entry& entry = find_entry_locked(name, version);
-    old = std::move(entry.service);
+    // Supersede any in-flight load: the loader compares this epoch at
+    // publish time, discards its (stale-artifact) result, and does NOT
+    // charge a stale failure against the fresh health below.
+    entry.load_epoch += 1;
     entry.artifact_path = path;
     entry.model.reset();  // the old in-memory source is superseded
     // The repointed artifact deserves a fresh probe immediately: whatever
@@ -394,6 +474,19 @@ void ModelRegistry::reload(const std::string& name,
     entry.consecutive_failures = 0;
     entry.last_error.clear();
     entry.retry_at = Clock::time_point{};
+    if (entry.state == LifecycleState::kResident) {
+      entry.state = LifecycleState::kDraining;
+      // Wait out readers that pinned the service before we got the lock.
+      // Bounded: pins cover an enqueue or a stats read, never I/O, and
+      // kDraining stops new pins from arriving.
+      while (entry.pins > 0) entry.cv.wait(lock);
+      old = std::move(entry.service);
+      entry.state = LifecycleState::kCold;
+      entry.cv.notify_all();
+    }
+    // kLoading: the epoch bump above retires the loader's result; it (or a
+    // waiter) re-materializes from the new path. kDraining: an eviction is
+    // already winding the old service down and folds its stats itself.
   }
   retire(std::move(old), name, version);
 }
@@ -426,44 +519,93 @@ std::vector<std::future<InferenceResult>> ModelRegistry::submit_batch(
 std::vector<std::future<InferenceResult>> ModelRegistry::submit_batch(
     const std::string& name, const std::string& version,
     std::vector<Tensor> images, const SubmitOptions& options) {
+  const std::size_t n = images.size();
+  // Requests that end up waiting behind an in-flight load/drain shed on
+  // the same deadline the service would enforce at admission; no deadline
+  // means wait until the entry settles. (Negative deadlines are rejected
+  // by the service at enqueue, exactly as before.)
+  Clock::time_point wait_deadline = Clock::time_point::max();
+  if (options.deadline_ms > 0.0) {
+    wait_deadline = Clock::now() +
+                    std::chrono::duration_cast<Clock::duration>(
+                        std::chrono::duration<double, std::milli>(
+                            options.deadline_ms));
+  }
+
   MutexLock lock(mu_);
   Entry& entry = find_entry_locked(name, version);
-  if (entry.service == nullptr) {
-    // Breaker gate first: while the entry's retry window is open this
-    // throws without touching the load path (no artifact I/O, no extra
-    // lock). Healthy or due-for-probe entries fall through and attempt a
-    // real materialization.
-    check_health_locked(entry, images.size());
-    try {
-      materialize_locked(name, version, entry);
-    } catch (const InternalError& e) {
-      // A consumed in-memory model is unrecoverable by design (see
-      // materialize_locked); record the failure so stats show it, but
-      // rethrow raw -- backoff/retry cannot help and Unavailable would
-      // promise otherwise.
-      record_materialize_failure_locked(entry, e.what());
-      throw;
-    } catch (const std::exception& e) {
-      record_materialize_failure_locked(entry, e.what());
-      throw Unavailable(std::string(kErrMaterializeFailed) + ": '" + name +
-                        "@" + version + "': " + e.what());
+  while (entry.state != LifecycleState::kResident) {
+    if (entry.state == LifecycleState::kCold) {
+      // Breaker gate first: while the entry's retry window is open this
+      // throws without touching the load path (no artifact I/O, no extra
+      // lock). Healthy or due-for-probe entries fall through and claim the
+      // single-flight load, which drops the registry lock across the I/O.
+      check_health_locked(entry, n);
+      materialize_as_loader(lock, name, version, entry);
+      // Re-evaluate rather than assume kResident: a concurrent reload()
+      // may have superseded the load (the loader then returned with the
+      // entry back in kCold, repointed at the new artifact).
+      continue;
     }
-    // A successful (probe) materialization closes the breaker.
-    entry.health = HealthState::kHealthy;
-    entry.consecutive_failures = 0;
-    entry.last_error.clear();
+    if (entry.state == LifecycleState::kLoading &&
+        entry.health != HealthState::kHealthy) {
+      // The single-flight half-open probe is already in flight. The herd
+      // that piled up behind an expired retry_at must NOT wait on the
+      // probe (let alone slam the disk after it): fast-fail exactly like
+      // any other request inside the retry window.
+      fail_unhealthy_locked(entry, n);
+    }
+    // kLoading (healthy) or kDraining: wait for the transition, shedding
+    // at the caller's deadline. The wait releases the registry lock, so
+    // traffic to OTHER entries is untouched.
+    if (wait_deadline == Clock::time_point::max()) {
+      entry.cv.wait(lock);
+    } else if (entry.cv.wait_until(lock, wait_deadline) ==
+                   std::cv_status::timeout &&
+               entry.state != LifecycleState::kResident) {
+      entry.retired.deadline_misses += static_cast<std::int64_t>(n);
+      throw DeadlineExceeded(
+          std::string(InferenceService::kErrDeadlineExceeded) + ": model '" +
+          name + "@" + version + "' was still " + to_string(entry.state) +
+          " at the deadline");
+    }
   }
   entry.last_used = ++tick_;
-  // Enqueue while holding the registry lock so a concurrent reload/eviction
-  // cannot destroy the service mid-submission; the enqueue itself is cheap
-  // (shape checks + queue push), all compute runs on the service's workers.
-  return entry.service->submit_batch(std::move(images), options);
+  // Pin + enqueue with the lock RELEASED: the pin keeps eviction/reload
+  // from destroying the service mid-enqueue, and admission on one model no
+  // longer serializes behind the fleet-wide mutex (the enqueue takes the
+  // service's own lock, which can briefly block behind a batch close).
+  entry.pins += 1;
+  InferenceService* service = entry.service.get();
+  lock.unlock();
+  try {
+    std::vector<std::future<InferenceResult>> futures =
+        service->submit_batch(std::move(images), options);
+    lock.lock();
+    unpin_locked(entry);
+    return futures;
+  } catch (...) {
+    lock.lock();
+    unpin_locked(entry);
+    throw;
+  }
+}
+
+void ModelRegistry::unpin_locked(Entry& entry) {
+  EPIM_DCHECK(entry.pins > 0, "unpinning an entry with no pins");
+  entry.pins -= 1;
+  if (entry.pins == 0) entry.cv.notify_all();
 }
 
 void ModelRegistry::check_health_locked(Entry& entry,
                                         std::size_t n_requests) {
   if (entry.health == HealthState::kHealthy) return;
   if (Clock::now() >= entry.retry_at) return;  // half-open: caller probes
+  fail_unhealthy_locked(entry, n_requests);
+}
+
+void ModelRegistry::fail_unhealthy_locked(Entry& entry,
+                                          std::size_t n_requests) {
   entry.health_fast_fails += static_cast<std::int64_t>(n_requests);
   if (entry.health == HealthState::kQuarantined) {
     throw Unavailable(std::string(kErrQuarantined) + " after " +
@@ -503,45 +645,82 @@ HealthState ModelRegistry::health(const std::string& name,
 }
 
 RegistrySnapshot ModelRegistry::stats() const {
+  // Two-phase scrape: entry-level state under the lock, then the resident
+  // services' live counters with the lock RELEASED and the entries pinned
+  // (a scrape must never stall fleet admission -- the old single-phase
+  // scrape held mu_ across every service's stats lock). The pins keep
+  // eviction/reload from destroying a service mid-read.
+  ModelRegistry& self = *const_cast<ModelRegistry*>(this);
   RegistrySnapshot snapshot;
-  std::vector<double> pooled;
-  MutexLock lock(mu_);
-  for (const auto& [name, family] : families_) {
-    for (const auto& [version, entry] : family.versions) {
+  struct PinnedRef {
+    Entry* entry;
+    InferenceService* service;
+    std::size_t index;  ///< into snapshot.models
+  };
+  std::vector<PinnedRef> pinned;
+  MutexLock lock(self.mu_);
+  for (auto& [name, family] : self.families_) {
+    for (auto& [version, entry] : family.versions) {
       ModelSnapshot m;
       m.name = name;
       m.version = version;
-      m.resident = entry.service != nullptr;
+      m.lifecycle = entry.state;
+      m.resident = entry.state == LifecycleState::kResident;
       m.workers = entry.serve.workers;
       m.evictions = entry.evictions;
-      if (entry.service != nullptr) {
-        snapshot.workers += entry.serve.workers;
-        m.stats = entry.service->stats();
-        const std::vector<double> window =
-            entry.service->recent_latencies_ms();
-        pooled.insert(pooled.end(), window.begin(), window.end());
-        snapshot.items_per_sec += m.stats.items_per_sec;
-        snapshot.queued += m.stats.queued;
-      }
-      m.stats.requests += entry.retired.requests;
-      m.stats.batches += entry.retired.batches;
-      m.stats.clip_events += entry.retired.clip_events;
-      m.stats.rejected += entry.retired.rejected;
-      m.stats.deadline_misses += entry.retired.deadline_misses;
+      // Retired counters now; the live service's share is folded in below,
+      // outside the lock.
+      m.stats.requests = entry.retired.requests;
+      m.stats.batches = entry.retired.batches;
+      m.stats.clip_events = entry.retired.clip_events;
+      m.stats.rejected = entry.retired.rejected;
+      m.stats.deadline_misses = entry.retired.deadline_misses;
       m.health = entry.health;
       m.consecutive_failures = entry.consecutive_failures;
       m.materialize_failures = entry.materialize_failures;
       m.health_fast_fails = entry.health_fast_fails;
       m.last_error = entry.last_error;
-      snapshot.resident += m.resident;
-      snapshot.requests += m.stats.requests;
-      snapshot.rejected += m.stats.rejected;
-      snapshot.evictions += m.evictions;
-      snapshot.quarantined += m.health == HealthState::kQuarantined;
-      snapshot.deadline_misses += m.stats.deadline_misses;
-      snapshot.health_fast_fails += m.health_fast_fails;
+      if (m.resident) {
+        snapshot.workers += entry.serve.workers;
+        entry.pins += 1;
+        pinned.push_back(
+            {&entry, entry.service.get(), snapshot.models.size()});
+      }
       snapshot.models.push_back(std::move(m));
     }
+  }
+  lock.unlock();
+
+  std::vector<double> pooled;
+  for (const PinnedRef& p : pinned) {
+    ModelSnapshot& m = snapshot.models[p.index];
+    ServiceStats live = p.service->stats();
+    const std::vector<double> window = p.service->recent_latencies_ms();
+    pooled.insert(pooled.end(), window.begin(), window.end());
+    // Fold the retired counters captured under the lock into the live
+    // snapshot; rates/gauges (items_per_sec, queued, percentiles, workers)
+    // describe the live service alone and come along unchanged.
+    live.requests += m.stats.requests;
+    live.batches += m.stats.batches;
+    live.clip_events += m.stats.clip_events;
+    live.rejected += m.stats.rejected;
+    live.deadline_misses += m.stats.deadline_misses;
+    m.stats = live;
+  }
+
+  lock.lock();
+  for (const PinnedRef& p : pinned) self.unpin_locked(*p.entry);
+
+  for (const ModelSnapshot& m : snapshot.models) {
+    snapshot.resident += m.resident;
+    snapshot.requests += m.stats.requests;
+    snapshot.rejected += m.stats.rejected;
+    snapshot.evictions += m.evictions;
+    snapshot.quarantined += m.health == HealthState::kQuarantined;
+    snapshot.deadline_misses += m.stats.deadline_misses;
+    snapshot.health_fast_fails += m.health_fast_fails;
+    snapshot.items_per_sec += m.stats.items_per_sec;
+    snapshot.queued += m.stats.queued;
   }
   std::sort(pooled.begin(), pooled.end());
   snapshot.p50_latency_ms = nearest_rank_percentile(pooled, 0.50);
@@ -550,16 +729,30 @@ RegistrySnapshot ModelRegistry::stats() const {
 }
 
 void ModelRegistry::reset_stats() {
+  struct PinnedRef {
+    Entry* entry;
+    InferenceService* service;
+  };
+  std::vector<PinnedRef> pinned;
   MutexLock lock(mu_);
   for (auto& [name, family] : families_) {
     for (auto& [version, entry] : family.versions) {
-      if (entry.service != nullptr) entry.service->reset();
       entry.retired = RetiredCounters{};
       // Traffic counter, so it belongs to the interval; the breaker state
       // and lifetime materialize_failures are structural and stay.
       entry.health_fast_fails = 0;
+      if (entry.state == LifecycleState::kResident) {
+        entry.pins += 1;
+        pinned.push_back({&entry, entry.service.get()});
+      }
     }
   }
+  lock.unlock();
+  // Service resets take the services' own locks; like every service call
+  // they run with the registry lock released.
+  for (const PinnedRef& p : pinned) p.service->reset();
+  lock.lock();
+  for (const PinnedRef& p : pinned) unpin_locked(*p.entry);
 }
 
 // ---------------------------------------------------------------------------

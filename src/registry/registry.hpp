@@ -70,15 +70,32 @@
 // threads (RegistrySnapshot::workers reports the live worker footprint).
 //
 // Thread safety: every public method of ModelRegistry and Router may be
-// called from any number of threads. Known tradeoff: one registry mutex
-// guards all entries, and it is held across cold-entry materialization
-// (artifact load + crossbar programming) and across an eviction victim's
-// drain -- so a cold-start request briefly head-of-line blocks submissions
-// to OTHER models. Enqueue on a warm entry is cheap (shape checks + queue
-// push; all compute runs on the services' worker threads), which is the
-// steady state the fleet bench measures. Per-entry materialization states
-// would lift the cold-path stall and are the natural next step when model
-// sizes grow.
+// called from any number of threads. One registry mutex guards the entry
+// map, but it is NEVER held across I/O or a drain: each entry runs a
+// lifecycle state machine
+//
+//            +--------- load failed (backoff) ----------+
+//            v                                          |
+//   kCold --(first healthy request claims the load)--> kLoading --+
+//     ^                                                           |
+//     |                                            publish under re-acquired
+//     +--- drain done ---- kDraining <--- evict/reload ---+       |
+//                                                         |       v
+//                                                      kResident <+
+//
+// and the single-flight loader DROPS the registry lock across artifact I/O
+// + InferenceService construction, re-acquiring it only to publish (or to
+// record the failure + backoff). Concurrent requests to the SAME loading
+// entry wait on the entry's CondVar -- shedding on their own
+// SubmitOptions::deadline_ms -- while requests to OTHER entries proceed
+// untouched: a cold start no longer head-of-line blocks the fleet. Resident
+// traffic pins the entry (a refcount) around the lock-free enqueue, and
+// eviction/reload wait for pins to reach zero before destroying a service,
+// so no thread ever touches a dead service. Eviction victims drain OUTSIDE
+// the lock too (kDraining), and LRU selection skips kLoading/pinned
+// entries. stats() likewise pins the resident services under the lock and
+// reads their counters/latency windows after releasing it, so a monitoring
+// scrape never stalls fleet admission.
 #pragma once
 
 #include <chrono>
@@ -92,7 +109,6 @@
 #include <utility>
 #include <vector>
 
-#include "common/fault_inject.hpp"
 #include "common/rng.hpp"
 #include "common/thread_annotations.hpp"
 #include "pipeline/pipeline.hpp"
@@ -111,6 +127,19 @@ enum class HealthState {
 
 /// Human-readable state name ("healthy" / "degraded" / "quarantined").
 const char* to_string(HealthState state);
+
+/// Lifecycle of one registry entry (see the state diagram in the file
+/// header). Transitions happen only under the registry lock; the load and
+/// drain WORK happens with the lock dropped.
+enum class LifecycleState {
+  kCold,      ///< no service; the next healthy request claims the load
+  kLoading,   ///< a single-flight loader is materializing outside the lock
+  kResident,  ///< service up and serving
+  kDraining,  ///< service being detached (evict/reload) outside the lock
+};
+
+/// Human-readable state name ("cold" / "loading" / "resident" / "draining").
+const char* to_string(LifecycleState state);
 
 /// Failure-handling policy for per-entry health.
 struct HealthPolicy {
@@ -161,6 +190,10 @@ struct ModelSnapshot {
   std::string name;
   std::string version;
   bool resident = false;
+  /// Where the entry sits in the cold/loading/resident/draining machine at
+  /// snapshot time (`resident` above is `lifecycle == kResident`, kept for
+  /// callers that only care about the binary).
+  LifecycleState lifecycle = LifecycleState::kCold;
   /// Batch workers this entry's service runs when resident (its
   /// ServeConfig::workers); reported for cold entries too, since it is
   /// registration-time policy, not runtime state.
@@ -258,9 +291,13 @@ class ModelRegistry {
               const std::string& path);
 
   /// Version-explicit submission: materializes the entry if cold (evicting
-  /// LRU residents past the budget), then enqueues on its service. Throws
-  /// InvalidArgument for unknown targets or bad shapes, Unavailable when
-  /// the model's queue is full.
+  /// LRU residents past the budget), then enqueues on its service. Exactly
+  /// one request performs a cold load (single-flight, with the registry
+  /// lock dropped across the I/O); concurrent requests to the same entry
+  /// wait for the load/drain to finish -- a request with
+  /// SubmitOptions::deadline_ms sheds with DeadlineExceeded if the entry is
+  /// still not resident at its deadline. Throws InvalidArgument for unknown
+  /// targets or bad shapes, Unavailable when the model's queue is full.
   std::future<InferenceResult> submit(const std::string& name,
                                       const std::string& version,
                                       Tensor image);
@@ -303,7 +340,12 @@ class ModelRegistry {
   /// Whether `name@version` currently holds a materialized service.
   bool resident(const std::string& name, const std::string& version) const;
 
-  /// Consistent fleet snapshot (see RegistrySnapshot).
+  /// Fleet snapshot (see RegistrySnapshot). Entry-level fields (health,
+  /// retired counters, lifecycle) are captured atomically under the
+  /// registry lock; the resident services' live counters and latency
+  /// windows are then read with the lock RELEASED and the services pinned,
+  /// so a scrape never blocks admission -- the live half may therefore be
+  /// a few requests newer than the entry half.
   RegistrySnapshot stats() const;
 
   /// Start a new stats interval: reset() every resident service and zero
@@ -342,6 +384,23 @@ class ModelRegistry {
     std::int64_t evictions = 0;
     RetiredCounters retired{};          ///< from evicted/swapped services
 
+    // --- lifecycle state machine (fields mutated only under the registry
+    // lock, like the breaker below; the CondVar is internally synchronized
+    // and entries are never removed, so waiting on it is always safe) ---
+    LifecycleState state = LifecycleState::kCold;
+    /// Threads currently using `service` with the registry lock RELEASED
+    /// (an enqueue or a stats scrape -- never I/O). Eviction skips pinned
+    /// entries; reload waits for the count to reach zero before detaching.
+    int pins = 0;
+    /// Bumped by reload(): a loader whose captured epoch no longer matches
+    /// at publish time was superseded -- it discards its result and its
+    /// failure is not charged to the repointed artifact's fresh health.
+    std::uint64_t load_epoch = 0;
+    /// Signals every state transition and every pins -> 0 edge. Waiters
+    /// (requests behind an in-flight load/drain, reload waiting out pins)
+    /// re-check their predicate; load-waiters shed on their own deadline.
+    CondVar cv;
+
     // --- circuit breaker (mutated only under the registry lock) ---
     HealthState health = HealthState::kHealthy;
     int consecutive_failures = 0;
@@ -369,13 +428,21 @@ class ModelRegistry {
   const Entry& find_entry_locked(const std::string& name,
                                  const std::string& version) const
       EPIM_REQUIRES(mu_);
-  /// Stand up `entry`'s service if cold, then evict LRU residents (never
-  /// `entry` itself) until the budget holds.
-  void materialize_locked(const std::string& name, const std::string& version,
-                          Entry& entry) EPIM_REQUIRES(mu_);
-  /// Detach + retire one resident service (drains its queue; caller holds
-  /// the registry lock, acceptable because eviction picks cold services).
-  void evict_locked(Entry& entry) EPIM_REQUIRES(mu_);
+  /// Single-flight load of a kCold `entry`: marks it kLoading, DROPS the
+  /// registry lock across the artifact I/O + service construction, then
+  /// re-acquires `lock` to publish kResident (or to record the failure and
+  /// open a backoff window, rethrowing). A load superseded by a concurrent
+  /// reload() (load_epoch moved) discards its result silently and returns;
+  /// the caller loops and re-evaluates the entry. `lock` must be the
+  /// MutexLock holding mu_; it is held again on every exit path.
+  void materialize_as_loader(MutexLock& lock, const std::string& name,
+                             const std::string& version, Entry& entry)
+      EPIM_REQUIRES(mu_);
+  /// Evict LRU residents until the budget holds, never evicting `fresh`,
+  /// kLoading/kDraining, or pinned entries. Each victim is marked kDraining
+  /// and drained with the lock DROPPED (detach blocks on in-flight
+  /// batches), then folded + returned to kCold under the re-acquired lock.
+  void enforce_budget(MutexLock& lock, Entry& fresh) EPIM_REQUIRES(mu_);
   /// Drain a swapped-out service outside the lock, then fold its final
   /// counters into the (never-removed) entry's retired totals. Must NOT be
   /// called with mu_ held: the drain blocks on in-flight traffic, and it
@@ -391,6 +458,17 @@ class ModelRegistry {
   /// path. Two branches for healthy entries; no extra lock for anyone.
   void check_health_locked(Entry& entry, std::size_t n_requests)
       EPIM_REQUIRES(mu_);
+  /// Unconditional fast-fail tail of check_health_locked: counts
+  /// `n_requests` into health_fast_fails and throws the pinned
+  /// kErrBackoff/kErrQuarantined Unavailable. Also used directly when the
+  /// single-flight half-open probe is already in flight (entry kLoading and
+  /// unhealthy): the herd behind an expired retry_at must not pile onto the
+  /// disk behind the probe, whatever the clock says.
+  [[noreturn]] void fail_unhealthy_locked(Entry& entry,
+                                          std::size_t n_requests)
+      EPIM_REQUIRES(mu_);
+  /// Drop one pin; the zero edge wakes eviction/reload waiters.
+  void unpin_locked(Entry& entry) EPIM_REQUIRES(mu_);
   /// Record one materialization failure: bump the failure counters, move
   /// the state machine (kDegraded, kQuarantined past quarantine_after) and
   /// open the next backoff window (exponential + seeded jitter).
@@ -398,14 +476,17 @@ class ModelRegistry {
       EPIM_REQUIRES(mu_);
 
   RegistryConfig config_;
-  /// One registry lock over the whole entry map (the documented cold-start
-  /// head-of-line tradeoff above). Lockdep order: ModelRegistry::mu_ ->
-  /// InferenceService::mu_ -> InferenceService::stats_mu_; separately
-  /// ModelRegistry::mu_ -> fault::FaultRegistry::mu_ (armed fault points
-  /// evaluated during lock-held materialization; the fault mutex is a leaf
-  /// and is never taken at all while every point is disarmed).
-  mutable Mutex mu_ EPIM_ACQUIRED_BEFORE(fault::registry_mutex()){
-      "ModelRegistry::mu_"};
+  /// One registry lock over the entry map -- held only for map lookups and
+  /// state transitions, NEVER across I/O, service construction, a drain, or
+  /// a service stats read (all of those run with the lock dropped and the
+  /// entry pinned or in kLoading/kDraining). Lockdep consequence: since
+  /// PR 8 this lock has NO outgoing edges -- it is never held while
+  /// acquiring InferenceService::mu_/stats_mu_ or the fault registry's leaf
+  /// mutex -- and the lockdep-gated tests pin that absence. Entry CondVar
+  /// waits release and re-acquire this lock through the hooked
+  /// MutexLock::unlock()/lock() path, so the lockdep held-set stays exact
+  /// across blocking waits.
+  mutable Mutex mu_{"ModelRegistry::mu_"};
   std::map<std::string, Family> families_ EPIM_GUARDED_BY(mu_);
   std::uint64_t tick_ EPIM_GUARDED_BY(mu_) = 0;
   /// Backoff jitter source (seeded from HealthPolicy::jitter_seed).

@@ -5,8 +5,16 @@
 #include <cstring>
 #include <filesystem>
 #include <fstream>
+#include <optional>
 #include <utility>
 #include <vector>
+
+#ifndef _WIN32
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#endif
 
 #include "common/check.hpp"
 #include "common/fault_inject.hpp"
@@ -734,81 +742,191 @@ void check_readable_file(const std::string& path) {
              std::string(artifact::kErrNotFile) + ": " + path);
 }
 
-std::vector<std::uint8_t> read_file(const std::string& path) {
-  check_readable_file(path);
+/// Whole-file slurp; the caller has already run check_readable_file().
+std::vector<std::uint8_t> slurp_file(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
   EPIM_CHECK(in.good(), std::string(artifact::kErrCannotOpen) + ": " + path);
-  std::vector<std::uint8_t> bytes((std::istreambuf_iterator<char>(in)),
-                                  std::istreambuf_iterator<char>());
-  // Chaos hook: an I/O error mid-read (truncated slurp, yanked disk).
-  fault::maybe_fail("artifact.read");
-  return bytes;
+  return std::vector<std::uint8_t>((std::istreambuf_iterator<char>(in)),
+                                   std::istreambuf_iterator<char>());
 }
 
-void check_header(const std::vector<std::uint8_t>& bytes) {
-  EPIM_CHECK(bytes.size() >= kHeaderBytes, kErrTruncated);
-  EPIM_CHECK(std::memcmp(bytes.data(), kMagic, 8) == 0, kErrBadMagic);
+void check_header(const std::uint8_t* data, std::size_t size) {
+  EPIM_CHECK(size >= kHeaderBytes, kErrTruncated);
+  EPIM_CHECK(std::memcmp(data, kMagic, 8) == 0, kErrBadMagic);
 }
 
-std::vector<Section> read_container(const std::string& path,
-                                    artifact::Kind expected_kind) {
-  const std::vector<std::uint8_t> bytes = read_file(path);
-  check_header(bytes);
-  Reader header(bytes.data(), bytes.size());
-  for (int i = 0; i < 8; ++i) header.u8();  // magic, already checked
-  const std::uint32_t version = header.u32();
-  EPIM_CHECK(version == artifact::kSchemaVersion, kErrBadVersion);
-  const std::uint32_t kind = header.u32();
-  EPIM_CHECK(kind == static_cast<std::uint32_t>(expected_kind), kErrBadKind);
-  const std::uint32_t count = header.u32();
+std::atomic<artifact::IoMode> g_io_mode{
+#ifndef _WIN32
+    artifact::IoMode::kMmap
+#else
+    artifact::IoMode::kRead
+#endif
+};
 
-  std::vector<Section> sections;
-  std::size_t pos = kHeaderBytes;
-  for (std::uint32_t s = 0; s < count; ++s) {
-    EPIM_CHECK(bytes.size() - pos >= kSectionHeaderBytes, kErrTruncated);
-    Reader sh(bytes.data() + pos, kSectionHeaderBytes);
-    std::string tag;
-    for (int i = 0; i < 8; ++i) {
-      const char c = static_cast<char>(sh.u8());
-      if (c != '\0') tag.push_back(c);
+#ifndef _WIN32
+/// Read-only mmap of a whole file, the backing store of the zero-copy load
+/// path: decoders consume the page cache directly instead of a slurped heap
+/// duplicate. An empty file maps nothing (data() == nullptr, size() == 0);
+/// header validation rejects it as truncated before any payload access.
+class MappedFile {
+ public:
+  explicit MappedFile(const std::string& path) {
+    const int fd = ::open(path.c_str(), O_RDONLY);
+    EPIM_CHECK(fd >= 0, std::string(artifact::kErrCannotOpen) + ": " + path);
+    struct stat st {};
+    if (::fstat(fd, &st) != 0) {
+      ::close(fd);
+      EPIM_CHECK(false,
+                 std::string(artifact::kErrCannotOpen) + ": " + path);
     }
-    const std::uint64_t size = sh.u64();
-    const std::uint64_t checksum = sh.u64();
-    pos += kSectionHeaderBytes;
-    EPIM_CHECK(size <= bytes.size() - pos, kErrTruncated);
+    size_ = static_cast<std::size_t>(st.st_size);
+    if (size_ > 0) {
+      void* addr = ::mmap(nullptr, size_, PROT_READ, MAP_PRIVATE, fd, 0);
+      if (addr == MAP_FAILED) {
+        ::close(fd);
+        EPIM_CHECK(false, std::string(artifact::kErrCannotOpen) + ": " +
+                              path + " (mmap)");
+      }
+      data_ = static_cast<const std::uint8_t*>(addr);
+    }
+    ::close(fd);  // the mapping keeps the file contents reachable
+  }
+  ~MappedFile() {
+    if (data_ != nullptr) {
+      ::munmap(const_cast<std::uint8_t*>(data_), size_);
+    }
+  }
+  MappedFile(const MappedFile&) = delete;
+  MappedFile& operator=(const MappedFile&) = delete;
+
+  const std::uint8_t* data() const { return data_; }
+  std::size_t size() const { return size_; }
+
+ private:
+  const std::uint8_t* data_ = nullptr;
+  std::size_t size_ = 0;
+};
+#endif
+
+/// Parsed .epim container over one of two interchangeable backing stores:
+///
+///  * IoMode::kMmap -- the file is mapped read-only and section payloads are
+///    validated LAZILY: the FNV-1a checksum runs on a section's first
+///    reader() touch, so a load never checksums (or copies) bytes it does
+///    not decode.
+///  * IoMode::kRead -- the file is slurped and every checksum verified
+///    EAGERLY before any payload is decoded: the original codec, kept as
+///    the golden reference the mmap path must stay bit-identical to.
+///
+/// Either way the section table is fully bounds-checked up front and a
+/// corrupt payload raises the same pinned kErrChecksum.
+class Container {
+ public:
+  Container(const std::string& path, artifact::Kind expected_kind) {
+    check_readable_file(path);
+#ifndef _WIN32
+    if (g_io_mode.load(std::memory_order_relaxed) ==
+        artifact::IoMode::kMmap) {
+      map_.emplace(path);
+      data_ = map_->data();
+      size_ = map_->size();
+      lazy_ = true;
+    }
+#endif
+    if (!lazy_) {
+      bytes_ = slurp_file(path);
+      data_ = bytes_.data();
+      size_ = bytes_.size();
+    }
+    // Chaos hook: an I/O error mid-read (truncated slurp, yanked disk); on
+    // the mmap path it fires once the mapping is established.
+    fault::maybe_fail("artifact.read");
+    parse(expected_kind);
+    if (!lazy_) {
+      for (SectionView& s : sections_) validate(s);
+    }
+  }
+
+  /// Decoder positioned at the start of the section tagged `tag`. On the
+  /// mmap path this is where the section's checksum is verified (once).
+  Reader reader(const std::string& tag) {
+    for (SectionView& s : sections_) {
+      if (s.tag != tag) continue;
+      if (!s.validated) validate(s);
+      return Reader(s.data, s.size);
+    }
+    EPIM_CHECK(false, "artifact is missing section '" + tag + "'");
+    // Unreachable; EPIM_CHECK(false, ...) always throws.
+    throw InternalError("unreachable");
+  }
+
+ private:
+  struct SectionView {
+    std::string tag;  ///< NUL padding stripped
+    const std::uint8_t* data = nullptr;
+    std::size_t size = 0;
+    std::uint64_t checksum = 0;
+    bool validated = false;
+  };
+
+  /// Header + section-table walk. Bounds-checks every section against the
+  /// file size but touches no payload bytes (keeps the lazy path lazy).
+  void parse(artifact::Kind expected_kind) {
+    check_header(data_, size_);
+    Reader header(data_, size_);
+    for (int i = 0; i < 8; ++i) header.u8();  // magic, already checked
+    const std::uint32_t version = header.u32();
+    EPIM_CHECK(version == artifact::kSchemaVersion, kErrBadVersion);
+    const std::uint32_t kind = header.u32();
+    EPIM_CHECK(kind == static_cast<std::uint32_t>(expected_kind),
+               kErrBadKind);
+    const std::uint32_t count = header.u32();
+
+    std::size_t pos = kHeaderBytes;
+    for (std::uint32_t s = 0; s < count; ++s) {
+      EPIM_CHECK(size_ - pos >= kSectionHeaderBytes, kErrTruncated);
+      Reader sh(data_ + pos, kSectionHeaderBytes);
+      SectionView view;
+      for (int i = 0; i < 8; ++i) {
+        const char c = static_cast<char>(sh.u8());
+        if (c != '\0') view.tag.push_back(c);
+      }
+      const std::uint64_t size = sh.u64();
+      view.checksum = sh.u64();
+      pos += kSectionHeaderBytes;
+      EPIM_CHECK(size <= size_ - pos, kErrTruncated);
+      view.data = data_ + pos;
+      view.size = static_cast<std::size_t>(size);
+      pos += view.size;
+      sections_.push_back(std::move(view));
+    }
+  }
+
+  void validate(SectionView& s) {
     // Chaos hook folded into the verification itself: a firing
     // artifact.checksum fault takes the REAL corruption-rejection path and
     // raises the same pinned kErrChecksum as flipped bits on disk would.
     EPIM_CHECK(!fault::should_fire("artifact.checksum") &&
-                   fnv1a(bytes.data() + pos,
-                         static_cast<std::size_t>(size)) == checksum,
+                   fnv1a(s.data, s.size) == s.checksum,
                kErrChecksum);
-    Section section;
-    section.tag = std::move(tag);
-    section.payload.assign(bytes.begin() + static_cast<std::ptrdiff_t>(pos),
-                           bytes.begin() + static_cast<std::ptrdiff_t>(
-                                               pos + size));
-    sections.push_back(std::move(section));
-    pos += static_cast<std::size_t>(size);
+    s.validated = true;
   }
-  return sections;
-}
+
+#ifndef _WIN32
+  std::optional<MappedFile> map_;
+#endif
+  std::vector<std::uint8_t> bytes_;  ///< kRead backing store
+  const std::uint8_t* data_ = nullptr;
+  std::size_t size_ = 0;
+  bool lazy_ = false;
+  std::vector<SectionView> sections_;
+};
 
 /// A fully-decoded section must have no bytes left: a checksummed-but-longer
 /// payload means the writer's schema drifted past this reader's.
 void expect_exhausted(const Reader& r, const char* tag) {
   EPIM_CHECK(r.exhausted(), std::string("artifact section '") + tag +
                                 "' has trailing bytes");
-}
-
-Reader section_reader(const std::vector<Section>& sections,
-                      const std::string& tag) {
-  for (const Section& s : sections) {
-    if (s.tag == tag) return Reader(s.payload.data(), s.payload.size());
-  }
-  EPIM_CHECK(false, "artifact is missing section '" + tag + "'");
-  // Unreachable; EPIM_CHECK(false, ...) always throws.
-  throw InternalError("unreachable");
 }
 
 }  // namespace
@@ -856,20 +974,19 @@ void ArtifactCodec::save_compiled(const CompiledModel& model,
 }
 
 CompiledModel ArtifactCodec::load_compiled(const std::string& path) {
-  const std::vector<Section> sections =
-      read_container(path, artifact::Kind::kCompiledModel);
+  Container container(path, artifact::Kind::kCompiledModel);
 
-  Reader cfg_r = section_reader(sections, "pipecfg");
+  Reader cfg_r = container.reader("pipecfg");
   const PipelineConfig cfg = get_pipeline_config(cfg_r);
   expect_exhausted(cfg_r, "pipecfg");
-  Reader design_r = section_reader(sections, "design");
+  Reader design_r = container.reader("design");
   const DesignConfig design = get_design(design_r);
   expect_exhausted(design_r, "design");
-  Reader net_r = section_reader(sections, "network");
+  Reader net_r = container.reader("network");
   const Network net = get_network(net_r);
   expect_exhausted(net_r, "network");
 
-  Reader assign_r = section_reader(sections, "assign");
+  Reader assign_r = container.reader("assign");
   const std::uint64_t n_layers = assign_r.u64();
   std::vector<std::optional<EpitomeSpec>> choices;
   choices.reserve(static_cast<std::size_t>(n_layers));
@@ -883,7 +1000,7 @@ CompiledModel ArtifactCodec::load_compiled(const std::string& path) {
   const bool searched = assign_r.boolean();
   expect_exhausted(assign_r, "assign");
 
-  Reader precis_r = section_reader(sections, "precis");
+  Reader precis_r = container.reader("precis");
   const PrecisionConfig stored_precision = get_precision_config(precis_r);
   expect_exhausted(precis_r, "precis");
 
@@ -935,15 +1052,14 @@ void ArtifactCodec::save_deployed(const DeployedModel& model,
 }
 
 DeployedModel ArtifactCodec::load_deployed(const std::string& path) {
-  const std::vector<Section> sections =
-      read_container(path, artifact::Kind::kDeployedModel);
-  Reader cfg_r = section_reader(sections, "runcfg");
+  Container container(path, artifact::Kind::kDeployedModel);
+  Reader cfg_r = container.reader("runcfg");
   const RuntimeConfig config = get_runtime_config(cfg_r);
   expect_exhausted(cfg_r, "runcfg");
-  Reader model_r = section_reader(sections, "model");
+  Reader model_r = container.reader("model");
   SmallEpitomeNet::Deploy deploy = get_deploy_state(model_r);
   expect_exhausted(model_r, "model");
-  Reader actq_r = section_reader(sections, "actq");
+  Reader actq_r = container.reader("actq");
   PimNetworkRuntime::ActivationParams act_params;
   for (QuantParams& p : act_params) p = get_quant_params(actq_r);
   expect_exhausted(actq_r, "actq");
@@ -959,9 +1075,15 @@ DeployedModel ArtifactCodec::load_deployed(const std::string& path) {
 
 namespace artifact {
 
+void set_io_mode(IoMode mode) {
+  g_io_mode.store(mode, std::memory_order_relaxed);
+}
+
+IoMode io_mode() { return g_io_mode.load(std::memory_order_relaxed); }
+
 Info probe(const std::string& path) {
   // Header only -- probing a multi-megabyte deployed artifact must not
-  // slurp the weights.
+  // slurp the weights (nor map them; the 20 bytes are cheaper read).
   check_readable_file(path);
   std::ifstream in(path, std::ios::binary);
   EPIM_CHECK(in.good(), std::string(kErrCannotOpen) + ": " + path);
@@ -969,7 +1091,7 @@ Info probe(const std::string& path) {
   in.read(reinterpret_cast<char*>(bytes.data()),
           static_cast<std::streamsize>(bytes.size()));
   bytes.resize(static_cast<std::size_t>(in.gcount()));
-  check_header(bytes);
+  check_header(bytes.data(), bytes.size());
   Reader r(bytes.data(), bytes.size());
   for (int i = 0; i < 8; ++i) r.u8();
   Info info;

@@ -201,6 +201,14 @@ class InferenceService {
   /// to let in-flight traffic finish before a hot swap. Afterwards the
   /// service is terminal: submissions throw, but stats() stays readable
   /// (final values).
+  ///
+  /// Registry pin/drain contract: ModelRegistry never calls detach() while
+  /// any thread holds a pin on the owning entry -- eviction skips pinned
+  /// entries outright and reload() parks on the entry's condvar until
+  /// pins reach zero -- so every submit_batch()/stats() issued through a
+  /// pin runs against a live, un-detached service. detach() itself is
+  /// always invoked with the registry mutex RELEASED (the entry is parked
+  /// in kDraining first), so a drain can never stall registry admission.
   DeployedModel detach();
 
   /// Admission-rejection message prefix (pinned by tests).

@@ -9,11 +9,13 @@
 // successful results stay bit-identical to the fault-free run.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
 #include <future>
+#include <optional>
 #include <string>
 #include <thread>
 #include <vector>
@@ -125,6 +127,7 @@ using FaultInjection = FaultTest;
 using ArtifactFault = FaultTest;
 using ServiceFault = FaultTest;
 using RegistryHealth = FaultTest;
+using RegistryLifecycle = FaultTest;
 using ChaosInvariant = FaultTest;
 using FaultLockdep = FaultTest;
 
@@ -446,7 +449,11 @@ TEST_F(RegistryHealth, BreakerDegradesQuarantinesFastFailsAndRecovers) {
 TEST_F(RegistryHealth, RouterFallsBackToAHealthyModel) {
   FaultZoo& zoo = FaultZoo::instance();
   RegistryConfig cfg;
-  cfg.health.backoff_base_ms = 2000.0;  // keep "a" in backoff for the test
+  // Keep "a" in backoff for the WHOLE test: nothing below waits the window
+  // out, and a sanitizer-slowed fallback burst must not let a half-open
+  // probe sneak in and resurrect "a" before the final fast-fail check.
+  cfg.health.backoff_base_ms = 600000.0;
+  cfg.health.backoff_max_ms = 600000.0;
   cfg.health.jitter = 0.0;
   ModelRegistry registry(cfg);
   registry.register_model("a", "v1", zoo.deploy(0));
@@ -476,6 +483,211 @@ TEST_F(RegistryHealth, RouterFallsBackToAHealthyModel) {
   router.clear_fallback("a");
   EXPECT_THROW(router.submit("a", zoo.data.test.sample(0)), Unavailable);
   EXPECT_EQ(router.fallbacks(), 1);
+}
+
+// ---- lifecycle: lock-dropped single-flight materialization ----
+
+// Gate semantics: an armed gate counts the hit, then parks the hitting
+// thread until open_gate/disarm. Combined with wait_for_hits this replaces
+// every sleep-and-hope interleaving below with an exact one.
+TEST_F(FaultInjection, GateParksHitsUntilOpenedAndNeverFires) {
+  fault::arm_gate("t.gate");
+  std::atomic<int> passed{0};
+  std::thread blocked([&] {
+    EXPECT_FALSE(fault::should_fire("t.gate"));  // parks here
+    passed.fetch_add(1);
+  });
+  fault::wait_for_hits("t.gate", 1);
+  EXPECT_EQ(passed.load(), 0) << "gated hit must park, not pass";
+  fault::open_gate("t.gate");
+  blocked.join();
+  EXPECT_EQ(passed.load(), 1);
+  // Open gate: later hits pass straight through, still counted, never fire.
+  EXPECT_FALSE(fault::should_fire("t.gate"));
+  EXPECT_EQ(fault::hits("t.gate"), 2);
+  EXPECT_EQ(fault::fires("t.gate"), 0);
+  // disarm_all releases parked hits too (the TearDown safety net).
+  fault::arm_gate("t.gate");
+  std::thread released([&] { EXPECT_FALSE(fault::should_fire("t.gate")); });
+  fault::wait_for_hits("t.gate", 1);
+  fault::disarm_all();
+  released.join();
+}
+
+// The tentpole proof, timing-free: with model A's materialization parked at
+// a gated fault point -- provably mid-load, registry lock dropped -- model
+// B keeps serving bit-identical values and a monitoring scrape completes
+// and reports A as loading. Under EPIM_LOCK_DEBUG the same run pins the
+// no-edge claim: the registry mutex acquired NOTHING throughout.
+TEST_F(RegistryLifecycle, ColdLoadOfOneModelDoesNotBlockAnother) {
+  FaultZoo& zoo = FaultZoo::instance();
+  if (debug::kLockDebugEnabled) {
+    debug::LockOrderRegistry::instance().reset();
+  }
+  ModelRegistry registry;
+  registry.register_model("b", "v1", zoo.deploy(0));
+  registry.register_artifact("a", "v1", zoo.artifact_path);  // variant 1
+  const std::vector<Tensor> want_b = zoo.reference_logits(0);
+  const std::vector<Tensor> want_a = zoo.reference_logits(1);
+  // Warm B before freezing the load path.
+  expect_same_logits(
+      registry.submit("b", "v1", zoo.data.test.sample(0)).get().logits,
+      want_b[0], "warmup b");
+
+  fault::arm_gate("registry.materialize");
+  std::optional<Tensor> a_logits;
+  std::thread loader([&] {
+    a_logits =
+        registry.submit("a", "v1", zoo.data.test.sample(0)).get().logits;
+  });
+  fault::wait_for_hits("registry.materialize", 1);
+
+  // A is now provably held inside materialization. B serves a full burst...
+  auto futures = registry.submit_batch("b", "v1", zoo.stream());
+  for (std::size_t i = 0; i < futures.size(); ++i) {
+    expect_same_logits(futures[i].get().logits, want_b[i],
+                       "b during a's load, image " + std::to_string(i));
+  }
+  // ...and a stats scrape completes while the load is still held, seeing
+  // the lifecycle mid-flight.
+  const RegistrySnapshot snap = registry.stats();
+  ASSERT_EQ(snap.models.size(), 2u);  // sorted: a@v1, b@v1
+  EXPECT_EQ(snap.models[0].lifecycle, LifecycleState::kLoading);
+  EXPECT_FALSE(snap.models[0].resident);
+  EXPECT_EQ(snap.models[1].lifecycle, LifecycleState::kResident);
+  EXPECT_GT(snap.models[1].stats.requests, 0);
+
+  fault::open_gate("registry.materialize");
+  loader.join();
+  ASSERT_TRUE(a_logits.has_value());
+  expect_same_logits(*a_logits, want_a[0], "a after the gate opened");
+
+  if (debug::kLockDebugEnabled) {
+    // Cold load + held load + concurrent traffic + scrape: no lock was
+    // ever acquired UNDER the registry mutex.
+    debug::LockOrderRegistry& reg = debug::LockOrderRegistry::instance();
+    EXPECT_FALSE(
+        reg.has_edge("ModelRegistry::mu_", "InferenceService::mu_"));
+    EXPECT_FALSE(
+        reg.has_edge("ModelRegistry::mu_", "InferenceService::stats_mu_"));
+    EXPECT_FALSE(
+        reg.has_edge("ModelRegistry::mu_", "fault::FaultRegistry::mu_"));
+  }
+}
+
+// Single-flight: K concurrent cold submits to one entry perform exactly ONE
+// materialization (one registry.materialize hit, one artifact.open hit) and
+// every thread still gets bit-identical values.
+TEST_F(RegistryLifecycle, ConcurrentColdSubmitsSingleFlightTheLoad) {
+  FaultZoo& zoo = FaultZoo::instance();
+  ModelRegistry registry;
+  registry.register_artifact("m", "v1", zoo.artifact_path);
+  const Tensor want = zoo.reference_logits(1)[0];
+
+  // Count-only arming for artifact.open (prob 0 never fires); the gate
+  // holds the one loader so the herd provably arrives at an IN-FLIGHT load
+  // instead of a fast serial chain.
+  fault::arm_probability("artifact.open", 0.0);
+  fault::arm_gate("registry.materialize");
+
+  constexpr int kThreads = 6;
+  std::vector<std::optional<Tensor>> logits(kThreads);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      logits[static_cast<std::size_t>(t)] =
+          registry.submit("m", "v1", zoo.data.test.sample(0)).get().logits;
+    });
+  }
+  fault::wait_for_hits("registry.materialize", 1);
+  fault::open_gate("registry.materialize");
+  for (std::thread& t : threads) t.join();
+
+  EXPECT_EQ(fault::hits("registry.materialize"), 1)
+      << "exactly one thread may claim the cold load";
+  EXPECT_EQ(fault::hits("artifact.open"), 1)
+      << "the herd must never pile onto the disk";
+  for (int t = 0; t < kThreads; ++t) {
+    ASSERT_TRUE(logits[static_cast<std::size_t>(t)].has_value())
+        << "thread " << t;
+    expect_same_logits(*logits[static_cast<std::size_t>(t)], want,
+                       "thread " + std::to_string(t));
+  }
+}
+
+// A waiter behind a stuck load sheds at ITS deadline with the pinned
+// DeadlineExceeded error (counted in the entry's deadline_misses) instead
+// of waiting forever; the gate never opens before the throw, so the
+// timeout is certain, not a race.
+TEST_F(RegistryLifecycle, WaiterShedsAtItsDeadlineDuringAStuckLoad) {
+  FaultZoo& zoo = FaultZoo::instance();
+  ModelRegistry registry;
+  registry.register_artifact("m", "v1", zoo.artifact_path);
+  fault::arm_gate("registry.materialize");
+  std::thread loader([&] {
+    registry.submit("m", "v1", zoo.data.test.sample(0)).get();
+  });
+  fault::wait_for_hits("registry.materialize", 1);
+
+  SubmitOptions options;
+  options.deadline_ms = 20.0;
+  try {
+    registry.submit("m", "v1", zoo.data.test.sample(0), options);
+    FAIL() << "waiter behind a stuck load did not shed at its deadline";
+  } catch (const DeadlineExceeded& e) {
+    EXPECT_NE(
+        std::string(e.what()).find(InferenceService::kErrDeadlineExceeded),
+        std::string::npos)
+        << e.what();
+    EXPECT_NE(std::string(e.what()).find("loading"), std::string::npos)
+        << e.what();
+  }
+
+  fault::open_gate("registry.materialize");
+  loader.join();
+  const RegistrySnapshot snap = registry.stats();
+  ASSERT_EQ(snap.models.size(), 1u);
+  EXPECT_EQ(snap.models[0].stats.deadline_misses, 1);
+  EXPECT_EQ(snap.deadline_misses, 1);
+  // The shed request did not poison the entry: traffic serves fine.
+  expect_same_logits(
+      registry.submit("m", "v1", zoo.data.test.sample(0)).get().logits,
+      zoo.reference_logits(1)[0], "post-release");
+}
+
+// reload() while a load is in flight supersedes it: the parked loader's
+// publish is discarded, its own retry loop re-materializes from the NEW
+// artifact, and nothing is charged to the repointed entry's fresh health.
+TEST_F(RegistryLifecycle, ReloadSupersedesAnInFlightLoad) {
+  FaultZoo& zoo = FaultZoo::instance();
+  const std::string new_path = temp_path("fault_supersede_v0.epim");
+  zoo.deploy(0).save(new_path);
+  ModelRegistry registry;
+  registry.register_artifact("m", "v1", zoo.artifact_path);  // variant 1
+
+  fault::arm_gate("registry.materialize");
+  std::optional<Tensor> got;
+  std::thread loader([&] {
+    got = registry.submit("m", "v1", zoo.data.test.sample(0)).get().logits;
+  });
+  fault::wait_for_hits("registry.materialize", 1);
+
+  // Repoint the version while its first load is provably in flight.
+  registry.reload("m", "v1", new_path);
+  fault::open_gate("registry.materialize");
+  loader.join();
+
+  // Two real load attempts (the superseded one + the retry), and the
+  // caller's future resolved with the NEW artifact's bits.
+  ASSERT_TRUE(got.has_value());
+  expect_same_logits(*got, zoo.reference_logits(0)[0], "superseded load");
+  EXPECT_EQ(fault::hits("registry.materialize"), 2);
+  EXPECT_EQ(registry.health("m", "v1"), HealthState::kHealthy);
+  const RegistrySnapshot snap = registry.stats();
+  ASSERT_EQ(snap.models.size(), 1u);
+  EXPECT_EQ(snap.models[0].materialize_failures, 0)
+      << "a superseded load must not charge the fresh health";
+  std::filesystem::remove(new_path);
 }
 
 // ---- the tentpole invariant ----
@@ -616,7 +828,7 @@ TEST(EnvSmoke, TrafficResolvesUnderEnvArmedFaults) {
 
 // ---- lock order (needs -DEPIM_LOCK_DEBUG=ON; GTEST_SKIPs elsewhere) ----
 
-TEST_F(FaultLockdep, RegistryToFaultEdgeRecordedAndHotPathLockFree) {
+TEST_F(FaultLockdep, FaultPointsEvaluateWithNoRegistryLockHeld) {
   if (!debug::kLockDebugEnabled) {
     GTEST_SKIP() << "built without EPIM_LOCK_DEBUG; Mutex does not feed the "
                     "lockdep registry";
@@ -631,15 +843,20 @@ TEST_F(FaultLockdep, RegistryToFaultEdgeRecordedAndHotPathLockFree) {
   reg.reset();
 
   {
-    // Armed (prob 0, never fires): lock-held materialization evaluates the
-    // point, taking the fault mutex UNDER the registry mutex -- the
-    // documented ModelRegistry::mu_ -> fault::FaultRegistry::mu_ edge.
+    // Armed (prob 0, never fires): materialization evaluates the point --
+    // but since PR 8 the load runs with the registry lock DROPPED, so even
+    // an armed evaluation records NO edge between the registry mutex and
+    // the fault mutex, in either direction. The fault mutex stays a leaf
+    // taken with no other epim lock held.
     ModelRegistry registry;
     registry.register_model("m", "v1", zoo.deploy(0));
     fault::arm_probability("registry.materialize", 0.0);
     registry.submit("m", "v1", zoo.data.test.sample(0)).get();
-    EXPECT_TRUE(
-        reg.has_edge("ModelRegistry::mu_", "fault::FaultRegistry::mu_"));
+    EXPECT_GT(fault::hits("registry.materialize"), 0)
+        << "the armed point was never evaluated";
+    EXPECT_FALSE(
+        reg.has_edge("ModelRegistry::mu_", "fault::FaultRegistry::mu_"))
+        << "materialization must not hold the registry lock at fault points";
     EXPECT_FALSE(
         reg.has_edge("fault::FaultRegistry::mu_", "ModelRegistry::mu_"))
         << "the fault mutex must stay a leaf";

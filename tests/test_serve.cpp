@@ -440,6 +440,67 @@ TEST_F(CorruptionFixture, RejectsMissingFile) {
   }
 }
 
+// ---- I/O modes: mmap (lazy checksums) vs read() (eager, golden) ----
+
+/// Restore the process-default I/O mode after a test that switches it.
+struct IoModeGuard {
+  artifact::IoMode saved = artifact::io_mode();
+  ~IoModeGuard() { artifact::set_io_mode(saved); }
+};
+
+TEST(ArtifactIoMode, MmapAndReadPathsDecodeBitIdentically) {
+  IoModeGuard guard;
+  DeployedFixture& fx = DeployedFixture::instance();
+  PipelineConfig cfg;
+  cfg.precision = PrecisionPlan::uniform(6, 8);
+  DeployedModel chip = Pipeline(cfg).deploy(fx.net, fx.data.train);
+  const std::string path = temp_path("iomode_deployed.epim");
+  chip.save(path);
+
+  artifact::set_io_mode(artifact::IoMode::kRead);
+  DeployedModel via_read = Pipeline::load_deployed(path);
+  artifact::set_io_mode(artifact::IoMode::kMmap);
+  DeployedModel via_mmap = Pipeline::load_deployed(path);
+  expect_bit_identical_logits(via_read, via_mmap, fx.data.test);
+  EXPECT_EQ(via_read.evaluate(fx.data.test),
+            via_mmap.evaluate(fx.data.test));
+
+  // Compiled artifacts ride the same container reader: both modes decode a
+  // model with identical assignment and estimator numbers.
+  const std::string cpath = temp_path("iomode_compiled.epim");
+  Pipeline{PipelineConfig{}}.compile(mini_resnet()).save(cpath);
+  artifact::set_io_mode(artifact::IoMode::kRead);
+  const CompiledModel c_read = Pipeline::load(cpath);
+  artifact::set_io_mode(artifact::IoMode::kMmap);
+  const CompiledModel c_mmap = Pipeline::load(cpath);
+  expect_same_assignment(c_read.assignment(), c_mmap.assignment());
+  expect_same_evaluation(c_read.estimate(), c_mmap.estimate());
+  std::remove(path.c_str());
+  std::remove(cpath.c_str());
+}
+
+TEST(ArtifactIoMode, MmapLazyChecksumStillRejectsBitFlips) {
+  IoModeGuard guard;
+  artifact::set_io_mode(artifact::IoMode::kMmap);
+  const std::string good_path = temp_path("iomode_corrupt_base.epim");
+  const std::string bad_path = temp_path("iomode_corrupt_case.epim");
+  Pipeline{PipelineConfig{}}.compile(mini_resnet()).save(good_path);
+  const std::vector<char> bytes = slurp(good_path);
+  // Flip one bit in the middle and one near the end (different sections):
+  // the mmap path defers each section's checksum to its first decode touch,
+  // but a flipped payload bit must still surface as the pinned kErrChecksum
+  // before any of that section's fields reach a caller.
+  for (const std::size_t victim : {bytes.size() / 2, bytes.size() - 2}) {
+    SCOPED_TRACE("flip at " + std::to_string(victim));
+    std::vector<char> corrupt = bytes;
+    corrupt[victim] = static_cast<char>(corrupt[victim] ^ 0x40);
+    dump(bad_path, corrupt);
+    expect_load_error(bad_path, artifact::kErrChecksum);
+  }
+  std::remove(good_path.c_str());
+  std::remove(bad_path.c_str());
+}
+
 // Both façade loaders, against both bad-path shapes, with the messages
 // pinned: a nonexistent path reports kErrCannotOpen and a directory reports
 // kErrNotFile (NOT a misleading "truncated artifact", which is what naively
