@@ -31,6 +31,7 @@
 #include "pim/estimator.hpp"
 #include "runtime/pim_runtime.hpp"
 #include "search/evolution.hpp"
+#include "telemetry/telemetry.hpp"
 #include "train/trainer.hpp"
 
 namespace epim {
@@ -330,6 +331,17 @@ int main(int argc, char** argv) {
   for (const auto& r : records) {
     std::printf("%-20s threads=%d  %10.4f ms/op  %12.1f items/s\n",
                 r.op.c_str(), r.threads, r.wall_ms, r.items_per_sec);
+  }
+  // Pool telemetry the suite accumulated (every parallel region above is a
+  // pool job): what a fleet scrape of this process would report.
+  {
+    namespace tm = epim::telemetry;
+    tm::Registry& reg = tm::Registry::process();
+    std::printf(
+        "telemetry: pool_jobs=%lld pool_queue_depth_high_water=%lld\n",
+        static_cast<long long>(reg.counter("epim_pool_jobs_total")->value()),
+        static_cast<long long>(
+            reg.gauge("epim_pool_queue_depth")->high_water()));
   }
   epim::write_json(records, out, commit);
   std::printf("wrote %s\n", out.c_str());

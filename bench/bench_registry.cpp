@@ -60,6 +60,7 @@
 #include "registry/registry.hpp"
 #include "serve/artifact.hpp"
 #include "serve/service.hpp"
+#include "telemetry/telemetry.hpp"
 #include "train/trainer.hpp"
 
 namespace epim {
@@ -362,6 +363,26 @@ int main(int argc, char** argv) {
   }
   std::printf("worst same-budget fleet3/single: %.2fx (gate: >= 0.8x)\n",
               worst_ratio);
+  // Fleet telemetry the suite accumulated: the materialize wall-time digest
+  // and lifecycle counters a scrape would see for the churned models
+  // (registry_churn + registry_coldstart_hol re-materialize these over and
+  // over, so the histogram has a real population).
+  {
+    namespace tm = epim::telemetry;
+    tm::Registry& reg = tm::Registry::process();
+    for (const char* model : {"zoo_a@v1", "zoo_b@v1", "zoo_c@v1"}) {
+      const tm::Labels labels{{"model", model}};
+      tm::Histogram* mat =
+          reg.histogram("epim_registry_materialize_ms", labels);
+      std::printf(
+          "telemetry %s: materialize count=%lld p50<=%.3fms p99<=%.3fms "
+          "evictions=%lld\n",
+          model, static_cast<long long>(mat->count()), mat->quantile(0.5),
+          mat->quantile(0.99),
+          static_cast<long long>(
+              reg.counter("epim_registry_evictions_total", labels)->value()));
+    }
+  }
   epim::write_json(records, out, commit);
   std::printf("wrote %s\n", out.c_str());
   return 0;

@@ -26,6 +26,16 @@
 //                                   faults -- the PR 7 degradation row.
 //                                   Surviving logits stay bit-identical to
 //                                   the clean reference.
+//   serve_telemetry_overhead        the saturated workers=2 workload run
+//                                   twice in one binary: metrics recording
+//                                   ON (the default) vs OFF
+//                                   (telemetry::set_recording(false)).
+//                                   wall_ms/items_per_sec describe the ON
+//                                   pass; items_per_op is the ON/OFF
+//                                   throughput ratio x100 (99 = 0.99x).
+//                                   The PR 9 gate: >= 95, i.e. relaxed-
+//                                   atomic instrumentation costs at most 5%
+//                                   of saturated serving throughput.
 //
 // Acceptance gates along the BENCH trajectory: serve_batch throughput
 // >= 2x serve_single on the same thread budget (PR 3), and the workers=4
@@ -37,10 +47,12 @@
 // next to the rows; CI's multi-core perf-smoke run is the arbiter).
 //
 // Usage: bench_serve [output.json] [--commit=HASH] [--enforce-worker-gate]
+//                    [--enforce-telemetry-gate]
 // --enforce-worker-gate exits non-zero when the host has >= 4 cpus and the
 // saturated workers=4/workers=1 ratio at 4 pool threads falls below 1.3x
-// (on hosts with fewer cpus the gate is reported but cannot bind). The
-// JSON is written before the gate is evaluated either way.
+// (on hosts with fewer cpus the gate is reported but cannot bind).
+// --enforce-telemetry-gate exits non-zero when the recording-on/off ratio
+// falls below 0.95x. The JSON is written before either gate is evaluated.
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
@@ -60,6 +72,7 @@
 #include "pipeline/pipeline.hpp"
 #include "serve/artifact.hpp"
 #include "serve/service.hpp"
+#include "telemetry/telemetry.hpp"
 #include "train/trainer.hpp"
 
 namespace epim {
@@ -332,6 +345,31 @@ std::vector<Record> run_suite() {
       fault::disarm_all();
     }
   }
+
+  // Telemetry overhead: the saturated workers=2 workload with metrics
+  // recording ON (default) then OFF, a fresh service per pass. items_per_op
+  // carries the on/off throughput ratio x100 -- the PR 9 "effectively free
+  // when unscraped" proof (gate >= 95, i.e. >= 0.95x).
+  {
+    set_num_threads(2);
+    ServeConfig scfg = cfg.serve;
+    scfg.workers = 2;
+    const auto saturated_wall = [&] {
+      InferenceService service =
+          std::move(Pipeline::load_deployed(path)).serve(scfg);
+      return measure_ms([&] {
+        std::vector<Tensor> burst = stream;
+        for (auto& f : service.submit_batch(std::move(burst))) (void)f.get();
+      });
+    };
+    const double on_wall = saturated_wall();
+    telemetry::set_recording(false);
+    const double off_wall = saturated_wall();
+    telemetry::set_recording(true);
+    Record r = record("serve_telemetry_overhead", 2, on_wall, n_items);
+    r.items_per_op = (off_wall / on_wall) * 100.0;
+    records.push_back(r);
+  }
   set_num_threads(1);
   std::remove(path.c_str());
   return records;
@@ -341,14 +379,17 @@ std::vector<Record> run_suite() {
 }  // namespace epim
 
 int main(int argc, char** argv) {
-  std::string out = "BENCH_pr5.json";
+  std::string out = "BENCH_pr9.json";
   std::string commit = "unknown";
   bool enforce_worker_gate = false;
+  bool enforce_telemetry_gate = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--commit=", 9) == 0) {
       commit = argv[i] + 9;
     } else if (std::strcmp(argv[i], "--enforce-worker-gate") == 0) {
       enforce_worker_gate = true;
+    } else if (std::strcmp(argv[i], "--enforce-telemetry-gate") == 0) {
+      enforce_telemetry_gate = true;
     } else {
       out = argv[i];
     }
@@ -360,6 +401,7 @@ int main(int argc, char** argv) {
   std::map<int, double> single_by_threads, batch_by_threads;
   std::map<int, double> faulted_by_threads;
   std::map<std::pair<int, int>, double> saturated;  // (threads, workers)
+  double telemetry_ratio = 0.0;
   for (const auto& r : records) {
     std::printf("%-20s threads=%d  %10.4f ms/op  %12.1f items/s\n",
                 r.op.c_str(), r.threads, r.wall_ms, r.items_per_sec);
@@ -376,6 +418,26 @@ int main(int argc, char** argv) {
     if (r.op == "serve_faulted1pct_w2") {
       faulted_by_threads[r.threads] = r.items_per_sec;
     }
+    if (r.op == "serve_telemetry_overhead") {
+      telemetry_ratio = r.items_per_op / 100.0;
+    }
+  }
+  // The suite is itself telemetry-instrumented (every service above records
+  // under model="default"): surface the totals a fleet scrape would see.
+  {
+    namespace tm = epim::telemetry;
+    tm::Registry& reg = tm::Registry::process();
+    const tm::Labels labels{{"model", "default"}};
+    std::printf(
+        "telemetry: requests=%lld batches=%lld queue_depth_high_water=%lld "
+        "pool_jobs=%lld\n",
+        static_cast<long long>(
+            reg.counter("epim_serve_requests_total", labels)->value()),
+        static_cast<long long>(
+            reg.counter("epim_serve_batches_total", labels)->value()),
+        static_cast<long long>(
+            reg.gauge("epim_serve_queue_depth", labels)->high_water()),
+        static_cast<long long>(reg.counter("epim_pool_jobs_total")->value()));
   }
   std::printf("bit-identity vs direct forward_batch: OK at every workers x "
               "threads x batch point\n");
@@ -420,6 +482,19 @@ int main(int argc, char** argv) {
                    "worker gate FAILED: %.2fx < 1.3x on a %u-cpu host\n",
                    ratio, cpus);
       return 3;
+    }
+  }
+  // PR 9 telemetry gate: recording-on throughput vs recording-off on the
+  // same saturated workload -- relaxed-atomic instrumentation must keep at
+  // least 95% of uninstrumented throughput.
+  if (telemetry_ratio > 0.0) {
+    std::printf(
+        "telemetry recording on/off throughput: %.2fx (gate: >= 0.95x)\n",
+        telemetry_ratio);
+    if (enforce_telemetry_gate && telemetry_ratio < 0.95) {
+      std::fprintf(stderr, "telemetry gate FAILED: %.2fx < 0.95x\n",
+                   telemetry_ratio);
+      return 4;
     }
   }
   return 0;

@@ -8,6 +8,8 @@
 #include "common/check.hpp"
 #include "common/error.hpp"
 #include "common/rng.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace epim {
 namespace fault {
@@ -30,6 +32,12 @@ struct Point {
   bool gate_open = false;
   std::int64_t hit_count = 0;
   std::int64_t fire_count = 0;
+  /// Telemetry mirrors of the two counters above ({point} label). Resolved
+  /// by the arm_* entry points BEFORE this registry's mutex is taken (both
+  /// that mutex and the telemetry registration mutex are lockdep leaves, so
+  /// neither may nest under the other); non-null on every armed point.
+  telemetry::Counter* hits_series = nullptr;
+  telemetry::Counter* fires_series = nullptr;
 };
 
 // Keyed registry of every point ever armed. Intentionally leaked (like the
@@ -52,6 +60,17 @@ void recount_armed_locked(const std::map<std::string, Point>& points) {
   int armed = 0;
   for (const auto& [name, point] : points) armed += point.armed ? 1 : 0;
   detail::g_armed_points.store(armed, std::memory_order_relaxed);
+}
+
+/// Resolve a point's telemetry series. MUST run before the fault mutex is
+/// taken (see the Point comment); the lookup itself takes the telemetry
+/// registration leaf mutex.
+void resolve_point_series(const std::string& name, Point& point) {
+  telemetry::metrics::ensure_registered();
+  telemetry::Registry& reg = telemetry::Registry::process();
+  const telemetry::Labels labels{{"point", name}};
+  point.hits_series = reg.counter("epim_fault_hits_total", labels);
+  point.fires_series = reg.counter("epim_fault_fires_total", labels);
 }
 
 void arm_locked(std::map<std::string, Point>& points, const std::string& name,
@@ -88,6 +107,7 @@ bool should_fire_slow(const char* point) {
   if (it == registry.points.end() || !it->second.armed) return false;
   Point& p = it->second;
   p.hit_count += 1;
+  p.hits_series->inc(1);  // relaxed atomic; no lock acquired under mu
   // Every hit is announced so wait_for_hits() callers can make progress
   // (armed runs are tests/chaos drills; the disarmed fast path never gets
   // here).
@@ -110,7 +130,10 @@ bool should_fire_slow(const char* point) {
       }
       return false;
   }
-  if (fire) p.fire_count += 1;
+  if (fire) {
+    p.fire_count += 1;
+    p.fires_series->inc(1);
+  }
   return fire;
 }
 
@@ -131,6 +154,7 @@ void arm_probability(const std::string& point, double rate,
   p.kind = TriggerKind::kProbability;
   p.rate = rate;
   p.rng = Rng(seed);
+  resolve_point_series(point, p);
   FaultRegistry& registry = fault_registry();
   MutexLock lock(registry.mu);
   arm_locked(registry.points, point, std::move(p));
@@ -143,6 +167,7 @@ void arm_nth(const std::string& point, std::int64_t n) {
   Point p;
   p.kind = TriggerKind::kNth;
   p.nth = n;
+  resolve_point_series(point, p);
   FaultRegistry& registry = fault_registry();
   MutexLock lock(registry.mu);
   arm_locked(registry.points, point, std::move(p));
@@ -152,6 +177,7 @@ void arm_nth(const std::string& point, std::int64_t n) {
 void arm_gate(const std::string& point) {
   Point p;
   p.kind = TriggerKind::kGate;
+  resolve_point_series(point, p);
   FaultRegistry& registry = fault_registry();
   MutexLock lock(registry.mu);
   arm_locked(registry.points, point, std::move(p));

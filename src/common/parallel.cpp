@@ -9,6 +9,8 @@
 
 #include "common/check.hpp"
 #include "common/thread_annotations.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace epim {
 
@@ -105,6 +107,11 @@ class ThreadPool {
     job->chunks = chunks;
     job->pending.store(chunks, std::memory_order_relaxed);
     job->errors.assign(static_cast<std::size_t>(chunks), nullptr);
+    // Relaxed atomics on pointers cached at pool construction -- never a
+    // lookup here (series lookup takes the telemetry leaf mutex, and run()
+    // may be deep under a batch worker's call stack).
+    m_jobs_->inc(1);
+    m_queue_depth_->add(1);
     {
       MutexLock lock(mutex_);
       jobs_.push_back(job);
@@ -122,6 +129,7 @@ class ThreadPool {
       });
       jobs_.erase(std::find(jobs_.begin(), jobs_.end(), job));
     }
+    m_queue_depth_->sub(1);
     for (const std::exception_ptr& e : job->errors) {
       if (e) std::rethrow_exception(e);
     }
@@ -139,7 +147,14 @@ class ThreadPool {
   }
 
  private:
-  ThreadPool() { resize(default_thread_count()); }
+  ThreadPool() {
+    // Resolve the pool's series once, before any worker or job exists.
+    telemetry::metrics::ensure_registered();
+    telemetry::Registry& reg = telemetry::Registry::process();
+    m_jobs_ = reg.counter("epim_pool_jobs_total");
+    m_queue_depth_ = reg.gauge("epim_pool_queue_depth");
+    resize(default_thread_count());
+  }
 
   void drain(Job& job) EPIM_EXCLUDES(mutex_) {
     for (;;) {
@@ -186,6 +201,11 @@ class ThreadPool {
       job.reset();  // drop the ref before blocking on the next wait
     }
   }
+
+  /// Cached telemetry series (see the constructor); recording is relaxed
+  /// atomics only, so it is legal wherever run() is called from.
+  telemetry::Counter* m_jobs_ = nullptr;
+  telemetry::Gauge* m_queue_depth_ = nullptr;
 
   mutable Mutex mutex_{"parallel::ThreadPool::mutex_"};
   CondVar work_cv_;

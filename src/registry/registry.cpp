@@ -8,6 +8,7 @@
 #include "common/fault_inject.hpp"
 #include "common/math_util.hpp"
 #include "serve/artifact.hpp"
+#include "telemetry/metrics.hpp"
 
 namespace epim {
 
@@ -71,6 +72,48 @@ ModelRegistry::ModelRegistry(RegistryConfig config)
 
 ModelRegistry::~ModelRegistry() = default;
 
+ModelRegistry::EntryMetrics ModelRegistry::resolve_entry_metrics(
+    const std::string& name, const std::string& version) {
+  telemetry::metrics::ensure_registered();
+  telemetry::Registry& reg = telemetry::Registry::process();
+  const std::string label = name + "@" + version;
+  EntryMetrics m;
+  m.to_loading = reg.counter("epim_registry_transitions_total",
+                             {{"model", label}, {"to", "loading"}});
+  m.to_resident = reg.counter("epim_registry_transitions_total",
+                              {{"model", label}, {"to", "resident"}});
+  m.to_draining = reg.counter("epim_registry_transitions_total",
+                              {{"model", label}, {"to", "draining"}});
+  m.to_cold = reg.counter("epim_registry_transitions_total",
+                          {{"model", label}, {"to", "cold"}});
+  m.evictions =
+      reg.counter("epim_registry_evictions_total", {{"model", label}});
+  m.fast_fails =
+      reg.counter("epim_registry_fast_fails_total", {{"model", label}});
+  m.pins = reg.gauge("epim_registry_pins_depth", {{"model", label}});
+  m.materialize_ms =
+      reg.histogram("epim_registry_materialize_ms", {{"model", label}});
+  return m;
+}
+
+void ModelRegistry::set_state_locked(Entry& entry, LifecycleState next) {
+  entry.state = next;
+  switch (next) {
+    case LifecycleState::kCold:
+      entry.metrics.to_cold->inc(1);
+      break;
+    case LifecycleState::kLoading:
+      entry.metrics.to_loading->inc(1);
+      break;
+    case LifecycleState::kResident:
+      entry.metrics.to_resident->inc(1);
+      break;
+    case LifecycleState::kDraining:
+      entry.metrics.to_draining->inc(1);
+      break;
+  }
+}
+
 ModelRegistry::Entry& ModelRegistry::add_entry_locked(
     const std::string& name, const std::string& version,
     const ServeConfig& serve) {
@@ -106,9 +149,14 @@ void ModelRegistry::register_artifact(const std::string& name,
   const artifact::Info info = artifact::probe(path);
   EPIM_CHECK(info.kind == artifact::Kind::kDeployedModel,
              "registry artifacts must be deployed models: " + path);
+  // Resolve the entry's telemetry series BEFORE taking the registry lock:
+  // the lookup acquires the telemetry leaf mutex, which must never nest
+  // under ModelRegistry::mu_ (lockdep pins the absence of that edge).
+  const EntryMetrics metrics = resolve_entry_metrics(name, version);
   MutexLock lock(mu_);
   Entry& entry = add_entry_locked(name, version, serve);
   entry.artifact_path = path;
+  entry.metrics = metrics;
 }
 
 void ModelRegistry::register_model(const std::string& name,
@@ -121,9 +169,12 @@ void ModelRegistry::register_model(const std::string& name,
                                    const std::string& version,
                                    DeployedModel model,
                                    const ServeConfig& serve) {
+  // Same ordering contract as register_artifact: series first, lock second.
+  const EntryMetrics metrics = resolve_entry_metrics(name, version);
   MutexLock lock(mu_);
   Entry& entry = add_entry_locked(name, version, serve);
   entry.model.emplace(std::move(model));
+  entry.metrics = metrics;
 }
 
 void ModelRegistry::set_alias(const std::string& name,
@@ -292,7 +343,7 @@ void ModelRegistry::materialize_as_loader(MutexLock& lock,
                                           Entry& entry) {
   EPIM_DCHECK(entry.state == LifecycleState::kCold,
               "only a cold entry can claim the single-flight load");
-  entry.state = LifecycleState::kLoading;
+  set_state_locked(entry, LifecycleState::kLoading);
   const std::uint64_t epoch = entry.load_epoch;
   const std::string path = entry.artifact_path;
   const ServeConfig serve = entry.serve;
@@ -303,6 +354,7 @@ void ModelRegistry::materialize_as_loader(MutexLock& lock,
 
   // ---- lock dropped: all I/O and construction happen out here ----
   lock.unlock();
+  const auto load_start = Clock::now();
   std::unique_ptr<InferenceService> fresh;
   bool failed = false;
   bool internal = false;
@@ -319,7 +371,8 @@ void ModelRegistry::materialize_as_loader(MutexLock& lock,
                                       : Pipeline::load_deployed(path);
     source.reset();
     try {
-      fresh = std::make_unique<InferenceService>(std::move(model), serve);
+      fresh = std::make_unique<InferenceService>(std::move(model), serve,
+                                                 name + "@" + version);
     } catch (...) {
       // The serve config was validated at registration, so this is a
       // resource failure (thread/memory). `model` was consumed by the
@@ -342,6 +395,9 @@ void ModelRegistry::materialize_as_loader(MutexLock& lock,
     failed = true;
     what = e.what();
   }
+  const double load_ms =
+      std::chrono::duration<double, std::milli>(Clock::now() - load_start)
+          .count();
   lock.lock();
 
   if (entry.load_epoch != epoch) {
@@ -350,7 +406,7 @@ void ModelRegistry::materialize_as_loader(MutexLock& lock,
     // do not charge a stale failure -- then hand the entry back to the
     // caller's retry loop. The stale service (if built) carried no traffic,
     // so destroying it outside the lock just joins idle workers.
-    entry.state = LifecycleState::kCold;
+    set_state_locked(entry, LifecycleState::kCold);
     entry.cv.notify_all();
     if (fresh != nullptr) {
       lock.unlock();
@@ -362,7 +418,7 @@ void ModelRegistry::materialize_as_loader(MutexLock& lock,
 
   if (failed) {
     if (source.has_value()) entry.model = std::move(source);  // retryable
-    entry.state = LifecycleState::kCold;
+    set_state_locked(entry, LifecycleState::kCold);
     record_materialize_failure_locked(entry, what);
     entry.cv.notify_all();
     if (internal) throw InternalError(what);
@@ -371,7 +427,10 @@ void ModelRegistry::materialize_as_loader(MutexLock& lock,
   }
 
   entry.service = std::move(fresh);
-  entry.state = LifecycleState::kResident;
+  set_state_locked(entry, LifecycleState::kResident);
+  // Successful loads only: the histogram answers "how long does a cold
+  // start take when it works" -- failures are counted separately.
+  entry.metrics.materialize_ms->observe(load_ms);
   // A successful (probe) materialization closes the breaker.
   entry.health = HealthState::kHealthy;
   entry.consecutive_failures = 0;
@@ -399,7 +458,7 @@ void ModelRegistry::enforce_budget(MutexLock& lock, Entry& fresh) {
     // other resident is pinned right now. A transient overshoot is the
     // correct outcome -- the next materialization re-runs this loop.
     if (victim == nullptr) break;
-    victim->state = LifecycleState::kDraining;
+    set_state_locked(*victim, LifecycleState::kDraining);
     std::unique_ptr<InferenceService> old = std::move(victim->service);
     // detach() joins ALL the service's batch workers after they drain the
     // queue (in-flight batches included): every future handed out for this
@@ -419,6 +478,7 @@ void ModelRegistry::enforce_budget(MutexLock& lock, Entry& fresh) {
     victim->retired.rejected += final.rejected;
     victim->retired.deadline_misses += final.deadline_misses;
     victim->evictions += 1;
+    victim->metrics.evictions->inc(1);
     if (!victim->artifact_backed()) {
       // No artifact to re-materialize from: keep the programmed model so
       // the entry stays servable. The eviction still frees the batch
@@ -427,7 +487,7 @@ void ModelRegistry::enforce_budget(MutexLock& lock, Entry& fresh) {
       // superseded -- dropping it here is exactly right.)
       victim->model.emplace(std::move(recovered));
     }
-    victim->state = LifecycleState::kCold;
+    set_state_locked(*victim, LifecycleState::kCold);
     victim->cv.notify_all();
   }
 }
@@ -475,13 +535,13 @@ void ModelRegistry::reload(const std::string& name,
     entry.last_error.clear();
     entry.retry_at = Clock::time_point{};
     if (entry.state == LifecycleState::kResident) {
-      entry.state = LifecycleState::kDraining;
+      set_state_locked(entry, LifecycleState::kDraining);
       // Wait out readers that pinned the service before we got the lock.
       // Bounded: pins cover an enqueue or a stats read, never I/O, and
       // kDraining stops new pins from arriving.
       while (entry.pins > 0) entry.cv.wait(lock);
       old = std::move(entry.service);
-      entry.state = LifecycleState::kCold;
+      set_state_locked(entry, LifecycleState::kCold);
       entry.cv.notify_all();
     }
     // kLoading: the epoch bump above retires the loader's result; it (or a
@@ -576,6 +636,7 @@ std::vector<std::future<InferenceResult>> ModelRegistry::submit_batch(
   // longer serializes behind the fleet-wide mutex (the enqueue takes the
   // service's own lock, which can briefly block behind a batch close).
   entry.pins += 1;
+  entry.metrics.pins->add(1);
   InferenceService* service = entry.service.get();
   lock.unlock();
   try {
@@ -594,6 +655,7 @@ std::vector<std::future<InferenceResult>> ModelRegistry::submit_batch(
 void ModelRegistry::unpin_locked(Entry& entry) {
   EPIM_DCHECK(entry.pins > 0, "unpinning an entry with no pins");
   entry.pins -= 1;
+  entry.metrics.pins->sub(1);
   if (entry.pins == 0) entry.cv.notify_all();
 }
 
@@ -607,6 +669,7 @@ void ModelRegistry::check_health_locked(Entry& entry,
 void ModelRegistry::fail_unhealthy_locked(Entry& entry,
                                           std::size_t n_requests) {
   entry.health_fast_fails += static_cast<std::int64_t>(n_requests);
+  entry.metrics.fast_fails->inc(static_cast<std::int64_t>(n_requests));
   if (entry.health == HealthState::kQuarantined) {
     throw Unavailable(std::string(kErrQuarantined) + " after " +
                       std::to_string(entry.consecutive_failures) +
@@ -683,6 +746,7 @@ RegistrySnapshot ModelRegistry::stats() const {
       if (m.resident) {
         snapshot.workers += entry.serve.workers;
         entry.pins += 1;
+        entry.metrics.pins->add(1);
         pinned.push_back(
             {&entry, entry.service.get(), snapshot.models.size()});
       }
@@ -743,6 +807,7 @@ void ModelRegistry::reset_stats() {
       entry.health_fast_fails = 0;
       if (entry.state == LifecycleState::kResident) {
         entry.pins += 1;
+        entry.metrics.pins->add(1);
         pinned.push_back({&entry, entry.service.get()});
       }
     }

@@ -375,6 +375,23 @@ class ModelRegistry {
     std::int64_t deadline_misses = 0;
   };
 
+  /// Cached telemetry series for one entry ({model} = "name@version").
+  /// Resolved at registration BEFORE the registry lock is taken -- series
+  /// lookup acquires telemetry::Registry::mu_, which must stay a leaf never
+  /// taken under ModelRegistry::mu_ -- then recorded into with relaxed
+  /// atomics only, which is legal under any lock. One transition counter
+  /// per destination state so a scrape sees the full lifecycle churn.
+  struct EntryMetrics {
+    telemetry::Counter* to_loading = nullptr;
+    telemetry::Counter* to_resident = nullptr;
+    telemetry::Counter* to_draining = nullptr;
+    telemetry::Counter* to_cold = nullptr;
+    telemetry::Counter* evictions = nullptr;
+    telemetry::Counter* fast_fails = nullptr;
+    telemetry::Gauge* pins = nullptr;
+    telemetry::Histogram* materialize_ms = nullptr;
+  };
+
   struct Entry {
     std::string artifact_path;          ///< empty for in-memory-only entries
     std::optional<DeployedModel> model; ///< in-memory source while cold
@@ -383,6 +400,7 @@ class ModelRegistry {
     std::uint64_t last_used = 0;        ///< LRU tick
     std::int64_t evictions = 0;
     RetiredCounters retired{};          ///< from evicted/swapped services
+    EntryMetrics metrics{};             ///< see EntryMetrics
 
     // --- lifecycle state machine (fields mutated only under the registry
     // lock, like the breaker below; the CondVar is internally synchronized
@@ -420,6 +438,17 @@ class ModelRegistry {
     std::vector<VersionWeight> split;  ///< empty = no split
   };
 
+  /// Resolve the telemetry series an entry records into. Takes the
+  /// telemetry registration mutex, so it MUST be called with mu_ released
+  /// (both register_* call it before locking); see EntryMetrics.
+  static EntryMetrics resolve_entry_metrics(const std::string& name,
+                                            const std::string& version)
+      EPIM_EXCLUDES(mu_);
+  /// Move the lifecycle machine and count the transition (relaxed atomic on
+  /// a cached pointer -- no lock acquired). Every state assignment after
+  /// registration goes through here so the epim_registry_transitions_total
+  /// series can never drift from the machine.
+  void set_state_locked(Entry& entry, LifecycleState next) EPIM_REQUIRES(mu_);
   /// Insert a fresh entry; shared precondition checks for both register_*.
   Entry& add_entry_locked(const std::string& name, const std::string& version,
                           const ServeConfig& serve) EPIM_REQUIRES(mu_);

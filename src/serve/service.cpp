@@ -3,13 +3,15 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <cstdio>
 #include <utility>
 
 #include "common/check.hpp"
 #include "common/fault_inject.hpp"
-#include "common/math_util.hpp"
 #include "common/thread_annotations.hpp"
 #include "runtime/pim_runtime.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/trace.hpp"
 
 namespace epim {
 
@@ -33,9 +35,28 @@ std::exception_ptr deadline_error(Clock::time_point enqueued,
 
 }  // namespace
 
-InferenceService::InferenceService(DeployedModel model, ServeConfig config)
-    : model_(std::move(model)), config_(config) {
+InferenceService::InferenceService(DeployedModel model, ServeConfig config,
+                                   const std::string& telemetry_label)
+    : model_(std::move(model)),
+      config_(config),
+      telemetry_label_(telemetry_label.empty() ? "default" : telemetry_label) {
   validate_serve(config_);
+  // Resolve every series before any worker exists: the lookups take the
+  // telemetry registration mutex (a leaf), and doing it here keeps that
+  // mutex off every path that holds mu_/stats_mu_.
+  telemetry::metrics::ensure_registered();
+  {
+    telemetry::Registry& reg = telemetry::Registry::process();
+    const telemetry::Labels labels{{"model", telemetry_label_}};
+    m_requests_ = reg.counter("epim_serve_requests_total", labels);
+    m_batches_ = reg.counter("epim_serve_batches_total", labels);
+    m_rejected_ = reg.counter("epim_serve_rejected_total", labels);
+    m_deadline_misses_ =
+        reg.counter("epim_serve_deadline_misses_total", labels);
+    m_clip_events_ = reg.counter("epim_serve_clip_events_total", labels);
+    m_queue_depth_ = reg.gauge("epim_serve_queue_depth", labels);
+    m_latency_ = reg.histogram("epim_serve_latency_ms", labels);
+  }
   {
     // No worker exists yet, but worker_in_flight_ is a guarded field and
     // the analysis (correctly) has no "threads not started" concept; an
@@ -144,6 +165,7 @@ std::vector<std::future<InferenceResult>> InferenceService::submit_batch(
       }
       if (queue_.size() + images.size() >
           static_cast<std::size_t>(config_.max_queue)) {
+        m_rejected_->inc(static_cast<std::int64_t>(images.size()));
         MutexLock stats_lock(stats_mu_);
         rejected_ += static_cast<std::int64_t>(images.size());
         throw Unavailable(std::string(kErrQueueFull) + ": " +
@@ -177,6 +199,10 @@ std::vector<std::future<InferenceResult>> InferenceService::submit_batch(
       futures.push_back(request.promise.get_future());
       queue_.push_back(std::move(request));
     }
+    // The gauge mirrors queue_.size(): +n here, -n at batch close and at
+    // every deadline shed. Relaxed atomic, so updating it under mu_ keeps
+    // the mirror exact without any new lock edge.
+    m_queue_depth_->add(static_cast<std::int64_t>(images.size()));
   }
   cv_.notify_all();
   return futures;
@@ -218,8 +244,10 @@ void InferenceService::worker_loop(std::size_t worker) {
     if (queue_.empty()) continue;
     // Close the batch. A final sweep first: a batch never runs work that is
     // already dead, including requests that expired during the waits above
-    // or while this worker held a full queue.
-    shed_expired_locked(Clock::now());
+    // or while this worker held a full queue. The timestamp doubles as the
+    // batch-close time for the trace-span layer.
+    const auto closed_at = Clock::now();
+    shed_expired_locked(closed_at);
     if (queue_.empty()) continue;
     std::vector<Request> batch;
     const std::size_t n = std::min<std::size_t>(
@@ -229,6 +257,7 @@ void InferenceService::worker_loop(std::size_t worker) {
       batch.push_back(std::move(queue_.front()));
       queue_.pop_front();
     }
+    m_queue_depth_->sub(static_cast<std::int64_t>(n));
     worker_in_flight_[worker] = static_cast<std::int64_t>(n);
     // Run the batch with the queue unlocked: peers keep closing batches
     // (multiple in flight per model) and submitters keep enqueueing while
@@ -236,7 +265,7 @@ void InferenceService::worker_loop(std::size_t worker) {
     // programmed crossbars, so concurrent batches stay bit-identical.
     lock.unlock();
     try {
-      run_batch(batch);
+      run_batch(batch, worker, closed_at);
     } catch (...) {
       // run_batch already routes forward-pass failures to the batch's
       // futures; this guard is for everything it could not anticipate
@@ -268,6 +297,8 @@ std::size_t InferenceService::shed_expired_locked(Clock::time_point now) {
     }
   }
   if (expired.empty()) return 0;
+  m_queue_depth_->sub(static_cast<std::int64_t>(expired.size()));
+  m_deadline_misses_->inc(static_cast<std::int64_t>(expired.size()));
   // Count BEFORE failing the futures: a caller that observes a future's
   // DeadlineExceeded and then reads stats() must see the miss counted.
   {
@@ -280,7 +311,14 @@ std::size_t InferenceService::shed_expired_locked(Clock::time_point now) {
   return expired.size();
 }
 
-void InferenceService::run_batch(std::vector<Request>& batch) {
+void InferenceService::run_batch(std::vector<Request>& batch,
+                                 std::size_t worker,
+                                 Clock::time_point closed_at) {
+  // One relaxed load decides whether this batch pays any tracing cost at
+  // all; the run-begin clock read happens only when armed.
+  const bool traced = telemetry::tracing();
+  const auto run_begin = traced ? Clock::now() : closed_at;
+
   std::vector<Tensor> images;
   images.reserve(batch.size());
   for (Request& r : batch) images.push_back(std::move(r.image));
@@ -323,6 +361,32 @@ void InferenceService::run_batch(std::vector<Request>& batch) {
     batch_latencies.push_back(ms_between(batch[i].enqueued, done));
   }
 
+  // Fleet telemetry: cached series pointers, relaxed atomics only -- no
+  // lock is held and none is taken. The shared latency series is
+  // cumulative (scrape-facing); interval_latency_ additionally backs the
+  // resettable ServiceStats percentiles.
+  m_requests_->inc(static_cast<std::int64_t>(batch.size()));
+  m_batches_->inc(1);
+  m_clip_events_->inc(batch_clips);
+  for (const double latency : batch_latencies) {
+    m_latency_->observe(latency);
+    interval_latency_.observe(latency);
+  }
+  if (traced) {
+    telemetry::SpanRecord span;
+    std::snprintf(span.model, sizeof(span.model), "%s",
+                  telemetry_label_.c_str());
+    span.worker = static_cast<std::uint32_t>(worker);
+    span.batch = static_cast<std::uint32_t>(batch.size());
+    span.close_ms = telemetry::trace_ms(closed_at);
+    span.run_begin_ms = telemetry::trace_ms(run_begin);
+    span.run_end_ms = telemetry::trace_ms(done);
+    for (const Request& r : batch) {
+      span.submit_ms = telemetry::trace_ms(r.enqueued);
+      telemetry::record_span(span);
+    }
+  }
+
   // Record stats before fulfilling any promise, so a stats() snapshot taken
   // right after a future resolves already counts that request.
   {
@@ -349,6 +413,9 @@ void InferenceService::run_batch(std::vector<Request>& batch) {
 }
 
 void InferenceService::reset() {
+  // The interval histogram is per-instance, so resetting it here cannot
+  // disturb the shared (cumulative) scrape series.
+  interval_latency_.reset();
   MutexLock lock(stats_mu_);
   latencies_ms_.clear();
   latency_next_ = 0;
@@ -382,7 +449,6 @@ std::vector<double> InferenceService::recent_latencies_ms() const {
 ServiceStats InferenceService::stats() const {
   ServiceStats s;
   s.workers = config_.workers;
-  std::vector<double> latencies;
   {
     MutexLock lock(stats_mu_);
     s.requests = completed_;
@@ -390,7 +456,6 @@ ServiceStats InferenceService::stats() const {
     s.clip_events = clip_events_;
     s.rejected = rejected_;
     s.deadline_misses = deadline_misses_;
-    latencies = latencies_ms_;
     if (completed_ > 0) {
       s.mean_batch_size = static_cast<double>(completed_) /
                           static_cast<double>(batches_);
@@ -407,9 +472,12 @@ ServiceStats InferenceService::stats() const {
       s.busy_workers += n > 0;
     }
   }
-  std::sort(latencies.begin(), latencies.end());
-  s.p50_latency_ms = nearest_rank_percentile(latencies, 0.50);
-  s.p99_latency_ms = nearest_rank_percentile(latencies, 0.99);
+  // Percentiles come from the whole-interval histogram digest (every
+  // completion since the last reset()), not the bounded recent-latency
+  // ring: a burst larger than the ring can no longer evict the samples a
+  // p99 is supposed to be made of. Resolution is the bucket upper bound.
+  s.p50_latency_ms = interval_latency_.quantile(0.50);
+  s.p99_latency_ms = interval_latency_.quantile(0.99);
   return s;
 }
 

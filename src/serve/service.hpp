@@ -52,6 +52,7 @@
 
 #include "common/thread_annotations.hpp"
 #include "pipeline/pipeline.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace epim {
 
@@ -103,9 +104,12 @@ struct ServiceStats {
   /// so completed traffic always reports a positive finite rate).
   double items_per_sec = 0.0;
   /// Request latency (submit -> result ready), simulated-request terms:
-  /// wall clock of the simulator, not of modelled PIM hardware. Computed
-  /// over the most recent ServeConfig::latency_window completed requests,
-  /// so a long-lived service stays O(1) memory.
+  /// wall clock of the simulator, not of modelled PIM hardware. Since the
+  /// telemetry PR these come from the service's log-bucket latency
+  /// histogram over the WHOLE interval (reset() starts a new one), so the
+  /// digest covers every completed request at O(1) memory -- reported at
+  /// bucket-upper-bound resolution (power-of-two buckets). The exact
+  /// recent-window samples remain available via recent_latencies_ms().
   double p50_latency_ms = 0.0;
   double p99_latency_ms = 0.0;
   /// ADC clip events summed over all completed requests.
@@ -134,8 +138,17 @@ struct ServiceStats {
 class InferenceService {
  public:
   /// Takes ownership of the programmed chip. `config` is validated here
-  /// (same rules as PipelineConfig::validate()).
-  InferenceService(DeployedModel model, ServeConfig config);
+  /// (same rules as PipelineConfig::validate()). `telemetry_label` is the
+  /// {model} label this service's metric series carry in the process
+  /// telemetry registry ("name@version" when the registry materializes it;
+  /// "default" for a bare service). Instances sharing a label share series
+  /// -- counters aggregate, the queue-depth gauge sums -- which is the
+  /// Prometheus model. Series are resolved here, before any worker starts,
+  /// so the hot path never touches the telemetry registration lock.
+  InferenceService(DeployedModel model, ServeConfig config,
+                   const std::string& telemetry_label);
+  InferenceService(DeployedModel model, ServeConfig config)
+      : InferenceService(std::move(model), std::move(config), "default") {}
   explicit InferenceService(DeployedModel model)
       : InferenceService(std::move(model), ServeConfig{}) {}
 
@@ -247,8 +260,13 @@ class InferenceService {
   /// final counter fold. A throwing forward pass (or an armed
   /// serve.run_batch fault point) fails the batch's futures and leaves the
   /// worker serving; worker_loop adds a last-ditch guard so no exception
-  /// whatsoever can kill a worker thread.
-  void run_batch(std::vector<Request>& batch) EPIM_EXCLUDES(mu_, stats_mu_);
+  /// whatsoever can kill a worker thread. `worker` and `closed_at` (the
+  /// batch-close timestamp the closing worker already read) exist for the
+  /// trace-span layer, which records them only while telemetry tracing is
+  /// armed.
+  void run_batch(std::vector<Request>& batch, std::size_t worker,
+                 std::chrono::steady_clock::time_point closed_at)
+      EPIM_EXCLUDES(mu_, stats_mu_);
 
   /// Exclusively owned by construction and (post-join) by detach(); workers
   /// read it concurrently through the const forward_batch path. Not
@@ -257,6 +275,22 @@ class InferenceService {
   /// detach() moves it out only after every worker joined).
   DeployedModel model_;
   ServeConfig config_;  ///< immutable after construction
+
+  // --- telemetry (resolved once in the constructor; every record below is
+  // relaxed atomics on cached pointers, legal under any of our locks) ---
+  std::string telemetry_label_;  ///< {model} label; immutable
+  telemetry::Counter* m_requests_ = nullptr;
+  telemetry::Counter* m_batches_ = nullptr;
+  telemetry::Counter* m_rejected_ = nullptr;
+  telemetry::Counter* m_deadline_misses_ = nullptr;
+  telemetry::Counter* m_clip_events_ = nullptr;
+  telemetry::Gauge* m_queue_depth_ = nullptr;  ///< mirrors queue_.size()
+  telemetry::Histogram* m_latency_ = nullptr;  ///< shared, never reset
+  /// Private per-instance latency histogram backing ServiceStats::p50/p99
+  /// (the shared series above aggregates across instances and outlives
+  /// reset(), so it cannot serve per-service interval percentiles).
+  /// Lock-free like every Histogram; reset() by the stats reset.
+  telemetry::Histogram interval_latency_;
 
   /// Queue lock; ACQUIRED_BEFORE documents (and lockdep enforces) the only
   /// legal nesting with the stats lock: mu_ -> stats_mu_, never reverse.

@@ -1,0 +1,68 @@
+#include "telemetry/metrics.hpp"
+
+#include "telemetry/telemetry.hpp"
+
+namespace epim {
+namespace telemetry {
+namespace metrics {
+
+void ensure_registered() {
+  // Function-local static: the registration block runs exactly once, under
+  // the C++ magic-static guard, BEFORE any caller proceeds to series
+  // lookup. This file is the ONLY register_* site in src/ -- tools/lint.py
+  // enforces that each metric name below appears in exactly one
+  // registration call (re-registering throws the pinned
+  // Registry::kErrDuplicateMetric).
+  static const bool done = [] {
+    Registry& r = Registry::process();
+
+    // --- serving (InferenceService; label: model) ---
+    r.register_counter("epim_serve_requests_total",
+                       "Requests completed by the serving layer.");
+    r.register_counter("epim_serve_batches_total",
+                       "Batches closed and executed.");
+    r.register_counter("epim_serve_rejected_total",
+                       "Requests refused by admission control (queue full).");
+    r.register_counter(
+        "epim_serve_deadline_misses_total",
+        "Requests shed because their deadline expired before batch close.");
+    r.register_counter("epim_serve_clip_events_total",
+                       "ADC clip events summed over completed requests.");
+    r.register_gauge("epim_serve_queue_depth",
+                     "Requests queued and not yet closed into a batch.");
+    r.register_histogram("epim_serve_latency_ms",
+                         "Request latency, submit to result ready (ms).");
+
+    // --- model registry (label: model = name@version) ---
+    r.register_counter(
+        "epim_registry_transitions_total",
+        "Entry lifecycle transitions, labelled by destination state.");
+    r.register_histogram("epim_registry_materialize_ms",
+                         "Wall time of successful materializations (ms).");
+    r.register_counter("epim_registry_evictions_total",
+                       "Resident services evicted by the LRU budget.");
+    r.register_counter(
+        "epim_registry_fast_fails_total",
+        "Requests fast-failed while an entry's breaker window was open.");
+    r.register_gauge("epim_registry_pins_depth",
+                     "Threads currently pinning an entry (enqueue or scrape).");
+
+    // --- shared compute pool (process-wide, unlabelled) ---
+    r.register_counter("epim_pool_jobs_total",
+                       "Parallel regions executed by the shared pool.");
+    r.register_gauge("epim_pool_queue_depth",
+                     "Parallel regions currently live on the shared pool.");
+
+    // --- fault injection (label: point) ---
+    r.register_counter("epim_fault_hits_total",
+                       "Armed fault-point trigger evaluations.");
+    r.register_counter("epim_fault_fires_total",
+                       "Armed fault-point trigger fires.");
+    return true;
+  }();
+  (void)done;
+}
+
+}  // namespace metrics
+}  // namespace telemetry
+}  // namespace epim

@@ -1,0 +1,45 @@
+// The core fleet metric catalog: every family the instrumented layers
+// (serve, registry, parallel pool, fault injection) record into is
+// registered HERE and nowhere else -- one registration site per name, so
+// the exposition format cannot fork and tools/lint.py can statically pin
+// both the naming rule and the single-site rule. Layers call
+// ensure_registered() once (idempotent, thread-safe) before looking up
+// their series with Registry::process().counter(...) etc.
+//
+// Catalog (labels in braces; see README "Observability" for semantics):
+//
+//   epim_serve_requests_total         {model}        counter
+//   epim_serve_batches_total          {model}        counter
+//   epim_serve_rejected_total         {model}        counter
+//   epim_serve_deadline_misses_total  {model}        counter
+//   epim_serve_clip_events_total      {model}        counter
+//   epim_serve_queue_depth            {model}        gauge
+//   epim_serve_latency_ms             {model}        histogram
+//   epim_registry_transitions_total   {model, to}    counter
+//   epim_registry_materialize_ms      {model}        histogram
+//   epim_registry_evictions_total     {model}        counter
+//   epim_registry_fast_fails_total    {model}        counter
+//   epim_registry_pins_depth          {model}        gauge
+//   epim_pool_jobs_total              (none)         counter
+//   epim_pool_queue_depth             (none)         gauge
+//   epim_fault_hits_total             {point}        counter
+//   epim_fault_fires_total            {point}        counter
+//
+// The {model} label is "name@version" for registry-materialized services
+// and the caller-chosen instance label ("default" for a bare
+// InferenceService) otherwise. Series aggregate across instances sharing a
+// label -- the Prometheus model, and exactly what a fleet scrape wants.
+#pragma once
+
+namespace epim {
+namespace telemetry {
+namespace metrics {
+
+/// Register the core families with Registry::process(). Idempotent and
+/// thread-safe (first caller wins; later calls are one atomic flag read),
+/// so every instrumented constructor can call it unconditionally.
+void ensure_registered();
+
+}  // namespace metrics
+}  // namespace telemetry
+}  // namespace epim

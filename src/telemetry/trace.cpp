@@ -1,0 +1,163 @@
+#include "telemetry/trace.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+
+namespace epim {
+namespace telemetry {
+
+namespace {
+
+constexpr std::size_t kCapacity = 8192;
+
+std::atomic<bool> g_tracing{false};
+
+/// Slot sequence word: 0 = never written / mid-write, ticket+1 = published
+/// by the writer holding that ticket. Readers compare the word before and
+/// after copying the record; a torn copy (writer landed in between) shows
+/// a changed word and is dropped.
+struct Slot {
+  std::atomic<std::uint64_t> seq{0};
+  SpanRecord record;
+};
+
+struct TraceRing {
+  std::atomic<std::uint64_t> ticket{0};
+  Slot slots[kCapacity];
+};
+
+TraceRing& ring() {
+  // Leaked like the other telemetry singletons: spans are recorded from
+  // worker threads that may outlive static destruction.
+  static TraceRing* r = new TraceRing;
+  return *r;
+}
+
+std::chrono::steady_clock::time_point trace_epoch() {
+  static const std::chrono::steady_clock::time_point epoch =
+      std::chrono::steady_clock::now();
+  return epoch;
+}
+
+std::string escape_json(const char* text) {
+  std::string out;
+  for (const char* p = text; *p != '\0'; ++p) {
+    const char c = *p;
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+      out += buf;
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+void append_event(std::string& out, const char* name, const SpanRecord& s,
+                  double begin_ms, double end_ms, bool& first) {
+  if (!first) out += ",\n";
+  first = false;
+  char buf[256];
+  // chrome://tracing wants microseconds; clamp a clock hiccup to a
+  // zero-duration slice rather than emitting a negative one.
+  const double ts_us = begin_ms * 1000.0;
+  const double dur_us = std::max(0.0, (end_ms - begin_ms) * 1000.0);
+  std::snprintf(buf, sizeof(buf),
+                "{\"name\":\"%s\",\"cat\":\"serve\",\"ph\":\"X\","
+                "\"pid\":1,\"tid\":%u,\"ts\":%.3f,\"dur\":%.3f,",
+                name, s.worker, ts_us, dur_us);
+  out += buf;
+  out += "\"args\":{\"model\":\"" + escape_json(s.model) +
+         "\",\"batch\":" + std::to_string(s.batch) + "}}";
+}
+
+}  // namespace
+
+bool tracing() { return g_tracing.load(std::memory_order_relaxed); }
+
+void set_tracing(bool on) {
+  trace_epoch();  // pin the epoch no later than arming
+  g_tracing.store(on, std::memory_order_relaxed);
+}
+
+double trace_now_ms() {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - trace_epoch())
+      .count();
+}
+
+double trace_ms(std::chrono::steady_clock::time_point tp) {
+  return std::chrono::duration<double, std::milli>(tp - trace_epoch())
+      .count();
+}
+
+void record_span(const SpanRecord& span) {
+  if (!tracing()) return;
+  TraceRing& r = ring();
+  const std::uint64_t ticket =
+      r.ticket.fetch_add(1, std::memory_order_relaxed);
+  Slot& slot = r.slots[ticket % kCapacity];
+  // Invalidate, write, publish: a reader that started copying the old
+  // record sees the word change and drops the copy.
+  slot.seq.store(0, std::memory_order_relaxed);
+  slot.record = span;
+  slot.seq.store(ticket + 1, std::memory_order_release);
+}
+
+std::vector<SpanRecord> snapshot_spans() {
+  TraceRing& r = ring();
+  std::vector<std::pair<std::uint64_t, SpanRecord>> keyed;
+  keyed.reserve(kCapacity);
+  for (std::size_t i = 0; i < kCapacity; ++i) {
+    Slot& slot = r.slots[i];
+    const std::uint64_t before = slot.seq.load(std::memory_order_acquire);
+    if (before == 0) continue;
+    SpanRecord copy = slot.record;
+    std::atomic_thread_fence(std::memory_order_acquire);
+    const std::uint64_t after = slot.seq.load(std::memory_order_relaxed);
+    if (after != before) continue;  // torn by a concurrent writer
+    keyed.emplace_back(before, copy);
+  }
+  std::sort(keyed.begin(), keyed.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  std::vector<SpanRecord> out;
+  out.reserve(keyed.size());
+  for (auto& [ticket, record] : keyed) out.push_back(record);
+  return out;
+}
+
+std::uint64_t spans_recorded() {
+  return ring().ticket.load(std::memory_order_relaxed);
+}
+
+std::size_t trace_capacity() { return kCapacity; }
+
+void clear_trace() {
+  TraceRing& r = ring();
+  for (std::size_t i = 0; i < kCapacity; ++i) {
+    r.slots[i].seq.store(0, std::memory_order_relaxed);
+  }
+  r.ticket.store(0, std::memory_order_relaxed);
+}
+
+std::string render_trace_json() {
+  const std::vector<SpanRecord> spans = snapshot_spans();
+  std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";
+  bool first = true;
+  for (const SpanRecord& s : spans) {
+    append_event(out, "queue", s, s.submit_ms, s.close_ms, first);
+    append_event(out, "run", s, s.run_begin_ms, s.run_end_ms, first);
+  }
+  out += "\n]}\n";
+  return out;
+}
+
+}  // namespace telemetry
+}  // namespace epim

@@ -1,0 +1,91 @@
+// Per-request trace spans: a bounded lock-free ring of span records each
+// carrying the five timestamps of a request's life -- submit (enqueued),
+// batch close, run begin, run end -- plus the worker that ran it, so a
+// single slow request's queueing-vs-compute split is visible. Exported as
+// chrome://tracing JSON (render_trace_json / tools/trace_export): load the
+// file at chrome://tracing or https://ui.perfetto.dev and each request
+// shows as a "queue" slice (submit -> batch close) followed by a "run"
+// slice (run begin -> run end) on its worker's track.
+//
+// Cost contract: tracing is DISARMED by default. A disarmed request pays
+// exactly one relaxed atomic load (tracing()) at batch completion -- no
+// clock reads, no ring traffic -- which is what keeps the serving layer's
+// telemetry overhead to relaxed increments (the BENCH
+// serve_telemetry_overhead row proves it). An armed request pays two extra
+// steady_clock reads per batch plus one ring-slot write per request.
+//
+// Ring semantics: fixed capacity (trace_capacity()), overwriting oldest.
+// Writers never block and never take a lock: a ticket fetch_add claims a
+// slot, the record is written, then the slot's sequence word publishes it
+// (release). Readers (snapshot/export) validate each slot's sequence
+// before AND after copying, dropping torn slots -- a scrape is best-effort
+// by design and never perturbs writers. clear_trace() is for quiesced
+// callers (tests, tools) only.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace epim {
+namespace telemetry {
+
+/// Longest model label stored per span (longer labels truncate); fixed so
+/// a SpanRecord stays POD and a ring write stays a plain memcpy.
+inline constexpr std::size_t kSpanModelChars = 32;
+
+/// One completed request, timestamps in milliseconds on the trace clock
+/// (trace_now_ms(): steady, starts near process start).
+struct SpanRecord {
+  char model[kSpanModelChars] = {0};  ///< NUL-terminated label
+  std::uint32_t worker = 0;           ///< batch worker that ran it
+  std::uint32_t batch = 0;            ///< size of the batch it rode in
+  double submit_ms = 0.0;             ///< enqueued by submit()/submit_batch()
+  double close_ms = 0.0;              ///< closed into a batch by a worker
+  double run_begin_ms = 0.0;          ///< forward pass started
+  double run_end_ms = 0.0;            ///< results ready
+};
+
+/// Whether spans are being recorded (one relaxed load -- THE disarmed-path
+/// cost; see file header).
+bool tracing();
+
+/// Arm/disarm span recording process-wide. Default: off.
+void set_tracing(bool on);
+
+/// Milliseconds on the trace clock (steady; epoch fixed at first use).
+double trace_now_ms();
+
+/// Convert a steady_clock reading (e.g. a timestamp a worker already took
+/// for its own purposes) onto the trace clock, so instrumented code never
+/// pays a second clock read just for the trace.
+double trace_ms(std::chrono::steady_clock::time_point tp);
+
+/// Append one completed span (no-op while tracing is off). Lock-free;
+/// overwrites the oldest record once the ring is full.
+void record_span(const SpanRecord& span);
+
+/// Copy out every currently-readable span, oldest first. Best-effort under
+/// concurrent writers (torn slots are dropped); exact once writers quiesce.
+std::vector<SpanRecord> snapshot_spans();
+
+/// Spans recorded since the last clear (monotonic ticket; values above
+/// trace_capacity() mean the oldest were overwritten).
+std::uint64_t spans_recorded();
+
+/// Ring capacity in spans.
+std::size_t trace_capacity();
+
+/// Reset the ring and ticket. Caller must guarantee no concurrent
+/// record_span (disarm tracing and drain traffic first).
+void clear_trace();
+
+/// Render the current ring as chrome://tracing "traceEvents" JSON: per
+/// span, an X (complete) "queue" event [submit, close] and an X "run"
+/// event [run begin, run end], tid = worker, args carrying model + batch
+/// size. Timestamps are microseconds as the format requires.
+std::string render_trace_json();
+
+}  // namespace telemetry
+}  // namespace epim

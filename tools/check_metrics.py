@@ -1,0 +1,270 @@
+#!/usr/bin/env python3
+"""Validate a Prometheus text exposition line-by-line.
+
+Run against the live registry (CI and the `check_metrics` ctest):
+
+    python3 tools/check_metrics.py --binary ./build/tools/trace_export
+
+which executes `trace_export --metrics` and validates its stdout. Or feed a
+captured exposition on stdin:
+
+    ./build/tools/trace_export --metrics | python3 tools/check_metrics.py
+
+Checks, per the Prometheus text format:
+
+  * Every line is `# HELP <name> <text>`, `# TYPE <name> <type>`, or a
+    sample `name{labels} value` / `name value` with a parseable value.
+  * HELP/TYPE precede their family's samples; TYPE appears exactly once per
+    family; samples of one family are contiguous (no interleaving).
+  * Sample names match their family: bare name for counters/gauges;
+    `_bucket`/`_sum`/`_count` suffixes for histograms.
+  * Histogram buckets: `le` bounds strictly increasing, cumulative counts
+    non-decreasing, last bucket is `le="+Inf"`, and `_count` equals the
+    +Inf bucket's value; `_sum` present.
+  * Family names match the repo rule
+    `epim_[a-z0-9_]+(_total|_ms|_bytes|_depth)?` (suffix informational --
+    the charset is the binding part).
+
+Exit 0 when the exposition is valid, 1 with the offending lines otherwise.
+"""
+
+import argparse
+import re
+import subprocess
+import sys
+
+NAME_RE = re.compile(r"^epim_[a-z0-9_]+$")
+HELP_RE = re.compile(r"^# HELP (?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*) (?P<text>.*)$")
+TYPE_RE = re.compile(
+    r"^# TYPE (?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*) (?P<type>counter|gauge|histogram|summary|untyped)$"
+)
+SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})? (?P<value>\S+)(?: (?P<timestamp>-?\d+))?$"
+)
+LABEL_RE = re.compile(
+    r'^(?P<name>[a-zA-Z_][a-zA-Z0-9_]*)="(?P<value>(?:[^"\\]|\\.)*)"$'
+)
+
+
+def split_labels(body):
+    """Split `a="x",b="y"` into pairs, honouring escaped quotes."""
+    if body == "":
+        return []
+    pairs = []
+    depth_in_quote = False
+    current = ""
+    i = 0
+    while i < len(body):
+        c = body[i]
+        if c == "\\" and depth_in_quote and i + 1 < len(body):
+            current += body[i : i + 2]
+            i += 2
+            continue
+        if c == '"':
+            depth_in_quote = not depth_in_quote
+        if c == "," and not depth_in_quote:
+            pairs.append(current)
+            current = ""
+        else:
+            current += c
+        i += 1
+    pairs.append(current)
+    return pairs
+
+
+def parse_value(text):
+    if text in ("+Inf", "-Inf", "NaN"):
+        return float(text.replace("Inf", "inf").replace("NaN", "nan"))
+    return float(text)  # raises ValueError on garbage
+
+
+def base_family(name):
+    for suffix in ("_bucket", "_sum", "_count"):
+        if name.endswith(suffix):
+            return name[: -len(suffix)], suffix
+    return name, ""
+
+
+def check(text):
+    errors = []
+    helps = {}
+    types = {}
+    # family -> {series body -> list of (le, cumulative)} for histograms
+    hist_buckets = {}
+    hist_sum = {}
+    hist_count = {}
+    current_family = None
+    closed_families = set()
+
+    def err(lineno, line, message):
+        errors.append("line %d: %s\n    %s" % (lineno, message, line))
+
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if line == "":
+            err(lineno, line, "blank line inside exposition")
+            continue
+        if line.startswith("#"):
+            m = HELP_RE.match(line)
+            if m:
+                name = m.group("name")
+                if name in helps:
+                    err(lineno, line, "duplicate HELP for %s" % name)
+                helps[name] = m.group("text")
+                continue
+            m = TYPE_RE.match(line)
+            if m:
+                name = m.group("name")
+                if name in types:
+                    err(lineno, line, "duplicate TYPE for %s" % name)
+                if name in closed_families:
+                    err(lineno, line, "TYPE for %s after its samples" % name)
+                types[name] = m.group("type")
+                if current_family is not None and current_family != name:
+                    closed_families.add(current_family)
+                current_family = name
+                continue
+            err(lineno, line, "malformed comment line")
+            continue
+
+        m = SAMPLE_RE.match(line)
+        if not m:
+            err(lineno, line, "malformed sample line")
+            continue
+        name = m.group("name")
+        family, suffix = base_family(name)
+        # A counter family may itself end in _count etc.; prefer the family
+        # that was TYPEd.
+        if name in types:
+            family, suffix = name, ""
+        if family not in types:
+            err(lineno, line, "sample for %s precedes its # TYPE" % family)
+            continue
+        if family != current_family:
+            if family in closed_families:
+                err(lineno, line, "samples for %s are not contiguous" % family)
+            else:
+                err(lineno, line, "sample for %s under TYPE %s"
+                    % (family, current_family))
+            continue
+        if not NAME_RE.match(family):
+            err(lineno, line, "family name %s violates epim naming" % family)
+        ftype = types[family]
+        if ftype == "histogram":
+            if suffix == "":
+                err(lineno, line, "bare sample for histogram %s" % family)
+                continue
+        elif suffix != "":
+            err(lineno, line, "suffix %s on non-histogram %s" % (suffix, family))
+            continue
+
+        labels = m.group("labels")
+        pairs = []
+        if labels is not None:
+            for raw in split_labels(labels):
+                lm = LABEL_RE.match(raw)
+                if not lm:
+                    err(lineno, line, "malformed label %r" % raw)
+                    break
+                pairs.append((lm.group("name"), lm.group("value")))
+        try:
+            value = parse_value(m.group("value"))
+        except ValueError:
+            err(lineno, line, "unparseable value %r" % m.group("value"))
+            continue
+
+        if ftype == "histogram":
+            le = None
+            others = []
+            for lname, lvalue in pairs:
+                if lname == "le":
+                    le = lvalue
+                else:
+                    others.append((lname, lvalue))
+            body = ",".join("%s=%s" % p for p in others)
+            if suffix == "_bucket":
+                if le is None:
+                    err(lineno, line, "_bucket without an le label")
+                    continue
+                try:
+                    bound = parse_value(le)
+                except ValueError:
+                    err(lineno, line, "unparseable le bound %r" % le)
+                    continue
+                series = hist_buckets.setdefault(family, {}).setdefault(body, [])
+                if series:
+                    if bound <= series[-1][0]:
+                        err(lineno, line, "le bounds not increasing")
+                    if value < series[-1][1]:
+                        err(lineno, line, "cumulative bucket count decreased")
+                series.append((bound, value, lineno, line))
+            elif suffix == "_sum":
+                hist_sum.setdefault(family, {})[body] = value
+            elif suffix == "_count":
+                hist_count.setdefault(family, {})[body] = (value, lineno, line)
+        else:
+            if value < 0 and ftype == "counter":
+                err(lineno, line, "negative counter value")
+
+    # Per-histogram-series closure checks.
+    for family, by_body in hist_buckets.items():
+        for body, series in by_body.items():
+            bound, value, lineno, line = series[-1]
+            if bound != float("inf"):
+                err(lineno, line, "last bucket of %s{%s} is not le=\"+Inf\""
+                    % (family, body))
+            count = hist_count.get(family, {}).get(body)
+            if count is None:
+                errors.append("%s{%s}: missing _count" % (family, body))
+            elif count[0] != value:
+                err(count[1], count[2], "_count %g != +Inf bucket %g"
+                    % (count[0], value))
+            if body not in hist_sum.get(family, {}):
+                errors.append("%s{%s}: missing _sum" % (family, body))
+    # A histogram family with no series at all (HELP/TYPE only) is legal --
+    # but a series with _sum/_count and no buckets is not.
+    for source in (hist_sum, hist_count):
+        for family, by_body in source.items():
+            for body in by_body:
+                if body not in hist_buckets.get(family, {}):
+                    errors.append("%s{%s}: _sum/_count without buckets"
+                                  % (family, body))
+    for family in types:
+        if family not in helps:
+            errors.append("%s: missing # HELP" % family)
+    return errors
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--binary", help="run BINARY --metrics and check stdout")
+    args = parser.parse_args()
+
+    if args.binary:
+        proc = subprocess.run(
+            [args.binary, "--metrics"], capture_output=True, text=True,
+            timeout=600)
+        if proc.returncode != 0:
+            sys.stderr.write(proc.stderr)
+            print("FAIL: %s --metrics exited %d" % (args.binary, proc.returncode))
+            return 1
+        text = proc.stdout
+    else:
+        text = sys.stdin.read()
+
+    if not text.strip():
+        print("FAIL: empty exposition")
+        return 1
+    errors = check(text)
+    if errors:
+        for e in errors:
+            print("FAIL: %s" % e)
+        return 1
+    families = len(re.findall(r"(?m)^# TYPE ", text))
+    samples = len([l for l in text.splitlines() if l and not l.startswith("#")])
+    print("OK: %d families, %d sample lines, grammar valid" % (families, samples))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

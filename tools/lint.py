@@ -31,6 +31,18 @@ Rules (each with its rationale):
 
   pragma-once     Every header under src/ carries #pragma once.
 
+  metric-names    Every telemetry family registration in src/ --
+                  register_counter / register_gauge / register_histogram --
+                  passes a LITERAL name matching
+                  `^epim_[a-z0-9_]+(_total|_ms|_bytes|_depth)?$`, and each
+                  name is registered exactly once across src/. Literal names
+                  keep the exposition greppable; single-site registration
+                  keeps one family from forking help text or type between
+                  callers. (The Registry's own declarations/definitions in
+                  src/telemetry/telemetry.{hpp,cpp} are the allowed
+                  non-literal sites; tests and tools may register ad-hoc
+                  epim_test_* families in their local registries.)
+
 Run locally:  python3 tools/lint.py [--root REPO_ROOT]
 """
 
@@ -69,6 +81,17 @@ RAW_LOCK_TOKENS = [
 ]
 
 RAW_LOCK_INCLUDES = ["<mutex>", "<condition_variable>", "<shared_mutex>"]
+
+# Files whose register_* tokens are the Registry API itself, not call sites.
+METRIC_REGISTRATION_ALLOWLIST = {
+    "src/telemetry/telemetry.hpp",
+    "src/telemetry/telemetry.cpp",
+}
+
+METRIC_NAME_RE = re.compile(r"^epim_[a-z0-9_]+(_total|_ms|_bytes|_depth)?$")
+METRIC_CALL_RE = re.compile(
+    r"\bregister_(?:counter|gauge|histogram)\s*\(\s*(?P<name>\"[^\"]*\")?"
+)
 
 THROW_RE = re.compile(
     r"\b(?:throw\s+|std::make_exception_ptr\s*\(\s*)"
@@ -168,6 +191,42 @@ def check_pinned_errors(root, findings):
                 )
 
 
+def check_metric_names(root, findings):
+    seen = {}  # metric name -> first "file:line" that registered it
+    for rel in source_files(root, "src", {".hpp", ".cpp"}):
+        if rel in METRIC_REGISTRATION_ALLOWLIST:
+            continue
+        text = open(os.path.join(root, rel), encoding="utf-8").read()
+        # Join lines so a call whose name literal wrapped survives.
+        lines = list(iter_code_lines(text))
+        code = "\n".join(c for _n, c in lines)
+        for match in METRIC_CALL_RE.finditer(code):
+            lineno = code.count("\n", 0, match.start()) + 1
+            literal = match.group("name")
+            if literal is None:
+                findings.append(
+                    f"{rel}:{lineno}: [metric-names] register_* with a "
+                    "non-literal metric name -- names must be greppable "
+                    "string literals"
+                )
+                continue
+            name = literal[1:-1]
+            if not METRIC_NAME_RE.match(name):
+                findings.append(
+                    f"{rel}:{lineno}: [metric-names] metric name {literal} "
+                    "violates ^epim_[a-z0-9_]+(_total|_ms|_bytes|_depth)?$"
+                )
+            here = f"{rel}:{lineno}"
+            if name in seen:
+                findings.append(
+                    f"{here}: [metric-names] metric {literal} already "
+                    f"registered at {seen[name]} -- each family has exactly "
+                    "one registration site"
+                )
+            else:
+                seen[name] = here
+
+
 def check_include_cycles(root, findings):
     graph = {}
     for rel in source_files(root, "src", {".hpp", ".cpp"}):
@@ -221,6 +280,7 @@ def main():
     findings = []
     check_raw_locks(args.root, findings)
     check_pinned_errors(args.root, findings)
+    check_metric_names(args.root, findings)
     check_include_cycles(args.root, findings)
     check_pragma_once(args.root, findings)
 

@@ -1,0 +1,110 @@
+// trace_export: drive a small serving workload with telemetry tracing armed
+// and export the resulting per-request spans as chrome://tracing JSON.
+//
+//   ./build/tools/trace_export                  # writes trace.json
+//   ./build/tools/trace_export --out my.json    # custom output path
+//   ./build/tools/trace_export --metrics        # print the Prometheus text
+//                                               # exposition to stdout instead
+//
+// Load the JSON at chrome://tracing or https://ui.perfetto.dev: each request
+// renders as a "queue" slice (submit -> batch close) followed by a "run"
+// slice (run begin -> run end) on its worker's track, so the queueing-vs-
+// compute split of any slow request is visible at a glance.
+//
+// --metrics is also the CI hook: tools/check_metrics.py runs this binary and
+// validates the live registry's exposition line-by-line against the
+// Prometheus text grammar, so the scrape surface a real fleet monitor would
+// poll is what gets checked -- not a synthetic fixture.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "pipeline/pipeline.hpp"
+#include "serve/service.hpp"
+#include "telemetry/telemetry.hpp"
+#include "telemetry/trace.hpp"
+#include "train/trainer.hpp"
+
+namespace {
+
+/// Train a tiny model, stand up a 2-worker service, and push a few bursts
+/// through it so every serving metric family has live series.
+void drive_workload() {
+  using namespace epim;
+  SyntheticSpec dspec;
+  dspec.num_classes = 3;
+  dspec.train_per_class = 8;
+  dspec.test_per_class = 8;
+  const SyntheticData data = make_synthetic_data(dspec);
+  SmallNetConfig nspec;
+  nspec.num_classes = 3;
+  SmallEpitomeNet net(nspec);
+  TrainConfig tcfg;
+  tcfg.epochs = 1;
+  train_model(net, data, tcfg);
+
+  PipelineConfig cfg;
+  cfg.precision = PrecisionPlan::uniform(8, 10);
+  cfg.serve.max_batch = 8;
+  cfg.serve.flush_deadline_ms = 0.5;
+  cfg.serve.workers = 2;
+  Pipeline pipeline(cfg);
+  InferenceService service =
+      pipeline.deploy(net, data.train).serve(cfg.serve);
+
+  std::vector<std::future<InferenceResult>> pending;
+  for (int burst = 0; burst < 4; ++burst) {
+    std::vector<Tensor> images;
+    for (std::int64_t i = 0; i < data.test.size(); ++i) {
+      images.push_back(data.test.sample(i));
+    }
+    for (auto& f : service.submit_batch(std::move(images))) {
+      pending.push_back(std::move(f));
+    }
+  }
+  for (auto& f : pending) f.get();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string out_path = "trace.json";
+  bool metrics_only = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--metrics") == 0) {
+      metrics_only = true;
+    } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out_path = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: %s [--out trace.json] [--metrics]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+
+  epim::telemetry::set_tracing(true);
+  drive_workload();
+  epim::telemetry::set_tracing(false);
+
+  if (metrics_only) {
+    const std::string text = epim::telemetry::Registry::process().render_text();
+    std::fwrite(text.data(), 1, text.size(), stdout);
+    return 0;
+  }
+
+  const std::string json = epim::telemetry::render_trace_json();
+  std::ofstream out(out_path, std::ios::binary);
+  if (!out) {
+    std::fprintf(stderr, "cannot open %s for writing\n", out_path.c_str());
+    return 1;
+  }
+  out << json;
+  out.close();
+  std::fprintf(stderr, "wrote %llu spans to %s\n",
+               static_cast<unsigned long long>(
+                   epim::telemetry::snapshot_spans().size()),
+               out_path.c_str());
+  return 0;
+}
