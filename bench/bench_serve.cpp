@@ -36,6 +36,24 @@
 //                                   The PR 9 gate: >= 95, i.e. relaxed-
 //                                   atomic instrumentation costs at most 5%
 //                                   of saturated serving throughput.
+//   serve_mixed_priority_w4         caller-side exact p99 latency of
+//                                   kInteractive singles while a feeder
+//                                   thread keeps a deep kBulk backlog
+//                                   queued, measured twice: SLA scheduling
+//                                   on (distinct priorities/clients) vs the
+//                                   FIFO baseline (everything kNormal, one
+//                                   client). wall_ms is the scheduled p99;
+//                                   items_per_op is the FIFO/scheduled p99
+//                                   ratio x100. The PR 10 gate: >= 143,
+//                                   i.e. scheduling cuts interactive p99
+//                                   under bulk load to <= 0.7x FIFO.
+//   serve_burst_resliced_w4         a 2x-max_batch burst awaited whole
+//                                   against 4 workers, re-slicing on vs
+//                                   off. Off closes ceil(burst/max_batch)
+//                                   greedy batches (2 workers busy); on
+//                                   slices it across every idle worker.
+//                                   items_per_op is the off/on wall ratio
+//                                   x100; the PR 10 gate: >= 120.
 //
 // Acceptance gates along the BENCH trajectory: serve_batch throughput
 // >= 2x serve_single on the same thread budget (PR 3), and the workers=4
@@ -47,13 +65,20 @@
 // next to the rows; CI's multi-core perf-smoke run is the arbiter).
 //
 // Usage: bench_serve [output.json] [--commit=HASH] [--enforce-worker-gate]
-//                    [--enforce-telemetry-gate]
+//                    [--enforce-telemetry-gate] [--enforce-sched-gate]
 // --enforce-worker-gate exits non-zero when the host has >= 4 cpus and the
 // saturated workers=4/workers=1 ratio at 4 pool threads falls below 1.3x
 // (on hosts with fewer cpus the gate is reported but cannot bind).
 // --enforce-telemetry-gate exits non-zero when the recording-on/off ratio
-// falls below 0.95x. The JSON is written before either gate is evaluated.
+// falls below 0.95x.
+// --enforce-sched-gate exits non-zero when the host has >= 4 cpus and
+// either scheduling gate fails: mixed-priority p99 ratio < 1.43x or the
+// re-slice wall ratio < 1.2x. Like the worker gate, both need real cores
+// (a 1-core host serializes batch compute whatever the schedule), so on
+// smaller hosts they are reported as warnings and cannot bind. The JSON is
+// written before any gate is evaluated.
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -370,6 +395,86 @@ std::vector<Record> run_suite() {
     r.items_per_op = (off_wall / on_wall) * 100.0;
     records.push_back(r);
   }
+
+  // Mixed-priority p99: interactive singles racing a feeder-maintained bulk
+  // backlog, scheduling on vs the FIFO baseline. 1 pool thread so the
+  // workers' own threads carry the compute -- the serving-layer regime
+  // where the schedule (not the pool) decides who waits.
+  {
+    set_num_threads(1);
+    const auto interactive_p99 = [&](bool sched_on) {
+      ServeConfig scfg = cfg.serve;
+      scfg.workers = 4;
+      InferenceService service =
+          std::move(Pipeline::load_deployed(path)).serve(scfg);
+      std::atomic<bool> stop{false};
+      std::thread feeder([&] {
+        SubmitOptions bulk;
+        bulk.priority = sched_on ? Priority::kBulk : Priority::kNormal;
+        if (sched_on) bulk.client_id = "background";
+        while (!stop.load(std::memory_order_relaxed)) {
+          if (service.stats().queued < 64) {
+            std::vector<Tensor> burst(stream.begin(), stream.begin() + 16);
+            // Abandon the futures: promise-backed futures never block in
+            // their destructor, and goodput is not what this row measures.
+            (void)service.submit_batch(std::move(burst), bulk);
+          } else {
+            std::this_thread::sleep_for(std::chrono::microseconds(200));
+          }
+        }
+      });
+      while (service.stats().queued < 32) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+      SubmitOptions fg;
+      fg.priority = sched_on ? Priority::kInteractive : Priority::kNormal;
+      if (sched_on) fg.client_id = "foreground";
+      std::vector<double> latencies;
+      for (int i = 0; i < 200; ++i) {
+        const auto t0 = Clock::now();
+        (void)service
+            .submit(stream[static_cast<std::size_t>(i) % stream.size()], fg)
+            .get();
+        latencies.push_back(
+            std::chrono::duration<double, std::milli>(Clock::now() - t0)
+                .count());
+      }
+      stop.store(true);
+      feeder.join();
+      // Exact caller-side p99: index ceil(0.99 * N) - 1 of the sorted
+      // sample, no histogram-bucket rounding.
+      std::sort(latencies.begin(), latencies.end());
+      return latencies[(latencies.size() * 99 + 99) / 100 - 1];
+    };
+    const double sched_p99 = interactive_p99(true);
+    const double fifo_p99 = interactive_p99(false);
+    Record r = record("serve_mixed_priority_w4", 1, sched_p99, 100.0);
+    r.items_per_op = (fifo_p99 / sched_p99) * 100.0;
+    records.push_back(r);
+  }
+
+  // Burst re-slicing: one 2x-max_batch burst awaited whole, re-slicing on
+  // vs off. Off = two greedy max_batch closes (half the pool idle); on =
+  // ceil(32/4)-sized slices across all four workers.
+  {
+    set_num_threads(1);
+    const auto burst_wall = [&](bool reslice) {
+      ServeConfig scfg = cfg.serve;
+      scfg.workers = 4;
+      scfg.reslice_bursts = reslice;
+      InferenceService service =
+          std::move(Pipeline::load_deployed(path)).serve(scfg);
+      return measure_ms([&] {
+        std::vector<Tensor> burst(stream.begin(), stream.begin() + 32);
+        for (auto& f : service.submit_batch(std::move(burst))) (void)f.get();
+      });
+    };
+    const double resliced_wall = burst_wall(true);
+    const double serial_wall = burst_wall(false);
+    Record r = record("serve_burst_resliced_w4", 1, resliced_wall, 32.0);
+    r.items_per_op = (serial_wall / resliced_wall) * 100.0;
+    records.push_back(r);
+  }
   set_num_threads(1);
   std::remove(path.c_str());
   return records;
@@ -379,10 +484,11 @@ std::vector<Record> run_suite() {
 }  // namespace epim
 
 int main(int argc, char** argv) {
-  std::string out = "BENCH_pr9.json";
+  std::string out = "BENCH_pr10.json";
   std::string commit = "unknown";
   bool enforce_worker_gate = false;
   bool enforce_telemetry_gate = false;
+  bool enforce_sched_gate = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--commit=", 9) == 0) {
       commit = argv[i] + 9;
@@ -390,6 +496,8 @@ int main(int argc, char** argv) {
       enforce_worker_gate = true;
     } else if (std::strcmp(argv[i], "--enforce-telemetry-gate") == 0) {
       enforce_telemetry_gate = true;
+    } else if (std::strcmp(argv[i], "--enforce-sched-gate") == 0) {
+      enforce_sched_gate = true;
     } else {
       out = argv[i];
     }
@@ -402,6 +510,8 @@ int main(int argc, char** argv) {
   std::map<int, double> faulted_by_threads;
   std::map<std::pair<int, int>, double> saturated;  // (threads, workers)
   double telemetry_ratio = 0.0;
+  double mixed_priority_ratio = 0.0;
+  double resliced_ratio = 0.0;
   for (const auto& r : records) {
     std::printf("%-20s threads=%d  %10.4f ms/op  %12.1f items/s\n",
                 r.op.c_str(), r.threads, r.wall_ms, r.items_per_sec);
@@ -421,6 +531,12 @@ int main(int argc, char** argv) {
     if (r.op == "serve_telemetry_overhead") {
       telemetry_ratio = r.items_per_op / 100.0;
     }
+    if (r.op == "serve_mixed_priority_w4") {
+      mixed_priority_ratio = r.items_per_op / 100.0;
+    }
+    if (r.op == "serve_burst_resliced_w4") {
+      resliced_ratio = r.items_per_op / 100.0;
+    }
   }
   // The suite is itself telemetry-instrumented (every service above records
   // under model="default"): surface the totals a fleet scrape would see.
@@ -428,6 +544,17 @@ int main(int argc, char** argv) {
     namespace tm = epim::telemetry;
     tm::Registry& reg = tm::Registry::process();
     const tm::Labels labels{{"model", "default"}};
+    // Queue depth is per scheduling class since PR 10: report the max
+    // high-water over the three {model, priority} series.
+    long long depth_high_water = 0;
+    for (const char* priority : {"interactive", "normal", "bulk"}) {
+      depth_high_water = std::max(
+          depth_high_water,
+          static_cast<long long>(
+              reg.gauge("epim_serve_queue_depth",
+                        {{"model", "default"}, {"priority", priority}})
+                  ->high_water()));
+    }
     std::printf(
         "telemetry: requests=%lld batches=%lld queue_depth_high_water=%lld "
         "pool_jobs=%lld\n",
@@ -435,8 +562,7 @@ int main(int argc, char** argv) {
             reg.counter("epim_serve_requests_total", labels)->value()),
         static_cast<long long>(
             reg.counter("epim_serve_batches_total", labels)->value()),
-        static_cast<long long>(
-            reg.gauge("epim_serve_queue_depth", labels)->high_water()),
+        depth_high_water,
         static_cast<long long>(reg.counter("epim_pool_jobs_total")->value()));
   }
   std::printf("bit-identity vs direct forward_batch: OK at every workers x "
@@ -495,6 +621,38 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "telemetry gate FAILED: %.2fx < 0.95x\n",
                    telemetry_ratio);
       return 4;
+    }
+  }
+  // PR 10 scheduling gates. Both need real cores to express: with one cpu
+  // the four workers time-slice a single core, so batch compute serializes
+  // whatever the scheduler decides -- on such hosts the ratios are printed
+  // as warnings and --enforce-sched-gate cannot bind (same policy as the
+  // worker gate above).
+  if (mixed_priority_ratio > 0.0) {
+    std::printf(
+        "interactive p99 FIFO/scheduled under bulk load: %.2fx "
+        "(gate: >= 1.43x, i.e. scheduled p99 <= 0.7x FIFO, on a multi-core "
+        "host; this host: %u cpu(s))\n",
+        mixed_priority_ratio, cpus);
+    if (enforce_sched_gate && cpus >= 4 && mixed_priority_ratio < 1.43) {
+      std::fprintf(stderr,
+                   "scheduling gate FAILED: mixed-priority p99 ratio %.2fx "
+                   "< 1.43x on a %u-cpu host\n",
+                   mixed_priority_ratio, cpus);
+      return 5;
+    }
+  }
+  if (resliced_ratio > 0.0) {
+    std::printf(
+        "burst wall re-slicing off/on: %.2fx (gate: >= 1.2x on a multi-core "
+        "host; this host: %u cpu(s))\n",
+        resliced_ratio, cpus);
+    if (enforce_sched_gate && cpus >= 4 && resliced_ratio < 1.2) {
+      std::fprintf(stderr,
+                   "scheduling gate FAILED: re-slice wall ratio %.2fx < "
+                   "1.2x on a %u-cpu host\n",
+                   resliced_ratio, cpus);
+      return 5;
     }
   }
   return 0;

@@ -35,6 +35,11 @@
 //                          destination intact)
 //   registry.materialize   at the top of cold-entry materialization
 //   serve.run_batch        inside a worker's batch execution
+//   serve.schedule         at batch-close selection, after the scheduler
+//                          picked the batch and the queue lock dropped: an
+//                          injected fault fails exactly that batch's
+//                          futures and must never kill the worker or
+//                          shrink the pool below ServeConfig::workers
 //
 // Environment arming: EPIM_FAULT holds ';'-separated entries
 // `point=prob:RATE[:SEED]` or `point=nth:N`, parsed once at process start

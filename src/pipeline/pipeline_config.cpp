@@ -39,6 +39,14 @@ void validate_serve(const ServeConfig& serve) {
              "serve.latency_window must be positive");
   EPIM_CHECK(serve.max_queue >= 0,
              "serve.max_queue must be non-negative (0 = unbounded)");
+  EPIM_CHECK(serve.max_workers == 0 ||
+                 (serve.max_workers >= serve.workers &&
+                  serve.max_workers <= detail::kMaxThreads),
+             "serve.max_workers must be 0 (= workers, fixed pool) or in "
+             "[workers, " +
+                 std::to_string(detail::kMaxThreads) + "]");
+  EPIM_CHECK(serve.fairness_quantum >= 1,
+             "serve.fairness_quantum must be positive");
 }
 
 void validate_design(const DesignConfig& design) {

@@ -146,8 +146,30 @@ struct ServeConfig {
   /// (not yet flushed into a batch). A submission that would exceed it is
   /// rejected with epim::Unavailable instead of growing the queue -- the
   /// backpressure a multi-model registry relies on. 0 = unbounded (the
-  /// historical single-service behaviour).
+  /// historical single-service behaviour). A reslice-eligible burst (see
+  /// reslice_bursts) is admitted against max_queue + max_workers*max_batch
+  /// instead: its slices go straight to the worker pool rather than sitting
+  /// queued, and the whole burst is counted ONCE at submit so concurrent
+  /// slices can never double-reject.
   int max_queue = 0;
+  /// Adaptive-pool ceiling: the worker pool grows one thread at a time from
+  /// `workers` up to this bound while queued requests exceed what the idle
+  /// workers can absorb (queued > idle * max_batch), and shrinks back --
+  /// never below `workers` -- as extra workers sit idle. 0 (the default)
+  /// means max_workers == workers: a fixed pool, the historical behaviour.
+  int max_workers = 0;
+  /// Scheduler fairness knob (must be positive), in requests. Doubles as
+  /// the deficit-round-robin top-up per client per ring visit and as the
+  /// anti-starvation bound: a non-empty priority class passed over this
+  /// many consecutive batch selections gets the next batch's first slot.
+  int fairness_quantum = 4;
+  /// When true (the default), a submit_batch burst larger than max_batch is
+  /// re-sliced: enqueued whole, then closed as ceil(queued/idle-workers)
+  /// slices by concurrent workers instead of draining as serial max_batch
+  /// chunks on one. Results are unchanged (bit-identity invariant); only
+  /// completion order and latency move. When false, bursts drain serially
+  /// and admission reverts to the strict max_queue bound.
+  bool reslice_bursts = true;
 };
 
 /// Which EvaluationBackend Pipeline constructs by default.

@@ -477,6 +477,13 @@ void ModelRegistry::enforce_budget(MutexLock& lock, Entry& fresh) {
     victim->retired.clip_events += final.clip_events;
     victim->retired.rejected += final.rejected;
     victim->retired.deadline_misses += final.deadline_misses;
+    for (int p = 0; p < kNumPriorities; ++p) {
+      victim->retired.completed_by_priority[static_cast<std::size_t>(p)] +=
+          final.completed_by_priority[static_cast<std::size_t>(p)];
+      victim->retired
+          .deadline_misses_by_priority[static_cast<std::size_t>(p)] +=
+          final.deadline_misses_by_priority[static_cast<std::size_t>(p)];
+    }
     victim->evictions += 1;
     victim->metrics.evictions->inc(1);
     if (!victim->artifact_backed()) {
@@ -509,6 +516,12 @@ void ModelRegistry::retire(std::unique_ptr<InferenceService> service,
   entry.retired.clip_events += final.clip_events;
   entry.retired.rejected += final.rejected;
   entry.retired.deadline_misses += final.deadline_misses;
+  for (int p = 0; p < kNumPriorities; ++p) {
+    entry.retired.completed_by_priority[static_cast<std::size_t>(p)] +=
+        final.completed_by_priority[static_cast<std::size_t>(p)];
+    entry.retired.deadline_misses_by_priority[static_cast<std::size_t>(p)] +=
+        final.deadline_misses_by_priority[static_cast<std::size_t>(p)];
+  }
 }
 
 void ModelRegistry::reload(const std::string& name,
@@ -624,6 +637,8 @@ std::vector<std::future<InferenceResult>> ModelRegistry::submit_batch(
                    std::cv_status::timeout &&
                entry.state != LifecycleState::kResident) {
       entry.retired.deadline_misses += static_cast<std::int64_t>(n);
+      entry.retired.deadline_misses_by_priority[static_cast<std::size_t>(
+          options.priority)] += static_cast<std::int64_t>(n);
       throw DeadlineExceeded(
           std::string(InferenceService::kErrDeadlineExceeded) + ": model '" +
           name + "@" + version + "' was still " + to_string(entry.state) +
@@ -738,6 +753,9 @@ RegistrySnapshot ModelRegistry::stats() const {
       m.stats.clip_events = entry.retired.clip_events;
       m.stats.rejected = entry.retired.rejected;
       m.stats.deadline_misses = entry.retired.deadline_misses;
+      m.stats.completed_by_priority = entry.retired.completed_by_priority;
+      m.stats.deadline_misses_by_priority =
+          entry.retired.deadline_misses_by_priority;
       m.health = entry.health;
       m.consecutive_failures = entry.consecutive_failures;
       m.materialize_failures = entry.materialize_failures;
@@ -769,6 +787,12 @@ RegistrySnapshot ModelRegistry::stats() const {
     live.clip_events += m.stats.clip_events;
     live.rejected += m.stats.rejected;
     live.deadline_misses += m.stats.deadline_misses;
+    for (int p = 0; p < kNumPriorities; ++p) {
+      live.completed_by_priority[static_cast<std::size_t>(p)] +=
+          m.stats.completed_by_priority[static_cast<std::size_t>(p)];
+      live.deadline_misses_by_priority[static_cast<std::size_t>(p)] +=
+          m.stats.deadline_misses_by_priority[static_cast<std::size_t>(p)];
+    }
     m.stats = live;
   }
 
@@ -785,6 +809,14 @@ RegistrySnapshot ModelRegistry::stats() const {
     snapshot.health_fast_fails += m.health_fast_fails;
     snapshot.items_per_sec += m.stats.items_per_sec;
     snapshot.queued += m.stats.queued;
+    for (int p = 0; p < kNumPriorities; ++p) {
+      snapshot.queued_by_priority[static_cast<std::size_t>(p)] +=
+          m.stats.queued_by_priority[static_cast<std::size_t>(p)];
+      snapshot.completed_by_priority[static_cast<std::size_t>(p)] +=
+          m.stats.completed_by_priority[static_cast<std::size_t>(p)];
+      snapshot.deadline_misses_by_priority[static_cast<std::size_t>(p)] +=
+          m.stats.deadline_misses_by_priority[static_cast<std::size_t>(p)];
+    }
   }
   std::sort(pooled.begin(), pooled.end());
   snapshot.p50_latency_ms = nearest_rank_percentile(pooled, 0.50);

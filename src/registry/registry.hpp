@@ -230,6 +230,12 @@ struct RegistrySnapshot {
   int quarantined = 0;                ///< entries with the breaker open
   std::int64_t deadline_misses = 0;   ///< shed requests, fleet-wide
   std::int64_t health_fast_fails = 0; ///< breaker fast-fails, fleet-wide
+  /// Fleet-wide per-priority splits of queued/requests/deadline_misses
+  /// (summed over the per-model ServiceStats splits, retired services
+  /// included; indexed by static_cast<int>(Priority)).
+  std::array<std::int64_t, kNumPriorities> queued_by_priority{};
+  std::array<std::int64_t, kNumPriorities> completed_by_priority{};
+  std::array<std::int64_t, kNumPriorities> deadline_misses_by_priority{};
   /// Sum of the resident services' items/s (each measured over its own
   /// submit->completion window).
   double items_per_sec = 0.0;
@@ -373,6 +379,10 @@ class ModelRegistry {
     std::int64_t clip_events = 0;
     std::int64_t rejected = 0;
     std::int64_t deadline_misses = 0;
+    /// Per-priority splits of requests/deadline_misses (the scalars stay
+    /// the class sums), folded from the same retiring-service snapshots.
+    std::array<std::int64_t, kNumPriorities> completed_by_priority{};
+    std::array<std::int64_t, kNumPriorities> deadline_misses_by_priority{};
   };
 
   /// Cached telemetry series for one entry ({model} = "name@version").

@@ -414,6 +414,12 @@ void put_pipeline_config(Writer& w, const PipelineConfig& c) {
   w.i32(c.serve.workers);
   w.i32(c.serve.latency_window);
   w.i32(c.serve.max_queue);
+  // Scheduler knobs appended by schema v4 (SLA-aware scheduling core);
+  // kSchemaVersion bumped 3 -> 4 with them -- the codec is positional, so
+  // a v3 payload cannot be decoded and is rejected by the version check.
+  w.i32(c.serve.max_workers);
+  w.i32(c.serve.fairness_quantum);
+  w.boolean(c.serve.reslice_bursts);
   w.str(c.anchors.model);
   w.f64(c.anchors.conv_fp32);
   w.f64(c.anchors.epitome_fp32);
@@ -453,6 +459,10 @@ PipelineConfig get_pipeline_config(Reader& r) {
   c.serve.workers = r.i32();
   c.serve.latency_window = r.i32();
   c.serve.max_queue = r.i32();
+  // Schema v4 scheduler knobs (see the writer's matching comment).
+  c.serve.max_workers = r.i32();
+  c.serve.fairness_quantum = r.i32();
+  c.serve.reslice_bursts = r.boolean();
   c.anchors.model = r.str();
   c.anchors.conv_fp32 = r.f64();
   c.anchors.epitome_fp32 = r.f64();

@@ -50,8 +50,10 @@ namespace artifact {
 /// codec reads fields positionally, so older payloads cannot be decoded
 /// either -- they fail with a clean version error, never a misparse).
 /// History: v1 = PR 3; v2 = ServeConfig gained latency_window/max_queue;
-/// v3 = ServeConfig gained workers (continuous-batching worker count).
-inline constexpr std::uint32_t kSchemaVersion = 3;
+/// v3 = ServeConfig gained workers (continuous-batching worker count);
+/// v4 = ServeConfig gained max_workers/fairness_quantum/reslice_bursts
+/// (SLA-aware scheduling core).
+inline constexpr std::uint32_t kSchemaVersion = 4;
 
 /// Artifact kinds stored in the header.
 enum class Kind : std::uint32_t {

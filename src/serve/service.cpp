@@ -33,14 +33,27 @@ std::exception_ptr deadline_error(Clock::time_point enqueued,
       std::to_string(ms_between(enqueued, now)) + " ms"));
 }
 
+/// How long a beyond-the-floor worker sits idle before retiring its slot
+/// (the adaptive pool's shrink hysteresis: growth is one slot per
+/// submission/batch-close event, shrink is one idle timeout per slot).
+constexpr std::chrono::milliseconds kPoolShrinkIdle{50};
+
+std::size_t prio_index(Priority priority) {
+  return static_cast<std::size_t>(priority);
+}
+
 }  // namespace
 
 InferenceService::InferenceService(DeployedModel model, ServeConfig config,
                                    const std::string& telemetry_label)
     : model_(std::move(model)),
-      config_(config),
-      telemetry_label_(telemetry_label.empty() ? "default" : telemetry_label) {
-  validate_serve(config_);
+      // Validate before any knob is consumed: sched_ below is built from
+      // fairness_quantum, so a bad config must die here with the pinned
+      // validate_serve message, not inside the scheduler.
+      config_((validate_serve(config), config)),
+      telemetry_label_(telemetry_label.empty() ? "default" : telemetry_label),
+      sched_(config.fairness_quantum) {
+  pool_cap_ = config_.max_workers > 0 ? config_.max_workers : config_.workers;
   // Resolve every series before any worker exists: the lookups take the
   // telemetry registration mutex (a leaf), and doing it here keeps that
   // mutex off every path that holds mu_/stats_mu_.
@@ -54,20 +67,34 @@ InferenceService::InferenceService(DeployedModel model, ServeConfig config,
     m_deadline_misses_ =
         reg.counter("epim_serve_deadline_misses_total", labels);
     m_clip_events_ = reg.counter("epim_serve_clip_events_total", labels);
-    m_queue_depth_ = reg.gauge("epim_serve_queue_depth", labels);
-    m_latency_ = reg.histogram("epim_serve_latency_ms", labels);
+    // Queue depth and latency split by scheduling class: one
+    // {model, priority} series per class, resolved up front like the rest.
+    for (int p = 0; p < kNumPriorities; ++p) {
+      const telemetry::Labels by_prio{
+          {"model", telemetry_label_},
+          {"priority", priority_name(static_cast<Priority>(p))}};
+      m_queue_depth_[static_cast<std::size_t>(p)] =
+          reg.gauge("epim_serve_queue_depth", by_prio);
+      m_latency_[static_cast<std::size_t>(p)] =
+          reg.histogram("epim_serve_latency_ms", by_prio);
+    }
   }
   {
-    // No worker exists yet, but worker_in_flight_ is a guarded field and
-    // the analysis (correctly) has no "threads not started" concept; an
-    // uncontended lock documents the invariant at zero cost.
+    // No worker exists yet, but these are guarded fields and the analysis
+    // (correctly) has no "threads not started" concept; an uncontended
+    // lock documents the invariant at zero cost.
     MutexLock lock(mu_);
-    worker_in_flight_.assign(static_cast<std::size_t>(config_.workers), 0);
+    worker_in_flight_.assign(static_cast<std::size_t>(pool_cap_), 0);
+    worker_live_.assign(static_cast<std::size_t>(pool_cap_), 0);
+    for (int w = 0; w < config_.workers; ++w) {
+      worker_live_[static_cast<std::size_t>(w)] = 1;
+    }
+    live_workers_ = config_.workers;
   }
-  workers_.reserve(static_cast<std::size_t>(config_.workers));
+  workers_.resize(static_cast<std::size_t>(pool_cap_));
   for (int w = 0; w < config_.workers; ++w) {
-    workers_.emplace_back(
-        [this, w] { worker_loop(static_cast<std::size_t>(w)); });
+    workers_[static_cast<std::size_t>(w)] =
+        std::thread([this, w] { worker_loop(static_cast<std::size_t>(w)); });
   }
 }
 
@@ -91,7 +118,8 @@ DeployedModel InferenceService::detach() {
   // The workers' shutdown path flushes everything still queued (each keeps
   // closing batches until the queue is empty), and a worker mid-batch
   // finishes it before exiting, so every outstanding future resolves before
-  // the model changes hands.
+  // the model changes hands. stop_ also makes maybe_grow_locked a no-op,
+  // so nothing mutates workers_ under this unlocked join.
   for (std::thread& w : workers_) {
     if (w.joinable()) w.join();
   }
@@ -122,6 +150,16 @@ std::vector<std::future<InferenceResult>> InferenceService::submit_batch(
   EPIM_CHECK(options.deadline_ms >= 0.0,
              "deadline_ms must be non-negative (0 = no deadline), got " +
                  std::to_string(options.deadline_ms));
+  const std::size_t prio = prio_index(options.priority);
+  EPIM_CHECK(prio < static_cast<std::size_t>(kNumPriorities),
+             "SubmitOptions::priority is out of range");
+
+  // A burst larger than max_batch is reslice-eligible: its requests skip
+  // the flush-deadline hold (their batch-mates arrived with them) and the
+  // closing workers split the backlog into concurrent per-worker slices.
+  const bool resliced =
+      config_.reslice_bursts &&
+      images.size() > static_cast<std::size_t>(config_.max_batch);
 
   std::vector<std::future<InferenceResult>> futures;
   futures.reserve(images.size());
@@ -144,34 +182,47 @@ std::vector<std::future<InferenceResult>> InferenceService::submit_batch(
                  "submitted image shape does not match the deployed model");
     }
     if (config_.max_queue > 0) {
+      // A reslice-eligible burst does not sit queued -- its slices stream
+      // straight to the pool -- so it is admitted against max_queue plus
+      // the pool's one-batch-per-worker absorption capacity. Everything
+      // else (singles, bursts within max_batch, any burst with re-slicing
+      // disabled) faces the strict max_queue bound: a burst that exceeds
+      // max_queue only because re-slicing is off still throws the pinned
+      // kErrBurstTooLarge.
+      const std::size_t bound =
+          static_cast<std::size_t>(config_.max_queue) +
+          (resliced ? static_cast<std::size_t>(pool_cap_) *
+                          static_cast<std::size_t>(config_.max_batch)
+                    : 0);
       // A burst larger than the whole bound can NEVER be admitted, however
       // empty the queue: a caller error, not transient overload. It throws
       // InvalidArgument (Unavailable would invite futile retries) and does
       // not count as a rejection -- rejected_ measures genuine overload.
-      EPIM_CHECK(
-          images.size() <= static_cast<std::size_t>(config_.max_queue),
-          std::string(kErrBurstTooLarge) + ": " +
-              std::to_string(images.size()) + " submitted > max_queue " +
-              std::to_string(config_.max_queue));
+      EPIM_CHECK(images.size() <= bound,
+                 std::string(kErrBurstTooLarge) + ": " +
+                     std::to_string(images.size()) + " submitted > " +
+                     std::to_string(bound) +
+                     (resliced ? " (max_queue + max_workers*max_batch)"
+                               : " (max_queue)"));
       // Admission control: all-or-nothing for the burst, decided atomically
       // with the enqueue so concurrent submitters can never overshoot the
-      // bound. Rejection is immediate -- never block, never grow the queue.
-      // When the bound would reject, first shed queued requests that are
+      // bound -- and decided exactly ONCE, so the concurrent slices of an
+      // admitted resliced burst are never re-checked (no double-reject).
+      // Rejection is immediate: never block, never grow the queue. When
+      // the bound would reject, first shed queued requests that are
       // already past their deadline: the workers would drop them at batch
       // close anyway, and live traffic must not bounce off the dead.
-      if (queue_.size() + images.size() >
-          static_cast<std::size_t>(config_.max_queue)) {
+      if (sched_.size() + images.size() > bound) {
         shed_expired_locked(now);
       }
-      if (queue_.size() + images.size() >
-          static_cast<std::size_t>(config_.max_queue)) {
+      if (sched_.size() + images.size() > bound) {
         m_rejected_->inc(static_cast<std::int64_t>(images.size()));
         MutexLock stats_lock(stats_mu_);
         rejected_ += static_cast<std::int64_t>(images.size());
         throw Unavailable(std::string(kErrQueueFull) + ": " +
-                          std::to_string(queue_.size()) + " queued + " +
+                          std::to_string(sched_.size()) + " queued + " +
                           std::to_string(images.size()) + " submitted > " +
-                          std::to_string(config_.max_queue));
+                          std::to_string(bound));
       }
     }
     // Record the throughput-window start *before* the requests become
@@ -192,20 +243,51 @@ std::vector<std::future<InferenceResult>> InferenceService::submit_batch(
                                options.deadline_ms));
     }
     for (Tensor& image : images) {
-      Request request;
+      SchedRequest request;
       request.image = std::move(image);
       request.enqueued = now;
       request.deadline = deadline;
+      request.priority = options.priority;
+      request.no_hold = resliced;
       futures.push_back(request.promise.get_future());
-      queue_.push_back(std::move(request));
+      sched_.enqueue(std::move(request), options.client_id);
     }
-    // The gauge mirrors queue_.size(): +n here, -n at batch close and at
-    // every deadline shed. Relaxed atomic, so updating it under mu_ keeps
-    // the mirror exact without any new lock edge.
-    m_queue_depth_->add(static_cast<std::int64_t>(images.size()));
+    // The per-class gauge mirrors sched_.size(Priority): +n here, -n at
+    // batch close and at every deadline shed. Relaxed atomic, so updating
+    // it under mu_ keeps the mirror exact without any new lock edge.
+    m_queue_depth_[prio]->add(static_cast<std::int64_t>(images.size()));
+    // Demand just arrived: give the adaptive pool its growth event.
+    maybe_grow_locked();
   }
   cv_.notify_all();
   return futures;
+}
+
+int InferenceService::busy_workers_locked() const {
+  int busy = 0;
+  for (const std::int64_t n : worker_in_flight_) busy += n > 0;
+  return busy;
+}
+
+void InferenceService::maybe_grow_locked() {
+  if (stop_ || live_workers_ >= pool_cap_) return;
+  const std::int64_t idle =
+      static_cast<std::int64_t>(live_workers_) - busy_workers_locked();
+  if (static_cast<std::int64_t>(sched_.size()) <=
+      idle * static_cast<std::int64_t>(config_.max_batch)) {
+    return;
+  }
+  for (std::size_t slot = 0; slot < worker_live_.size(); ++slot) {
+    if (worker_live_[slot]) continue;
+    // A retired slot's thread has cleared worker_live_ under mu_ and is
+    // past any further locking -- the join below waits only for its
+    // epilogue, never for mu_.
+    if (workers_[slot].joinable()) workers_[slot].join();
+    worker_live_[slot] = 1;
+    ++live_workers_;
+    workers_[slot] = std::thread([this, slot] { worker_loop(slot); });
+    return;  // one slot per event: growth hysteresis
+  }
 }
 
 void InferenceService::worker_loop(std::size_t worker) {
@@ -215,10 +297,24 @@ void InferenceService::worker_loop(std::size_t worker) {
               config_.flush_deadline_ms));
   MutexLock lock(mu_);
   for (;;) {
-    // Explicit wait loop, not the predicate form: stop_ and queue_ are
-    // guarded fields, and here the analysis can see mu_ is held.
-    while (!stop_ && queue_.empty()) cv_.wait(lock);
-    if (queue_.empty()) {
+    // Explicit wait loop, not the predicate form: stop_ and sched_ are
+    // guarded fields, and here the analysis can see mu_ is held. A worker
+    // beyond the configured floor retires its slot after sitting idle for
+    // the shrink hysteresis window; floor workers wait forever.
+    while (!stop_ && sched_.empty()) {
+      if (static_cast<int>(worker) >= config_.workers) {
+        if (cv_.wait_until(lock, Clock::now() + kPoolShrinkIdle) ==
+                std::cv_status::timeout &&
+            !stop_ && sched_.empty()) {
+          worker_live_[worker] = 0;
+          --live_workers_;
+          return;
+        }
+      } else {
+        cv_.wait(lock);
+      }
+    }
+    if (sched_.empty()) {
       if (stop_) return;
       continue;
     }
@@ -226,54 +322,81 @@ void InferenceService::worker_loop(std::size_t worker) {
     // request's flush deadline, a full batch, or shutdown (which flushes
     // immediately) -- but wake EARLY at the soonest request deadline, so an
     // expiring request is shed the moment it dies instead of riding out the
-    // flush timer. A peer may close a batch over this same queue while we
-    // wait, so both deadlines re-anchor on whatever is queued now, and a
-    // drained queue sends us back to the outer wait.
-    while (!stop_ &&
-           static_cast<int>(queue_.size()) < config_.max_batch) {
+    // flush timer. A queued reslice burst also skips the hold: its
+    // batch-mates arrived with it, so waiting buys nothing but latency and
+    // would serialize the slices behind one worker's flush timer. A peer
+    // may close a batch over this same queue while we wait, so both
+    // deadlines re-anchor on whatever is queued now, and a drained queue
+    // sends us back to the outer wait.
+    while (!stop_ && sched_.no_hold_count() == 0 &&
+           static_cast<int>(sched_.size()) < config_.max_batch) {
       const auto now = Clock::now();
       shed_expired_locked(now);
-      if (queue_.empty()) break;
-      const auto flush_at = queue_.front().enqueued + flush_dur;
+      if (sched_.empty()) break;
+      const auto flush_at = sched_.oldest_enqueued() + flush_dur;
       if (now >= flush_at) break;
-      auto wake = flush_at;
-      for (const Request& r : queue_) wake = std::min(wake, r.deadline);
+      const auto wake = std::min(flush_at, sched_.soonest_deadline());
       cv_.wait_until(lock, wake);
-      if (queue_.empty()) break;
+      if (sched_.empty()) break;
     }
-    if (queue_.empty()) continue;
+    if (sched_.empty()) continue;
     // Close the batch. A final sweep first: a batch never runs work that is
     // already dead, including requests that expired during the waits above
     // or while this worker held a full queue. The timestamp doubles as the
     // batch-close time for the trace-span layer.
     const auto closed_at = Clock::now();
     shed_expired_locked(closed_at);
-    if (queue_.empty()) continue;
-    std::vector<Request> batch;
-    const std::size_t n = std::min<std::size_t>(
-        queue_.size(), static_cast<std::size_t>(config_.max_batch));
-    batch.reserve(n);
-    for (std::size_t i = 0; i < n; ++i) {
-      batch.push_back(std::move(queue_.front()));
-      queue_.pop_front();
+    if (sched_.empty()) continue;
+    // Batch size: normally up to max_batch. While a resliced burst is
+    // queued, split the backlog evenly across the idle workers (self
+    // included) instead -- ceil(queued/idle), still capped at max_batch --
+    // so the burst drains as concurrent slices rather than serial
+    // max_batch chunks on this one worker.
+    std::size_t n = std::min<std::size_t>(
+        sched_.size(), static_cast<std::size_t>(config_.max_batch));
+    if (sched_.no_hold_count() > 0) {
+      const std::size_t idle = static_cast<std::size_t>(std::max(
+          1, live_workers_ - busy_workers_locked()));
+      const std::size_t slice = (sched_.size() + idle - 1) / idle;
+      n = std::min(n, std::max<std::size_t>(1, slice));
     }
-    m_queue_depth_->sub(static_cast<std::int64_t>(n));
-    worker_in_flight_[worker] = static_cast<std::int64_t>(n);
+    std::vector<SchedRequest> batch;
+    batch.reserve(n);
+    sched_.select(n, batch);
+    std::array<std::int64_t, kNumPriorities> closed_by_prio{};
+    for (const SchedRequest& r : batch) ++closed_by_prio[prio_index(r.priority)];
+    for (int p = 0; p < kNumPriorities; ++p) {
+      if (closed_by_prio[static_cast<std::size_t>(p)] > 0) {
+        m_queue_depth_[static_cast<std::size_t>(p)]->sub(
+            closed_by_prio[static_cast<std::size_t>(p)]);
+      }
+    }
+    worker_in_flight_[worker] = static_cast<std::int64_t>(batch.size());
+    // This worker is about to go busy; if the remaining backlog still
+    // exceeds what the (now fewer) idle workers can absorb, grow the pool
+    // so the next slice closes concurrently.
+    maybe_grow_locked();
     // Run the batch with the queue unlocked: peers keep closing batches
     // (multiple in flight per model) and submitters keep enqueueing while
     // this one computes. forward_batch is const and pure against the
     // programmed crossbars, so concurrent batches stay bit-identical.
     lock.unlock();
+    cv_.notify_all();
     try {
+      // Chaos hook at the batch-close seam: an injected serve.schedule
+      // fault fails exactly this batch's futures (via the guard below) and
+      // must never kill the worker or wedge the pool.
+      fault::maybe_fail("serve.schedule");
       run_batch(batch, worker, closed_at);
     } catch (...) {
       // run_batch already routes forward-pass failures to the batch's
       // futures; this guard is for everything it could not anticipate
-      // (bad_alloc in the stats fold, a throwing fault point outside the
-      // forward try). A worker thread must never die: fail whatever
-      // futures are still unfulfilled and keep draining.
+      // (bad_alloc in the stats fold, an armed serve.schedule fault, a
+      // throwing fault point outside the forward try). A worker thread
+      // must never die: fail whatever futures are still unfulfilled and
+      // keep draining.
       const std::exception_ptr error = std::current_exception();
-      for (Request& r : batch) {
+      for (SchedRequest& r : batch) {
         try {
           r.promise.set_exception(error);
         } catch (const std::future_error&) {
@@ -287,31 +410,34 @@ void InferenceService::worker_loop(std::size_t worker) {
 }
 
 std::size_t InferenceService::shed_expired_locked(Clock::time_point now) {
-  std::vector<Request> expired;
-  for (auto it = queue_.begin(); it != queue_.end();) {
-    if (it->deadline <= now) {
-      expired.push_back(std::move(*it));
-      it = queue_.erase(it);
-    } else {
-      ++it;
+  std::vector<SchedRequest> expired;
+  if (sched_.shed_expired(now, expired) == 0) return 0;
+  std::array<std::int64_t, kNumPriorities> shed_by_prio{};
+  for (const SchedRequest& r : expired) ++shed_by_prio[prio_index(r.priority)];
+  for (int p = 0; p < kNumPriorities; ++p) {
+    if (shed_by_prio[static_cast<std::size_t>(p)] > 0) {
+      m_queue_depth_[static_cast<std::size_t>(p)]->sub(
+          shed_by_prio[static_cast<std::size_t>(p)]);
     }
   }
-  if (expired.empty()) return 0;
-  m_queue_depth_->sub(static_cast<std::int64_t>(expired.size()));
   m_deadline_misses_->inc(static_cast<std::int64_t>(expired.size()));
   // Count BEFORE failing the futures: a caller that observes a future's
   // DeadlineExceeded and then reads stats() must see the miss counted.
   {
     MutexLock stats_lock(stats_mu_);
     deadline_misses_ += static_cast<std::int64_t>(expired.size());
+    for (int p = 0; p < kNumPriorities; ++p) {
+      deadline_misses_by_priority_[static_cast<std::size_t>(p)] +=
+          shed_by_prio[static_cast<std::size_t>(p)];
+    }
   }
-  for (Request& r : expired) {
+  for (SchedRequest& r : expired) {
     r.promise.set_exception(deadline_error(r.enqueued, now));
   }
   return expired.size();
 }
 
-void InferenceService::run_batch(std::vector<Request>& batch,
+void InferenceService::run_batch(std::vector<SchedRequest>& batch,
                                  std::size_t worker,
                                  Clock::time_point closed_at) {
   // One relaxed load decides whether this batch pays any tracing cost at
@@ -321,7 +447,7 @@ void InferenceService::run_batch(std::vector<Request>& batch,
 
   std::vector<Tensor> images;
   images.reserve(batch.size());
-  for (Request& r : batch) images.push_back(std::move(r.image));
+  for (SchedRequest& r : batch) images.push_back(std::move(r.image));
 
   std::vector<Tensor> logits;
   std::vector<std::int64_t> clips;
@@ -334,7 +460,7 @@ void InferenceService::run_batch(std::vector<Request>& batch,
     // Shapes were validated at submit, so this is unexpected; fail the
     // whole batch rather than wedge its futures, and keep serving.
     const std::exception_ptr error = std::current_exception();
-    for (Request& r : batch) r.promise.set_exception(error);
+    for (SchedRequest& r : batch) r.promise.set_exception(error);
     return;
   }
 
@@ -348,6 +474,7 @@ void InferenceService::run_batch(std::vector<Request>& batch,
   std::int64_t batch_clips = 0;
   std::vector<double> batch_latencies;
   batch_latencies.reserve(batch.size());
+  std::array<std::int64_t, kNumPriorities> done_by_prio{};
   for (std::size_t i = 0; i < batch.size(); ++i) {
     InferenceResult& result = results[i];
     result.logits = std::move(logits[i]);
@@ -359,18 +486,19 @@ void InferenceService::run_batch(std::vector<Request>& batch,
     }
     batch_clips += clips[i];
     batch_latencies.push_back(ms_between(batch[i].enqueued, done));
+    ++done_by_prio[prio_index(batch[i].priority)];
   }
 
   // Fleet telemetry: cached series pointers, relaxed atomics only -- no
-  // lock is held and none is taken. The shared latency series is
-  // cumulative (scrape-facing); interval_latency_ additionally backs the
-  // resettable ServiceStats percentiles.
+  // lock is held and none is taken. The shared per-priority latency series
+  // are cumulative (scrape-facing); interval_latency_ additionally backs
+  // the resettable ServiceStats percentiles.
   m_requests_->inc(static_cast<std::int64_t>(batch.size()));
   m_batches_->inc(1);
   m_clip_events_->inc(batch_clips);
-  for (const double latency : batch_latencies) {
-    m_latency_->observe(latency);
-    interval_latency_.observe(latency);
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    m_latency_[prio_index(batch[i].priority)]->observe(batch_latencies[i]);
+    interval_latency_.observe(batch_latencies[i]);
   }
   if (traced) {
     telemetry::SpanRecord span;
@@ -381,7 +509,7 @@ void InferenceService::run_batch(std::vector<Request>& batch,
     span.close_ms = telemetry::trace_ms(closed_at);
     span.run_begin_ms = telemetry::trace_ms(run_begin);
     span.run_end_ms = telemetry::trace_ms(done);
-    for (const Request& r : batch) {
+    for (const SchedRequest& r : batch) {
       span.submit_ms = telemetry::trace_ms(r.enqueued);
       telemetry::record_span(span);
     }
@@ -394,6 +522,10 @@ void InferenceService::run_batch(std::vector<Request>& batch,
     completed_ += static_cast<std::int64_t>(batch.size());
     batches_ += 1;
     clip_events_ += batch_clips;
+    for (int p = 0; p < kNumPriorities; ++p) {
+      completed_by_priority_[static_cast<std::size_t>(p)] +=
+          done_by_prio[static_cast<std::size_t>(p)];
+    }
     // Concurrent batches can reach this lock out of completion order; the
     // throughput window must end at the LATEST completion seen.
     if (done > last_done_) last_done_ = done;
@@ -424,6 +556,8 @@ void InferenceService::reset() {
   clip_events_ = 0;
   rejected_ = 0;
   deadline_misses_ = 0;
+  completed_by_priority_.fill(0);
+  deadline_misses_by_priority_.fill(0);
   saw_first_submit_ = false;
   // Re-anchor the throughput window at the reset itself: requests that
   // were in flight across the reset complete into the NEW interval, so
@@ -449,6 +583,7 @@ std::vector<double> InferenceService::recent_latencies_ms() const {
 ServiceStats InferenceService::stats() const {
   ServiceStats s;
   s.workers = config_.workers;
+  s.max_workers = pool_cap_;
   {
     MutexLock lock(stats_mu_);
     s.requests = completed_;
@@ -456,6 +591,8 @@ ServiceStats InferenceService::stats() const {
     s.clip_events = clip_events_;
     s.rejected = rejected_;
     s.deadline_misses = deadline_misses_;
+    s.completed_by_priority = completed_by_priority_;
+    s.deadline_misses_by_priority = deadline_misses_by_priority_;
     if (completed_ > 0) {
       s.mean_batch_size = static_cast<double>(completed_) /
                           static_cast<double>(batches_);
@@ -466,11 +603,17 @@ ServiceStats InferenceService::stats() const {
   }
   {
     MutexLock lock(mu_);
-    s.queued = static_cast<std::int64_t>(queue_.size());
+    s.queued = static_cast<std::int64_t>(sched_.size());
+    for (int p = 0; p < kNumPriorities; ++p) {
+      s.queued_by_priority[static_cast<std::size_t>(p)] =
+          static_cast<std::int64_t>(
+              sched_.size(static_cast<Priority>(p)));
+    }
     for (const std::int64_t n : worker_in_flight_) {
       s.in_flight += n;
       s.busy_workers += n > 0;
     }
+    s.live_workers = live_workers_;
   }
   // Percentiles come from the whole-interval histogram digest (every
   // completion since the last reset()), not the bounded recent-latency

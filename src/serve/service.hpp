@@ -40,30 +40,33 @@
 // live traffic is not rejected behind the dead. A request whose deadline
 // passes mid-execution still completes normally: the deadline bounds
 // queueing delay, not execution.
+//
+// Scheduling (serve/scheduler.hpp): batch selection is strict priority
+// (SubmitOptions::priority) -> deficit-round-robin client fairness
+// (SubmitOptions::client_id) -> FIFO, with a bounded anti-starvation
+// reservation so bulk traffic is delayed at most ServeConfig::
+// fairness_quantum batch closes. A submit_batch burst larger than
+// max_batch is re-sliced across idle workers (ServeConfig::reslice_bursts)
+// instead of draining serially, and the worker pool grows/shrinks within
+// [workers, max_workers] from queue depth and busy workers. None of this
+// can change results -- only completion order (the PR 5 bit-identity
+// contract, re-pinned across the priorities x clients x workers grid).
 #pragma once
 
 #include <algorithm>
+#include <array>
 #include <chrono>
 #include <cstdint>
-#include <deque>
 #include <future>
 #include <thread>
 #include <vector>
 
 #include "common/thread_annotations.hpp"
 #include "pipeline/pipeline.hpp"
+#include "serve/scheduler.hpp"
 #include "telemetry/telemetry.hpp"
 
 namespace epim {
-
-/// One completed inference.
-struct InferenceResult {
-  Tensor logits;
-  /// argmax over the logits (top-1 class).
-  std::int64_t predicted = 0;
-  /// ADC clip events this image caused (0 = bit-exact digitization).
-  std::int64_t clip_count = 0;
-};
 
 namespace serve_detail {
 
@@ -82,16 +85,6 @@ inline double items_rate(std::int64_t completed, double wall_seconds) {
 }
 
 }  // namespace serve_detail
-
-/// Per-submission options (a struct so future knobs ride along without
-/// another overload set).
-struct SubmitOptions {
-  /// Queueing budget in milliseconds, measured from submission: the request
-  /// must be closed into a batch within this long or it is shed with
-  /// DeadlineExceeded. 0 (the default) means no deadline; negative values
-  /// are rejected with InvalidArgument.
-  double deadline_ms = 0.0;
-};
 
 /// Monotonic counters + latency digest, snapshotted under the stats lock.
 struct ServiceStats {
@@ -129,10 +122,23 @@ struct ServiceStats {
   /// Requests closed into a batch that is still executing, summed over all
   /// workers.
   std::int64_t in_flight = 0;
-  /// Batch workers this service runs (ServeConfig::workers).
+  /// Batch workers this service was configured with (ServeConfig::workers;
+  /// the adaptive pool's floor).
   int workers = 0;
-  /// Workers currently executing a batch (<= workers).
+  /// Workers currently executing a batch (<= live_workers).
   int busy_workers = 0;
+  /// Workers currently alive in the adaptive pool, in [workers,
+  /// max_workers]. Equals `workers` for a fixed pool.
+  int live_workers = 0;
+  /// Adaptive-pool ceiling (resolved: equals `workers` when
+  /// ServeConfig::max_workers is 0).
+  int max_workers = 0;
+  /// Per-priority-class splits of `queued`, `requests` and
+  /// `deadline_misses`, indexed by static_cast<int>(Priority). The scalar
+  /// fields above remain the class sums.
+  std::array<std::int64_t, kNumPriorities> queued_by_priority{};
+  std::array<std::int64_t, kNumPriorities> completed_by_priority{};
+  std::array<std::int64_t, kNumPriorities> deadline_misses_by_priority{};
 };
 
 class InferenceService {
@@ -180,11 +186,17 @@ class InferenceService {
   /// Enqueue a burst atomically: the workers see all images at once, so
   /// full batches flush immediately instead of waiting out the deadline.
   /// An empty burst is rejected with InvalidArgument (a zero-item flush is
-  /// always a caller bug), and so is a burst larger than max_queue itself
-  /// (it could never be admitted, no matter how empty the queue -- that is
-  /// a caller error, not transient overload, so it is not Unavailable and
-  /// not counted in ServiceStats::rejected). Admission control applies to
-  /// the whole burst: either every image is admitted or none is.
+  /// always a caller bug), and so is a burst larger than its admission
+  /// bound (it could never be admitted, no matter how empty the queue --
+  /// that is a caller error, not transient overload, so it is not
+  /// Unavailable and not counted in ServiceStats::rejected). The bound is
+  /// max_queue, except for a reslice-eligible burst (reslice_bursts on and
+  /// the burst larger than max_batch), which is admitted against max_queue
+  /// + max_workers*max_batch: its slices go to the pool concurrently
+  /// instead of sitting queued. Admission control applies to the whole
+  /// burst, decided ONCE under the queue lock at submit: either every
+  /// image is admitted or none is, and concurrent slices of an admitted
+  /// burst can never be re-checked (so never double-rejected).
   std::vector<std::future<InferenceResult>> submit_batch(
       std::vector<Tensor> images);
   /// As above, with per-request options applied to every image in the burst.
@@ -228,7 +240,9 @@ class InferenceService {
   static constexpr const char* kErrQueueFull =
       "service queue is full (admission control)";
   /// Never-admissible-burst message prefix (pinned by tests): the burst is
-  /// larger than max_queue, so retrying can never succeed.
+  /// larger than its admission bound (max_queue, or max_queue +
+  /// max_workers*max_batch for a reslice-eligible burst), so retrying can
+  /// never succeed.
   static constexpr const char* kErrBurstTooLarge =
       "burst exceeds the admission bound and can never be admitted";
   /// Deadline-shed message prefix (pinned by tests). Carried by every
@@ -237,24 +251,23 @@ class InferenceService {
       "request deadline exceeded before execution started";
 
  private:
-  struct Request {
-    Tensor image;
-    std::promise<InferenceResult> promise;
-    std::chrono::steady_clock::time_point enqueued;
-    /// Latest time a worker may close this request into a batch; max() means
-    /// no deadline. Set once at submit from SubmitOptions::deadline_ms.
-    std::chrono::steady_clock::time_point deadline =
-        std::chrono::steady_clock::time_point::max();
-  };
-
   void worker_loop(std::size_t worker) EPIM_EXCLUDES(mu_, stats_mu_);
-  /// Sweep the whole queue for requests whose deadline has passed: each is
+  /// Sweep the scheduler for requests whose deadline has passed: each is
   /// removed, its future fails with DeadlineExceeded and the miss is
-  /// counted. Fulfilling a promise under mu_ is safe -- set_exception only
-  /// stores the error and wakes waiters, it runs no user code. Returns the
-  /// number shed.
+  /// counted (per class). Fulfilling a promise under mu_ is safe --
+  /// set_exception only stores the error and wakes waiters, it runs no
+  /// user code. Returns the number shed.
   std::size_t shed_expired_locked(std::chrono::steady_clock::time_point now)
       EPIM_REQUIRES(mu_) EPIM_EXCLUDES(stats_mu_);
+  /// Adaptive-pool growth: start (or recycle) ONE retired worker slot when
+  /// the queue holds more than the idle workers could absorb in a single
+  /// batch each (queued > idle * max_batch) and the pool is below its
+  /// ceiling. One slot per call is the growth hysteresis -- a burst grows
+  /// the pool over several submissions/batch closes, not in one spike.
+  /// No-op once stop_ is set, so teardown can join workers_ unlocked.
+  void maybe_grow_locked() EPIM_REQUIRES(mu_);
+  /// Workers currently executing a batch. EPIM_REQUIRES(mu_).
+  int busy_workers_locked() const EPIM_REQUIRES(mu_);
   /// Runs with NO lock held (the closing worker unlocks around it): several
   /// batches execute concurrently, and the stats lock is taken only for the
   /// final counter fold. A throwing forward pass (or an armed
@@ -264,7 +277,7 @@ class InferenceService {
   /// batch-close timestamp the closing worker already read) exist for the
   /// trace-span layer, which records them only while telemetry tracing is
   /// armed.
-  void run_batch(std::vector<Request>& batch, std::size_t worker,
+  void run_batch(std::vector<SchedRequest>& batch, std::size_t worker,
                  std::chrono::steady_clock::time_point closed_at)
       EPIM_EXCLUDES(mu_, stats_mu_);
 
@@ -284,8 +297,11 @@ class InferenceService {
   telemetry::Counter* m_rejected_ = nullptr;
   telemetry::Counter* m_deadline_misses_ = nullptr;
   telemetry::Counter* m_clip_events_ = nullptr;
-  telemetry::Gauge* m_queue_depth_ = nullptr;  ///< mirrors queue_.size()
-  telemetry::Histogram* m_latency_ = nullptr;  ///< shared, never reset
+  /// Per-priority {model, priority} series: the queue-depth gauges mirror
+  /// sched_.size(Priority) exactly; the latency histograms are shared
+  /// (cumulative, never reset). Indexed by static_cast<int>(Priority).
+  std::array<telemetry::Gauge*, kNumPriorities> m_queue_depth_{};
+  std::array<telemetry::Histogram*, kNumPriorities> m_latency_{};
   /// Private per-instance latency histogram backing ServiceStats::p50/p99
   /// (the shared series above aggregates across instances and outlives
   /// reset(), so it cannot serve per-service interval percentiles).
@@ -296,11 +312,24 @@ class InferenceService {
   /// legal nesting with the stats lock: mu_ -> stats_mu_, never reverse.
   mutable Mutex mu_ EPIM_ACQUIRED_BEFORE(stats_mu_){"InferenceService::mu_"};
   CondVar cv_;
-  std::deque<Request> queue_ EPIM_GUARDED_BY(mu_);
+  /// The SLA-aware dispatch core. A plain data structure guarded by mu_ --
+  /// NOT a lock of its own -- so the fleet lock order gains no new node
+  /// and ModelRegistry::mu_ keeps zero outgoing edges (the PR 8 lockdep
+  /// invariant; tests/test_lockdebug.cpp re-proves it under priority
+  /// traffic).
+  Scheduler sched_ EPIM_GUARDED_BY(mu_);
   bool stop_ EPIM_GUARDED_BY(mu_) = false;
-  /// Requests each worker has closed into its current batch (0 = idle).
-  /// Summed for ServiceStats::in_flight.
+  /// Adaptive-pool ceiling, resolved at construction (== workers when
+  /// ServeConfig::max_workers is 0). Immutable; sizes the slot arrays.
+  int pool_cap_ = 0;
+  /// Requests each worker slot has closed into its current batch (0 =
+  /// idle). Summed for ServiceStats::in_flight. Sized pool_cap_.
   std::vector<std::int64_t> worker_in_flight_ EPIM_GUARDED_BY(mu_);
+  /// Which slots currently hold a live worker thread. A shrinking worker
+  /// clears its flag under mu_ just before returning; maybe_grow_locked
+  /// joins the exited thread and relaunches the slot. Sized pool_cap_.
+  std::vector<char> worker_live_ EPIM_GUARDED_BY(mu_);
+  int live_workers_ EPIM_GUARDED_BY(mu_) = 0;
 
   mutable Mutex stats_mu_{"InferenceService::stats_mu_"};
   /// Ring buffer of the last ServeConfig::latency_window request latencies.
@@ -312,12 +341,24 @@ class InferenceService {
   std::int64_t clip_events_ EPIM_GUARDED_BY(stats_mu_) = 0;
   std::int64_t rejected_ EPIM_GUARDED_BY(stats_mu_) = 0;
   std::int64_t deadline_misses_ EPIM_GUARDED_BY(stats_mu_) = 0;
+  /// Per-class splits of completed_/deadline_misses_ (the scalars stay the
+  /// sums, so existing consumers are untouched).
+  std::array<std::int64_t, kNumPriorities> completed_by_priority_
+      EPIM_GUARDED_BY(stats_mu_){};
+  std::array<std::int64_t, kNumPriorities> deadline_misses_by_priority_
+      EPIM_GUARDED_BY(stats_mu_){};
   bool saw_first_submit_ EPIM_GUARDED_BY(stats_mu_) = false;
   std::chrono::steady_clock::time_point first_submit_
       EPIM_GUARDED_BY(stats_mu_);
   std::chrono::steady_clock::time_point last_done_ EPIM_GUARDED_BY(stats_mu_);
 
-  std::vector<std::thread> workers_;  ///< last member: joins before teardown
+  /// Worker threads by slot, sized pool_cap_ (retired slots hold joined or
+  /// default-constructed threads). Last member: joins before teardown.
+  /// Written only under mu_ while workers run (maybe_grow_locked) and by
+  /// the quiescent join loops in ~InferenceService/detach(), which run
+  /// after stop_ is set under mu_ -- at that point maybe_grow_locked is a
+  /// no-op, so the unlocked joins race with nothing.
+  std::vector<std::thread> workers_;
 };
 
 }  // namespace epim

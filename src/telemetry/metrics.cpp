@@ -28,10 +28,14 @@ void ensure_registered() {
         "Requests shed because their deadline expired before batch close.");
     r.register_counter("epim_serve_clip_events_total",
                        "ADC clip events summed over completed requests.");
-    r.register_gauge("epim_serve_queue_depth",
-                     "Requests queued and not yet closed into a batch.");
-    r.register_histogram("epim_serve_latency_ms",
-                         "Request latency, submit to result ready (ms).");
+    r.register_gauge(
+        "epim_serve_queue_depth",
+        "Requests queued and not yet closed into a batch, per scheduling "
+        "class ({model, priority}).");
+    r.register_histogram(
+        "epim_serve_latency_ms",
+        "Request latency, submit to result ready (ms), per scheduling "
+        "class ({model, priority}).");
 
     // --- model registry (label: model = name@version) ---
     r.register_counter(

@@ -13,8 +13,8 @@
 //   epim_serve_rejected_total         {model}        counter
 //   epim_serve_deadline_misses_total  {model}        counter
 //   epim_serve_clip_events_total      {model}        counter
-//   epim_serve_queue_depth            {model}        gauge
-//   epim_serve_latency_ms             {model}        histogram
+//   epim_serve_queue_depth            {model, priority}  gauge
+//   epim_serve_latency_ms             {model, priority}  histogram
 //   epim_registry_transitions_total   {model, to}    counter
 //   epim_registry_materialize_ms      {model}        histogram
 //   epim_registry_evictions_total     {model}        counter

@@ -368,6 +368,69 @@ TEST_F(ServiceFault, RandomBatchFaultsEveryRequestResolves) {
   EXPECT_GT(fault::fires("serve.run_batch"), 0);
 }
 
+// The serve.schedule point fires at batch-close selection, AFTER the
+// scheduler picked the batch and the queue lock dropped: the pinned chaos
+// contract is that an injected fault fails exactly that batch's futures,
+// every submitted request still resolves, and the adaptive pool never dips
+// below ServeConfig::workers (a scheduling fault must not kill workers).
+TEST_F(ServiceFault, ScheduleFaultsResolveAllRequestsAndKeepThePoolFloor) {
+  FaultZoo& zoo = FaultZoo::instance();
+  const std::vector<Tensor> want = zoo.reference_logits(0);
+  ServeConfig cfg;
+  cfg.workers = 2;
+  cfg.max_workers = 4;
+  cfg.max_batch = 4;
+  cfg.flush_deadline_ms = 0.5;
+  InferenceService service(zoo.deploy(0), cfg);
+
+  // The satellite rate: 1% per batch close, seeded. Mixed priority classes
+  // and fairness clients so the faults land across the whole policy space.
+  fault::arm_probability("serve.schedule", 0.01, 0x5C4EDu);
+  constexpr Priority kClasses[] = {Priority::kInteractive, Priority::kNormal,
+                                   Priority::kBulk};
+  std::vector<std::future<InferenceResult>> futures;
+  std::vector<std::size_t> image_of;
+  for (int i = 0; i < 300; ++i) {
+    const std::size_t image =
+        static_cast<std::size_t>(i) % static_cast<std::size_t>(
+                                          zoo.data.test.size());
+    SubmitOptions options;
+    options.priority = kClasses[static_cast<std::size_t>(i) % 3];
+    options.client_id = "client" + std::to_string(i % 4);
+    futures.push_back(service.submit(
+        zoo.data.test.sample(static_cast<std::int64_t>(image)), options));
+    image_of.push_back(image);
+  }
+  int ok = 0;
+  int injected = 0;
+  for (std::size_t i = 0; i < futures.size(); ++i) {
+    try {
+      expect_same_logits(futures[i].get().logits, want[image_of[i]],
+                         "schedule-chaos req " + std::to_string(i));
+      ok += 1;
+    } catch (const Unavailable& e) {
+      EXPECT_NE(std::string(e.what()).find(fault::kErrInjected),
+                std::string::npos)
+          << e.what();
+      injected += 1;
+    }
+  }
+  EXPECT_EQ(ok + injected, 300) << "every request must resolve";
+  EXPECT_GT(ok, 0);
+  EXPECT_GT(fault::hits("serve.schedule"), 0)
+      << "batch closes never evaluated the armed point";
+
+  // The pool floor held through the chaos, and recovery is immediate once
+  // the point is disarmed: the same service serves bit-identical values.
+  ServiceStats stats = service.stats();
+  EXPECT_GE(stats.live_workers, cfg.workers)
+      << "a scheduling fault must never shrink the pool below the floor";
+  fault::disarm("serve.schedule");
+  expect_same_logits(service.submit(zoo.data.test.sample(0)).get().logits,
+                     want[0], "post-disarm");
+  EXPECT_GE(service.stats().live_workers, cfg.workers);
+}
+
 // ---- registry circuit breaker ----
 
 TEST_F(RegistryHealth, BreakerDegradesQuarantinesFastFailsAndRecovers) {
@@ -704,7 +767,7 @@ TEST_F(ChaosInvariant, EveryPointEveryRequestResolvesAndRecovers) {
                                                  zoo.reference_logits(1)};
   const char* points[] = {"registry.materialize", "artifact.open",
                           "artifact.read", "artifact.checksum",
-                          "serve.run_batch"};
+                          "serve.run_batch", "serve.schedule"};
   for (const char* point : points) {
     SCOPED_TRACE(point);
     RegistryConfig cfg;

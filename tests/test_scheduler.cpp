@@ -1,0 +1,281 @@
+// Deterministic unit tests for the SLA-aware scheduler (serve/scheduler.hpp)
+// in isolation -- no service, no threads, no clock reads. Requests carry a
+// synthetic marker in their `enqueued` timestamp so selection ORDER is
+// asserted exactly: strict priority across classes, deficit-round-robin
+// fairness across clients (including DRR continuation across select calls),
+// the bounded anti-starvation reservation, the bounded client table, and
+// deadline shedding. The single-client single-class case must degenerate to
+// the original FIFO queue bit-for-bit.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <chrono>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "serve/scheduler.hpp"
+
+namespace epim {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// Fixed synthetic epoch: tests never read the real clock.
+Clock::time_point base() { return Clock::time_point{}; }
+
+/// A request tagged with `marker` (recovered by marker_of below). Image and
+/// promise stay default -- the scheduler never inspects payloads.
+SchedRequest make_request(int marker, Priority priority = Priority::kNormal,
+                          bool no_hold = false) {
+  SchedRequest request;
+  request.enqueued = base() + std::chrono::nanoseconds(marker);
+  request.priority = priority;
+  request.no_hold = no_hold;
+  return request;
+}
+
+int marker_of(const SchedRequest& request) {
+  return static_cast<int>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(request.enqueued -
+                                                           base())
+          .count());
+}
+
+std::vector<int> markers_of(const std::vector<SchedRequest>& requests) {
+  std::vector<int> markers;
+  for (const SchedRequest& request : requests) {
+    markers.push_back(marker_of(request));
+  }
+  return markers;
+}
+
+TEST(Scheduler, RejectsNonPositiveFairnessQuantum) {
+  EXPECT_THROW(Scheduler(0), InvalidArgument);
+  EXPECT_THROW(Scheduler(-3), InvalidArgument);
+}
+
+// The degenerate case the refactor must preserve: one client, one class ==
+// the original FIFO queue, including across select() boundaries.
+TEST(Scheduler, SingleClientSingleClassIsFifo) {
+  Scheduler sched(4);
+  for (int i = 0; i < 6; ++i) sched.enqueue(make_request(i), "");
+  EXPECT_EQ(sched.size(), 6u);
+  EXPECT_EQ(sched.size(Priority::kNormal), 6u);
+  EXPECT_TRUE(sched.empty() == false);
+
+  std::vector<SchedRequest> out;
+  EXPECT_EQ(sched.select(4, out), 4u);
+  EXPECT_EQ(markers_of(out), (std::vector<int>{0, 1, 2, 3}));
+  out.clear();
+  EXPECT_EQ(sched.select(10, out), 2u);  // partial fill: only what is queued
+  EXPECT_EQ(markers_of(out), (std::vector<int>{4, 5}));
+  EXPECT_TRUE(sched.empty());
+  out.clear();
+  EXPECT_EQ(sched.select(1, out), 0u);
+}
+
+TEST(Scheduler, StrictPriorityAcrossClasses) {
+  Scheduler sched(4);
+  sched.enqueue(make_request(0, Priority::kBulk), "");
+  sched.enqueue(make_request(1, Priority::kNormal), "");
+  sched.enqueue(make_request(2, Priority::kInteractive), "");
+  EXPECT_EQ(sched.size(Priority::kInteractive), 1u);
+  EXPECT_EQ(sched.size(Priority::kNormal), 1u);
+  EXPECT_EQ(sched.size(Priority::kBulk), 1u);
+
+  // Enqueue order was bulk, normal, interactive; selection order is the
+  // exact priority inverse.
+  std::vector<SchedRequest> out;
+  EXPECT_EQ(sched.select(3, out), 3u);
+  EXPECT_EQ(markers_of(out), (std::vector<int>{2, 1, 0}));
+}
+
+// DRR across two clients: each gets `fairness_quantum` consecutive requests
+// per ring visit, so neither floods the other out.
+TEST(Scheduler, DeficitRoundRobinInterleavesClients) {
+  Scheduler sched(2);
+  for (int i = 0; i < 6; ++i) sched.enqueue(make_request(i), "a");
+  for (int i = 0; i < 6; ++i) sched.enqueue(make_request(10 + i), "b");
+
+  std::vector<SchedRequest> out;
+  EXPECT_EQ(sched.select(12, out), 12u);
+  EXPECT_EQ(markers_of(out),
+            (std::vector<int>{0, 1, 10, 11, 2, 3, 12, 13, 4, 5, 14, 15}));
+}
+
+// DRR continuation: a select() that exhausts its budget mid-turn leaves the
+// cursor (and the remaining credit) on that client, so the next select()
+// resumes the SAME client's turn rather than granting a fresh quantum.
+TEST(Scheduler, DrrContinuesAClientsTurnAcrossSelects) {
+  Scheduler sched(4);
+  for (int i = 0; i < 8; ++i) sched.enqueue(make_request(i), "a");
+  for (int i = 0; i < 8; ++i) sched.enqueue(make_request(10 + i), "b");
+
+  std::vector<SchedRequest> out;
+  EXPECT_EQ(sched.select(2, out), 2u);
+  EXPECT_EQ(markers_of(out), (std::vector<int>{0, 1}));  // a's turn opens
+  out.clear();
+  EXPECT_EQ(sched.select(4, out), 4u);
+  // a finishes its quantum of 4 (2 credits left over), THEN b's turn opens.
+  EXPECT_EQ(markers_of(out), (std::vector<int>{2, 3, 10, 11}));
+  out.clear();
+  EXPECT_EQ(sched.select(12, out), 10u);  // only 10 remain: partial fill
+  EXPECT_EQ(markers_of(out),
+            (std::vector<int>{12, 13, 4, 5, 6, 7, 14, 15, 16, 17}))
+      << "b resumes with its leftover credit; drained clients leave the ring";
+}
+
+// Anti-starvation bound: a kBulk request behind a steady kInteractive stream
+// is selected within fairness_quantum + 1 batch closes, never later.
+TEST(Scheduler, StarvedClassGetsAReservedSlotWithinTheQuantumBound) {
+  const int quantum = 3;
+  Scheduler sched(quantum);
+  sched.enqueue(make_request(99, Priority::kBulk), "");
+
+  int bulk_selected_at = -1;
+  for (int round = 1; round <= quantum + 1; ++round) {
+    sched.enqueue(make_request(round, Priority::kInteractive), "");
+    std::vector<SchedRequest> out;
+    ASSERT_EQ(sched.select(1, out), 1u) << "round " << round;
+    if (marker_of(out[0]) == 99) {
+      bulk_selected_at = round;
+      break;
+    }
+    EXPECT_EQ(out[0].priority, Priority::kInteractive);
+  }
+  // Rounds 1..quantum go to the interactive stream (strict priority);
+  // round quantum+1 MUST open with the reserved bulk slot.
+  EXPECT_EQ(bulk_selected_at, quantum + 1);
+  // The reservation resets: bulk is not suddenly preferred afterwards.
+  sched.enqueue(make_request(100, Priority::kBulk), "");
+  std::vector<SchedRequest> out;
+  ASSERT_EQ(sched.select(1, out), 1u);
+  EXPECT_EQ(out[0].priority, Priority::kInteractive);
+}
+
+// A contributing class never accrues starvation credit, and a class served
+// by the normal fill has its counter reset.
+TEST(Scheduler, ContributingClassesDoNotAccrueStarvationCredit) {
+  Scheduler sched(2);
+  for (int i = 0; i < 8; ++i) {
+    sched.enqueue(make_request(i, Priority::kNormal), "");
+    sched.enqueue(make_request(10 + i, Priority::kBulk), "");
+  }
+  // Batches of 2 serve one normal + ... no: strict priority fills both slots
+  // from kNormal while it lasts, so bulk starves for 2 rounds, then gets
+  // its reserved slot every 3rd round.
+  std::vector<int> bulk_rounds;
+  for (int round = 1; round <= 8; ++round) {
+    std::vector<SchedRequest> out;
+    if (sched.select(2, out) == 0u) break;
+    for (const SchedRequest& r : out) {
+      if (r.priority == Priority::kBulk) bulk_rounds.push_back(round);
+    }
+  }
+  ASSERT_FALSE(bulk_rounds.empty());
+  EXPECT_EQ(bulk_rounds.front(), 3)
+      << "first bulk slot exactly when passed_over hits the quantum";
+}
+
+// The client table is bounded: distinct ids past kMaxClientQueues fold into
+// the shared anonymous bucket, nothing is lost, and everything drains FIFO
+// within its bucket.
+TEST(Scheduler, ClientTableIsBoundedAndOverflowFoldsToAnonymous) {
+  Scheduler sched(1);
+  const int kClients = static_cast<int>(Scheduler::kMaxClientQueues) + 16;
+  for (int i = 0; i < kClients; ++i) {
+    sched.enqueue(make_request(i), "client" + std::to_string(i));
+  }
+  EXPECT_EQ(sched.size(), static_cast<std::size_t>(kClients));
+
+  std::vector<SchedRequest> out;
+  EXPECT_EQ(sched.select(static_cast<std::size_t>(kClients) + 32, out),
+            static_cast<std::size_t>(kClients));
+  // Every request came back exactly once.
+  std::vector<int> markers = markers_of(out);
+  std::sort(markers.begin(), markers.end());
+  for (int i = 0; i < kClients; ++i) EXPECT_EQ(markers[i], i);
+  // The overflow clients (folded into one bucket) drained FIFO relative to
+  // each other: their markers appear in submission order within `out`.
+  std::vector<int> overflow;
+  for (const SchedRequest& r : out) {
+    if (marker_of(r) >= static_cast<int>(Scheduler::kMaxClientQueues)) {
+      overflow.push_back(marker_of(r));
+    }
+  }
+  EXPECT_TRUE(std::is_sorted(overflow.begin(), overflow.end()));
+}
+
+TEST(Scheduler, OldestEnqueuedAndSoonestDeadlineScanAllClasses) {
+  Scheduler sched(4);
+  SchedRequest early = make_request(1, Priority::kBulk);
+  SchedRequest late = make_request(50, Priority::kInteractive);
+  late.deadline = base() + std::chrono::milliseconds(5);
+  sched.enqueue(std::move(early), "a");
+  sched.enqueue(std::move(late), "b");
+  EXPECT_EQ(sched.oldest_enqueued(), base() + std::chrono::nanoseconds(1));
+  EXPECT_EQ(sched.soonest_deadline(), base() + std::chrono::milliseconds(5));
+
+  std::vector<SchedRequest> out;
+  sched.select(2, out);
+  EXPECT_EQ(sched.soonest_deadline(), Clock::time_point::max())
+      << "no queued deadline left";
+}
+
+TEST(Scheduler, ShedExpiredRemovesExactlyTheExpiredRequests) {
+  Scheduler sched(4);
+  SchedRequest keep = make_request(0);
+  keep.deadline = base() + std::chrono::milliseconds(10);
+  SchedRequest forever = make_request(1);  // deadline stays max()
+  SchedRequest doomed = make_request(2, Priority::kBulk);
+  doomed.deadline = base() + std::chrono::milliseconds(2);
+  SchedRequest doomed_no_hold = make_request(3, Priority::kBulk,
+                                             /*no_hold=*/true);
+  doomed_no_hold.deadline = base() + std::chrono::milliseconds(1);
+  sched.enqueue(std::move(keep), "a");
+  sched.enqueue(std::move(forever), "a");
+  sched.enqueue(std::move(doomed), "b");
+  sched.enqueue(std::move(doomed_no_hold), "b");
+  EXPECT_EQ(sched.no_hold_count(), 1u);
+
+  std::vector<SchedRequest> shed;
+  EXPECT_EQ(sched.shed_expired(base() + std::chrono::milliseconds(5), shed),
+            2u);
+  std::vector<int> markers = markers_of(shed);
+  std::sort(markers.begin(), markers.end());
+  EXPECT_EQ(markers, (std::vector<int>{2, 3}));
+  EXPECT_EQ(sched.size(), 2u);
+  EXPECT_EQ(sched.no_hold_count(), 0u)
+      << "shedding a no_hold request must release its hold-skip";
+  EXPECT_EQ(sched.soonest_deadline(), base() + std::chrono::milliseconds(10));
+
+  // Nothing expired: a no-op shed.
+  shed.clear();
+  EXPECT_EQ(sched.shed_expired(base() + std::chrono::milliseconds(5), shed),
+            0u);
+  // The survivors still drain in order.
+  std::vector<SchedRequest> out;
+  EXPECT_EQ(sched.select(4, out), 2u);
+  EXPECT_EQ(markers_of(out), (std::vector<int>{0, 1}));
+}
+
+TEST(Scheduler, NoHoldCountTracksSelection) {
+  Scheduler sched(4);
+  for (int i = 0; i < 3; ++i) {
+    sched.enqueue(make_request(i, Priority::kNormal, /*no_hold=*/true), "");
+  }
+  sched.enqueue(make_request(3), "");
+  EXPECT_EQ(sched.no_hold_count(), 3u);
+
+  std::vector<SchedRequest> out;
+  sched.select(2, out);  // FIFO: takes the first two no_hold requests
+  EXPECT_EQ(sched.no_hold_count(), 1u);
+  out.clear();
+  sched.select(2, out);
+  EXPECT_EQ(sched.no_hold_count(), 0u);
+  EXPECT_TRUE(sched.empty());
+}
+
+}  // namespace
+}  // namespace epim

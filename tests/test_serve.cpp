@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "common/error.hpp"
+#include "common/fault_inject.hpp"
 #include "common/parallel.hpp"
 #include "common/rng.hpp"
 #include "nn/resnet.hpp"
@@ -151,6 +152,10 @@ PipelineConfig random_config(Rng& rng) {
   cfg.serve.workers = rng.uniform_int(1, 8);
   cfg.serve.latency_window = rng.uniform_int(1, 8192);
   cfg.serve.max_queue = rng.flip() ? 0 : rng.uniform_int(1, 2048);
+  cfg.serve.max_workers =
+      rng.flip() ? 0 : rng.uniform_int(cfg.serve.workers, 16);
+  cfg.serve.fairness_quantum = rng.uniform_int(1, 64);
+  cfg.serve.reslice_bursts = rng.flip();
   cfg.anchors =
       rng.flip() ? AccuracyAnchors::resnet50() : AccuracyAnchors::resnet101();
   cfg.seed = static_cast<std::uint64_t>(rng.uniform_int(1, 1 << 30));
@@ -184,6 +189,11 @@ TEST(ArtifactCompiled, PropertyRandomConfigsRoundTripByteIdentically) {
     EXPECT_EQ(loaded.config().serve.latency_window,
               cfg.serve.latency_window);
     EXPECT_EQ(loaded.config().serve.max_queue, cfg.serve.max_queue);
+    EXPECT_EQ(loaded.config().serve.max_workers, cfg.serve.max_workers);
+    EXPECT_EQ(loaded.config().serve.fairness_quantum,
+              cfg.serve.fairness_quantum);
+    EXPECT_EQ(loaded.config().serve.reslice_bursts,
+              cfg.serve.reslice_bursts);
     EXPECT_EQ(loaded.config().seed, cfg.seed);
     std::remove(path.c_str());
   }
@@ -357,13 +367,16 @@ TEST_F(CorruptionFixture, RejectsUnsupportedSchemaVersions) {
   dump(bad, bytes);
   expect_load_error(bad, artifact::kErrBadVersion);
   // Superseded versions are rejected cleanly too: the positional codec
-  // cannot decode a v1 or v2 payload (ServeConfig grew in v2 and again in
-  // v3), so they must fail with the version message, never a misparse
+  // cannot decode a v1/v2/v3 payload (ServeConfig grew in v2, v3 and again
+  // in v4), so they must fail with the version message, never a misparse
   // deeper in.
   bytes[8] = 1;
   dump(bad, bytes);
   expect_load_error(bad, artifact::kErrBadVersion);
   bytes[8] = 2;
+  dump(bad, bytes);
+  expect_load_error(bad, artifact::kErrBadVersion);
+  bytes[8] = 3;
   dump(bad, bytes);
   expect_load_error(bad, artifact::kErrBadVersion);
 }
@@ -1133,6 +1146,307 @@ TEST(ServiceDeadline, ValidatesOptionsAndTreatsZeroAsNoDeadline) {
   const ServiceStats stats = service.stats();
   EXPECT_EQ(stats.deadline_misses, 0);
   EXPECT_EQ(stats.requests, 2);
+}
+
+// ---- SLA-aware scheduling core (serve/scheduler.hpp) ----
+
+// The PR 5 bit-identity grid, extended across the scheduler's dimensions:
+// every priority class, one vs. several fairness clients, one vs. several
+// workers, and the batch-size sweep. Scheduling may only change completion
+// ORDER -- every logit and clip count must match the serial direct path bit
+// for bit at every grid point.
+TEST(SchedulerService, ResultsBitIdenticalAcrossPriorityClientWorkerGrid) {
+  ThreadGuard guard;
+  DeployedFixture& fx = DeployedFixture::instance();
+  PipelineConfig cfg;
+  cfg.precision = PrecisionPlan::uniform(6, 8);
+  Pipeline pipeline(cfg);
+
+  DeployedModel reference = pipeline.deploy(fx.net, fx.data.train);
+  std::vector<Tensor> expected;
+  std::vector<std::int64_t> expected_clips;
+  for (std::int64_t i = 0; i < fx.data.test.size(); ++i) {
+    expected.push_back(reference.forward(fx.data.test.sample(i)));
+    expected_clips.push_back(reference.last_clip_count());
+  }
+
+  constexpr Priority kClasses[] = {Priority::kInteractive, Priority::kNormal,
+                                   Priority::kBulk};
+  for (const int clients : {1, 4}) {
+    for (const int workers : {1, 3}) {
+      for (const int max_batch : {1, 5, 64}) {
+        SCOPED_TRACE("clients " + std::to_string(clients) + " workers " +
+                     std::to_string(workers) + " max_batch " +
+                     std::to_string(max_batch));
+        ServeConfig scfg;
+        scfg.max_batch = max_batch;
+        scfg.flush_deadline_ms = 1.0;
+        scfg.workers = workers;
+        InferenceService service =
+            std::move(pipeline.deploy(fx.net, fx.data.train)).serve(scfg);
+
+        // Interleave all three classes across the client set per request,
+        // so every (priority, client) queue carries traffic concurrently.
+        std::vector<std::future<InferenceResult>> futures;
+        for (std::int64_t i = 0; i < fx.data.test.size(); ++i) {
+          SubmitOptions options;
+          options.priority = kClasses[static_cast<std::size_t>(i) % 3];
+          options.client_id =
+              "client" + std::to_string(static_cast<int>(i) % clients);
+          futures.push_back(
+              service.submit(fx.data.test.sample(i), options));
+        }
+        for (std::size_t i = 0; i < futures.size(); ++i) {
+          const InferenceResult r = futures[i].get();
+          ASSERT_EQ(r.logits.shape(), expected[i].shape());
+          for (std::int64_t j = 0; j < r.logits.numel(); ++j) {
+            EXPECT_EQ(r.logits.at(j), expected[i].at(j))
+                << "image " << i << " logit " << j;
+          }
+          EXPECT_EQ(r.clip_count, expected_clips[i]) << "image " << i;
+        }
+        const ServiceStats stats = service.stats();
+        EXPECT_EQ(stats.requests, fx.data.test.size());
+        EXPECT_EQ(stats.completed_by_priority[0] +
+                      stats.completed_by_priority[1] +
+                      stats.completed_by_priority[2],
+                  stats.requests);
+      }
+    }
+  }
+}
+
+// Satellite bugfix pins, reslice OFF half: a burst that exceeds max_queue
+// only because re-slicing is disabled still throws the pinned
+// kErrBurstTooLarge (InvalidArgument, not Unavailable, not counted as a
+// rejection).
+TEST(SchedulerService, OversizedBurstWithResliceDisabledIsBurstTooLarge) {
+  DeployedFixture& fx = DeployedFixture::instance();
+  ServeConfig scfg;
+  scfg.max_batch = 8;
+  scfg.workers = 2;
+  scfg.max_queue = 4;
+  scfg.reslice_bursts = false;
+  InferenceService service =
+      std::move(Pipeline{PipelineConfig{}}.deploy(fx.net, fx.data.train))
+          .serve(scfg);
+  std::vector<Tensor> burst(12, fx.data.test.sample(0));
+  try {
+    (void)service.submit_batch(std::move(burst));
+    FAIL() << "expected InvalidArgument";
+  } catch (const InvalidArgument& e) {
+    EXPECT_NE(
+        std::string(e.what()).find(InferenceService::kErrBurstTooLarge),
+        std::string::npos)
+        << e.what();
+  }
+  EXPECT_EQ(service.stats().rejected, 0);
+  EXPECT_EQ(service.stats().queued, 0);
+}
+
+// Satellite bugfix pins, reslice ON half: the same burst is admitted
+// against max_queue + max_workers*max_batch (its slices stream to the pool
+// instead of sitting queued), accounted exactly ONCE at submit -- and a
+// burst beyond even that extended bound still dies with the pinned
+// kErrBurstTooLarge.
+TEST(SchedulerService, ReslicedBurstAdmitsOnceAgainstExtendedBound) {
+  DeployedFixture& fx = DeployedFixture::instance();
+  ServeConfig scfg;
+  scfg.max_batch = 8;
+  scfg.workers = 2;
+  scfg.max_queue = 4;
+  scfg.reslice_bursts = true;  // the default, spelled out for the pin
+  InferenceService service =
+      std::move(Pipeline{PipelineConfig{}}.deploy(fx.net, fx.data.train))
+          .serve(scfg);
+
+  // 12 > max_queue (4) but within 4 + 2*8 = 20: admitted whole, no
+  // rejection, every request completes.
+  std::vector<Tensor> burst(12, fx.data.test.sample(0));
+  auto futures = service.submit_batch(std::move(burst));
+  for (auto& f : futures) (void)f.get();
+  ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.requests, 12);
+  EXPECT_EQ(stats.rejected, 0);
+
+  // 25 > 20 can never be admitted however empty the queue: the pinned
+  // never-admissible error, still not a "rejection".
+  std::vector<Tensor> too_big(25, fx.data.test.sample(0));
+  try {
+    (void)service.submit_batch(std::move(too_big));
+    FAIL() << "expected InvalidArgument";
+  } catch (const InvalidArgument& e) {
+    EXPECT_NE(
+        std::string(e.what()).find(InferenceService::kErrBurstTooLarge),
+        std::string::npos)
+        << e.what();
+  }
+  EXPECT_EQ(service.stats().rejected, 0);
+
+  // "Counted once at submit": back-to-back resliced bursts that fit the
+  // extended bound together are both admitted -- the concurrent slices of
+  // the first can never re-trigger admission against the second.
+  std::vector<Tensor> a(10, fx.data.test.sample(0));
+  std::vector<Tensor> b(10, fx.data.test.sample(1));
+  auto fa = service.submit_batch(std::move(a));
+  auto fb = service.submit_batch(std::move(b));
+  for (auto& f : fa) (void)f.get();
+  for (auto& f : fb) (void)f.get();
+  EXPECT_EQ(service.stats().rejected, 0);
+  EXPECT_EQ(service.stats().requests, 32);
+}
+
+// A reslice-eligible burst (strictly larger than max_batch) must drain as
+// thin concurrent slices, not max_batch-greedy closes: with 4 idle workers
+// and a 24-burst at max_batch 16, the first close takes ceil(24/4) = 6 and
+// no later close can exceed that, so the burst runs as at least 4 batches
+// of mean <= 6 -- where the FIFO control closes exactly 16 + 8 = 2 batches.
+TEST(SchedulerService, BurstIsReslicedAcrossIdleWorkers) {
+  DeployedFixture& fx = DeployedFixture::instance();
+  ServeConfig scfg;
+  scfg.max_batch = 16;
+  scfg.flush_deadline_ms = 20.0;  // the FIFO control's 8-tail must hold
+  scfg.workers = 4;
+  InferenceService service =
+      std::move(Pipeline{PipelineConfig{}}.deploy(fx.net, fx.data.train))
+          .serve(scfg);
+  std::vector<Tensor> burst;
+  for (int i = 0; i < 24; ++i) {
+    burst.push_back(fx.data.test.sample(i % fx.data.test.size()));
+  }
+  auto futures = service.submit_batch(std::move(burst));
+  for (auto& f : futures) (void)f.get();
+  const ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.requests, 24);
+  EXPECT_GE(stats.batches, 4);
+  EXPECT_LE(stats.mean_batch_size, 6.0);
+
+  // Control: re-slicing off, the same burst drains max_batch-greedy as one
+  // batch of 16 plus a flush-held batch of 8.
+  ServeConfig fifo = scfg;
+  fifo.reslice_bursts = false;
+  InferenceService serial =
+      std::move(Pipeline{PipelineConfig{}}.deploy(fx.net, fx.data.train))
+          .serve(fifo);
+  std::vector<Tensor> burst2;
+  for (int i = 0; i < 24; ++i) {
+    burst2.push_back(fx.data.test.sample(i % fx.data.test.size()));
+  }
+  auto futures2 = serial.submit_batch(std::move(burst2));
+  for (auto& f : futures2) (void)f.get();
+  EXPECT_EQ(serial.stats().batches, 2);
+  EXPECT_EQ(serial.stats().mean_batch_size, 12.0);
+}
+
+// The adaptive pool grows one worker per demand event up to max_workers
+// while queued work exceeds what the idle workers can absorb, and shrinks
+// back to the `workers` floor once idle.
+TEST(SchedulerService, AdaptivePoolGrowsUnderBacklogAndShrinksWhenIdle) {
+  DeployedFixture& fx = DeployedFixture::instance();
+  ServeConfig scfg;
+  scfg.max_batch = 1;
+  scfg.flush_deadline_ms = 0.5;
+  scfg.workers = 1;
+  scfg.max_workers = 4;
+  InferenceService service =
+      std::move(Pipeline{PipelineConfig{}}.deploy(fx.net, fx.data.train))
+          .serve(scfg);
+  ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.workers, 1);
+  EXPECT_EQ(stats.max_workers, 4);
+  EXPECT_EQ(stats.live_workers, 1);
+
+  // Park every executing batch so backlog builds deterministically: each
+  // submission past the idle capacity is a growth event.
+  fault::arm_gate("serve.run_batch");
+  std::vector<std::future<InferenceResult>> futures;
+  for (int i = 0; i < 8; ++i) {
+    futures.push_back(service.submit(fx.data.test.sample(0)));
+  }
+  const auto grow_deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (service.stats().live_workers < 4 &&
+         std::chrono::steady_clock::now() < grow_deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_EQ(service.stats().live_workers, 4);
+
+  fault::open_gate("serve.run_batch");
+  for (auto& f : futures) (void)f.get();
+  fault::disarm("serve.run_batch");
+
+  // Idle shrink: back to the floor (never below), one idle timeout per
+  // surplus worker.
+  const auto shrink_deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (service.stats().live_workers > 1 &&
+         std::chrono::steady_clock::now() < shrink_deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  stats = service.stats();
+  EXPECT_EQ(stats.live_workers, 1);
+  EXPECT_EQ(stats.requests, 8);
+
+  // The shrunk pool still serves (a retired slot regrows on demand).
+  (void)service.submit(fx.data.test.sample(0)).get();
+  EXPECT_EQ(service.stats().requests, 9);
+}
+
+// Per-priority stats splits: the scalar counters stay the class sums.
+TEST(SchedulerService, StatsSplitQueuedCompletedAndMissesByPriority) {
+  DeployedFixture& fx = DeployedFixture::instance();
+  ServeConfig scfg;
+  scfg.max_batch = 1;
+  scfg.workers = 1;
+  InferenceService service =
+      std::move(Pipeline{PipelineConfig{}}.deploy(fx.net, fx.data.train))
+          .serve(scfg);
+
+  // Park the worker, then queue one request per class behind the gate.
+  fault::arm_gate("serve.run_batch");
+  std::vector<std::future<InferenceResult>> futures;
+  futures.push_back(service.submit(fx.data.test.sample(0)));
+  fault::wait_for_hits("serve.run_batch", 1);
+  SubmitOptions interactive;
+  interactive.priority = Priority::kInteractive;
+  SubmitOptions bulk;
+  bulk.priority = Priority::kBulk;
+  futures.push_back(service.submit(fx.data.test.sample(1), interactive));
+  futures.push_back(service.submit(fx.data.test.sample(2), bulk));
+  ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.queued, 2);
+  EXPECT_EQ(stats.queued_by_priority[static_cast<int>(
+                Priority::kInteractive)],
+            1);
+  EXPECT_EQ(stats.queued_by_priority[static_cast<int>(Priority::kBulk)], 1);
+
+  // A bulk request with an already-expired deadline sheds as a bulk miss.
+  SubmitOptions doomed;
+  doomed.priority = Priority::kBulk;
+  doomed.deadline_ms = 0.0001;
+  auto dead = service.submit(fx.data.test.sample(3), doomed);
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  fault::open_gate("serve.run_batch");
+  for (auto& f : futures) (void)f.get();
+  EXPECT_THROW((void)dead.get(), DeadlineExceeded);
+  fault::disarm("serve.run_batch");
+
+  stats = service.stats();
+  EXPECT_EQ(stats.requests, 3);
+  EXPECT_EQ(stats.completed_by_priority[static_cast<int>(
+                Priority::kInteractive)],
+            1);
+  EXPECT_EQ(stats.completed_by_priority[static_cast<int>(Priority::kNormal)],
+            1);
+  EXPECT_EQ(stats.completed_by_priority[static_cast<int>(Priority::kBulk)],
+            1);
+  EXPECT_EQ(stats.deadline_misses, 1);
+  EXPECT_EQ(stats.deadline_misses_by_priority[static_cast<int>(
+                Priority::kBulk)],
+            1);
+  EXPECT_EQ(stats.deadline_misses_by_priority[static_cast<int>(
+                Priority::kInteractive)],
+            0);
 }
 
 }  // namespace

@@ -390,8 +390,11 @@ TEST(TelemetryServe, QueuedStatsAndQueueDepthGaugeAgree) {
   scfg.workers = 1;
   scfg.max_batch = 1;
   InferenceService service(tiny.deploy(), scfg, "gate_test");
+  // Queue depth is a per-priority series since the scheduler PR; default
+  // submissions land in the "normal" class.
   Gauge* depth = telemetry::Registry::process().gauge(
-      "epim_serve_queue_depth", {{"model", "gate_test"}});
+      "epim_serve_queue_depth",
+      {{"model", "gate_test"}, {"priority", "normal"}});
   ASSERT_EQ(depth->value(), 0);
 
   // Park the single worker inside run_batch: the batch it closed is in
@@ -423,7 +426,8 @@ TEST(TelemetryServe, QueuedStatsAndQueueDepthGaugeAgree) {
       "epim_serve_requests_total", {{"model", "gate_test"}});
   EXPECT_EQ(requests->value(), 3);
   Histogram* latency = telemetry::Registry::process().histogram(
-      "epim_serve_latency_ms", {{"model", "gate_test"}});
+      "epim_serve_latency_ms",
+      {{"model", "gate_test"}, {"priority", "normal"}});
   EXPECT_EQ(latency->count(), 3);
 }
 

@@ -19,11 +19,24 @@ Rules (each with its rationale):
                   Unavailable(...)` / `throw DeadlineExceeded(...)`
                   statement in src/ -- or the same constructors wrapped in
                   std::make_exception_ptr (how a promise is failed) -- must
-                  reference a pinned kErr* message constant. Tests pin
-                  exact messages; ad-hoc strings drift. (EPIM_CHECK is the
-                  sanctioned free-form path -- it prefixes and formats
-                  uniformly; the macro's own implementation in
-                  common/error.cpp is the one allowed raw-throw site.)
+                  reference a pinned kErr* message constant, and every
+                  kErr* constant a throw references must be DEFINED (have a
+                  `kErrName = ...` site) somewhere under src/. Tests pin
+                  exact messages; ad-hoc strings drift, and a typo'd
+                  constant name would otherwise satisfy the textual check
+                  while pinning nothing. (EPIM_CHECK is the sanctioned
+                  free-form path -- it prefixes and formats uniformly; the
+                  macro's own implementation in common/error.cpp is the one
+                  allowed raw-throw site.)
+
+  schema-sync     Every ServeConfig field in pipeline_config.hpp appears in
+                  the positional .epim codec in src/serve/artifact.cpp (as
+                  `.serve.<field>`, written and read), and artifact.cpp
+                  cites the CURRENT artifact.hpp kSchemaVersion in a
+                  "schema v<N>" comment next to the codec. Adding a config
+                  knob without appending codec lines truncates round-trips;
+                  appending codec lines without bumping (and citing)
+                  kSchemaVersion lets old readers misparse new artifacts.
 
   include-cycle   No cycle in the `#include "..."` graph of src/ headers.
                   Cycles compile accidentally (pragma once) until the day
@@ -172,6 +185,15 @@ def check_raw_locks(root, findings):
 
 
 def check_pinned_errors(root, findings):
+    # Pass 1: collect every kErr* definition site under src/ (a `kErrName =`
+    # assignment -- inline constexpr in a header or an out-of-line member
+    # definition in a .cpp both match).
+    defined = set()
+    for rel in source_files(root, "src", {".hpp", ".cpp"}):
+        text = open(os.path.join(root, rel), encoding="utf-8").read()
+        code = "\n".join(c for _n, c in iter_code_lines(text))
+        defined.update(ERR_DEF_RE.findall(code))
+
     for rel in source_files(root, "src", {".hpp", ".cpp"}):
         if rel in PINNED_ERROR_ALLOWLIST:
             continue
@@ -181,14 +203,93 @@ def check_pinned_errors(root, findings):
         for match in THROW_RE.finditer(code):
             stmt_end = code.find(";", match.start())
             stmt = code[match.start() : stmt_end if stmt_end != -1 else None]
+            lineno = code.count("\n", 0, match.start()) + 1
             if "kErr" not in stmt:
-                lineno = code.count("\n", 0, match.start()) + 1
                 findings.append(
                     f"{rel}:{lineno}: [pinned-errors] throw "
                     f"{match.group(1)}(...) without a pinned kErr* message "
                     "constant -- tests pin these messages; either use "
                     "EPIM_CHECK or add a kErr* constant"
                 )
+                continue
+            for token in set(ERR_USE_RE.findall(stmt)):
+                if token not in defined:
+                    findings.append(
+                        f"{rel}:{lineno}: [pinned-errors] throw references "
+                        f"{token} but no `{token} = ...` definition exists "
+                        "under src/ -- the constant pins nothing"
+                    )
+
+
+# A kErr* definition site (`kErrName = ...`) vs a mere use of the token.
+ERR_DEF_RE = re.compile(r"\b(kErr\w+)\s*=")
+ERR_USE_RE = re.compile(r"\b(kErr\w+)\b")
+
+# ServeConfig member declarations: `type name = default;` inside the struct.
+SERVE_FIELD_RE = re.compile(
+    r"^\s*(?:int|double|bool|float|std::int64_t|std::size_t|std::string)\s+"
+    r"(\w+)\s*="
+)
+
+
+def check_schema_sync(root, findings):
+    config_rel = "src/pipeline/pipeline_config.hpp"
+    codec_rel = "src/serve/artifact.cpp"
+    header_rel = "src/serve/artifact.hpp"
+    config = open(os.path.join(root, config_rel), encoding="utf-8").read()
+    codec = open(os.path.join(root, codec_rel), encoding="utf-8").read()
+    header = open(os.path.join(root, header_rel), encoding="utf-8").read()
+
+    # Extract ServeConfig's field names (comments stripped so prose cannot
+    # add phantom fields).
+    fields = []
+    in_struct = False
+    struct_line = 0
+    for lineno, code in iter_code_lines(config):
+        if re.search(r"\bstruct\s+ServeConfig\b", code):
+            in_struct = True
+            struct_line = lineno
+            continue
+        if in_struct:
+            if re.match(r"^\s*};", code):
+                break
+            m = SERVE_FIELD_RE.match(code)
+            if m:
+                fields.append((lineno, m.group(1)))
+    if not in_struct or not fields:
+        findings.append(
+            f"{config_rel}:{struct_line or 1}: [schema-sync] could not parse "
+            "ServeConfig fields -- update tools/lint.py alongside the struct"
+        )
+        return
+
+    # Each field must be both written and read by the positional codec.
+    for lineno, field in fields:
+        if len(re.findall(r"\.serve\." + field + r"\b", codec)) < 2:
+            findings.append(
+                f"{config_rel}:{lineno}: [schema-sync] ServeConfig::{field} "
+                f"is not round-tripped by {codec_rel} (need a write and a "
+                "read of `.serve." + field + "`) -- append codec lines and "
+                "bump artifact.hpp kSchemaVersion"
+            )
+
+    # The codec must cite the CURRENT schema version in a comment, so a
+    # field appended without a version bump (or a bump without its citation)
+    # is caught.
+    version = re.search(r"kSchemaVersion\s*=\s*(\d+)", header)
+    if version is None:
+        findings.append(
+            f"{header_rel}:1: [schema-sync] could not parse kSchemaVersion"
+        )
+        return
+    citation = f"schema v{version.group(1)}"
+    if citation not in codec:
+        findings.append(
+            f"{codec_rel}:1: [schema-sync] codec does not cite the current "
+            f'"{citation}" (artifact.hpp kSchemaVersion = '
+            f"{version.group(1)}) -- a codec change must name the version "
+            "bump that ships it"
+        )
 
 
 def check_metric_names(root, findings):
@@ -280,6 +381,7 @@ def main():
     findings = []
     check_raw_locks(args.root, findings)
     check_pinned_errors(args.root, findings)
+    check_schema_sync(args.root, findings)
     check_metric_names(args.root, findings)
     check_include_cycles(args.root, findings)
     check_pragma_once(args.root, findings)
